@@ -1,0 +1,137 @@
+//! Exact cost model of the Cartesian-product garbled circuit.
+//!
+//! For k relations of sizes N₁..N_k with join predicates over `key_bits`
+//! join columns and `ell`-bit annotations, the circuit enumerates all
+//! ∏Nᵢ combinations; each combination needs (k−1) key-equality tests and
+//! (k−1) annotation multiplications gated by the tests, then a global
+//! aggregation tree. The paper's point is that this is Θ(∏Nᵢ) — we count
+//! it exactly so that measured small instances extrapolate faithfully
+//! ("this is actually very accurate, since the cost is proportional to
+//! the size of the circuit, which we know exactly", §8.3).
+
+/// Gate and traffic totals for one garbled-circuit execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcCost {
+    pub and_gates: u128,
+    /// Bytes of garbled tables (32 per AND under half-gates).
+    pub table_bytes: u128,
+    /// Total combinations enumerated (the join-state space).
+    pub combinations: u128,
+}
+
+impl GcCost {
+    /// Extrapolated wall-clock seconds given a measured per-AND-gate rate.
+    pub fn seconds_at(&self, and_gates_per_sec: f64) -> f64 {
+        self.and_gates as f64 / and_gates_per_sec
+    }
+}
+
+/// The model, parameterized like the runnable protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct CartesianCostModel {
+    /// Bit width of a join key comparison.
+    pub key_bits: u32,
+    /// Bit width of annotations (the paper's ℓ = 32).
+    pub ell: u32,
+}
+
+impl Default for CartesianCostModel {
+    fn default() -> Self {
+        CartesianCostModel {
+            key_bits: 32,
+            ell: 32,
+        }
+    }
+}
+
+impl CartesianCostModel {
+    /// AND gates for one `bits`-wide equality test.
+    fn eq_ands(&self) -> u128 {
+        (self.key_bits - 1) as u128
+    }
+
+    /// AND gates for one ℓ-bit multiplication (schoolbook: ℓ²/2 partial
+    /// products + ℓ adders of ℓ−1 ANDs, matching `secyan-circuit`).
+    fn mul_ands(&self) -> u128 {
+        let l = self.ell as u128;
+        // Partial products: sum_{j} (l - j) = l(l+1)/2; adders: l·(l−1).
+        l * (l + 1) / 2 + l * (l - 1)
+    }
+
+    /// Cost of the product circuit over relations of the given sizes with
+    /// `joins` join predicates per combination (typically `sizes.len()-1`).
+    pub fn cost(&self, sizes: &[usize]) -> GcCost {
+        assert!(!sizes.is_empty());
+        let combos: u128 = sizes.iter().map(|&n| n as u128).product();
+        let joins = (sizes.len() - 1) as u128;
+        // Per combination: `joins` equality tests, an AND-tree over the
+        // test bits (joins−1 ANDs), one ℓ-bit gate of the combined
+        // indicator onto the annotation product (ℓ ANDs), and the
+        // annotation product itself ((k−1) multiplications).
+        let per_combo = joins * self.eq_ands()
+            + joins.saturating_sub(1)
+            + self.ell as u128
+            + joins * self.mul_ands();
+        // Aggregating all combinations: one ℓ-bit adder each.
+        let agg = combos * (self.ell as u128 - 1);
+        let and_gates = combos * per_combo + agg;
+        GcCost {
+            and_gates,
+            table_bytes: and_gates * 32,
+            combinations: combos,
+        }
+    }
+
+    /// The paper's headline numbers for context: at 100 MB, Q3's three
+    /// relations hold ~765k tuples, whose product is ~10^16 combinations.
+    pub fn paper_q3_100mb(&self) -> GcCost {
+        self.cost(&[15_000, 150_000, 600_000])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_multiplicative_in_sizes() {
+        let m = CartesianCostModel::default();
+        let c1 = m.cost(&[10, 10]);
+        let c2 = m.cost(&[10, 100]);
+        assert_eq!(c1.combinations, 100);
+        assert_eq!(c2.combinations, 1000);
+        // 10× the combinations → 10× the gates (the per-combo work is
+        // identical).
+        assert_eq!(c2.and_gates, 10 * c1.and_gates);
+    }
+
+    #[test]
+    fn single_relation_costs_only_aggregation() {
+        let m = CartesianCostModel::default();
+        let c = m.cost(&[50]);
+        assert_eq!(c.combinations, 50);
+        assert_eq!(c.and_gates, 50 * 31 + 50 * 32); // adders + indicator gating
+    }
+
+    #[test]
+    fn paper_scale_is_astronomical() {
+        let m = CartesianCostModel::default();
+        let c = m.paper_q3_100mb();
+        // ~10^15 combinations, ~10^18 AND gates: the "300 years / 1 EB"
+        // regime the paper reports.
+        assert!(c.combinations > 1_000_000_000_000_000u128);
+        assert!(c.table_bytes > 1u128 << 60); // more than an exabyte/8
+        // At an (optimistic) 10^7 AND/s this is centuries.
+        assert!(c.seconds_at(1e7) > 100.0 * 365.0 * 86_400.0);
+    }
+
+    #[test]
+    fn extrapolation_helper() {
+        let c = GcCost {
+            and_gates: 1_000_000,
+            table_bytes: 32_000_000,
+            combinations: 0,
+        };
+        assert!((c.seconds_at(1e6) - 1.0).abs() < 1e-9);
+    }
+}

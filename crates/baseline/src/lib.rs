@@ -1,0 +1,19 @@
+//! The naive garbled-circuit baseline (paper §8.2's SMCQL stand-in).
+//!
+//! The paper could not run SMCQL beyond its bundled examples, so the
+//! authors wrote "a garbled circuit … to just compute the Cartesian
+//! product of the relations and apply join conditions on it, while
+//! ignoring all other operators", measured it on the smallest dataset and
+//! *extrapolated* by exact circuit size. We reproduce exactly that:
+//!
+//! * [`circuit_model`] — the exact gate/byte counts of the product
+//!   circuit as a function of the relation sizes, used for extrapolation;
+//! * [`protocol`] — an actually runnable two-party version for small
+//!   inputs (it garbles the full N₁·N₂·…·N_k product), so the model's
+//!   constants can be calibrated against reality.
+
+pub mod circuit_model;
+pub mod protocol;
+
+pub use circuit_model::{CartesianCostModel, GcCost};
+pub use protocol::{naive_gc_evaluator, naive_gc_garbler};

@@ -1,0 +1,132 @@
+//! Ad-hoc operator timing used to find protocol hot spots (dev tool).
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
+use secyan_ot::{OtReceiver, OtSender};
+use secyan_transport::run_protocol;
+use std::time::Instant;
+
+fn main() {
+    let ring = RingCtx::new(32);
+    let hasher = TweakHasher::Fast;
+    // 1. session-ish setup
+    let t = Instant::now();
+    run_protocol(
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let _s = OtSender::setup(ch, &mut rng, hasher);
+            let _r = OtReceiver::setup(ch, &mut rng, hasher);
+            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng);
+            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
+        },
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let _r = OtReceiver::setup(ch, &mut rng, hasher);
+            let _s = OtSender::setup(ch, &mut rng, hasher);
+            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
+            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng);
+        },
+    );
+    println!("session setup: {:?}", t.elapsed());
+
+    // 2. shared OEP of size 300
+    let t = Instant::now();
+    run_protocol(
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut otr = OtReceiver::setup(ch, &mut rng, hasher);
+            let xi: Vec<usize> = (0..300).collect();
+            let shares = vec![7u64; 300];
+            shared_oep_perm_holder(ch, &xi, &shares, ring, &mut otr)
+        },
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut ots = OtSender::setup(ch, &mut rng, hasher);
+            let shares = vec![3u64; 300];
+            shared_oep_other(ch, &shares, 300, ring, &mut ots, &mut rng)
+        },
+    );
+    println!("shared OEP 300: {:?}", t.elapsed());
+
+    // 3. product circuit 75 rows shared (like reduce_join)
+    use secyan_circuit::{u64_to_bits, Builder};
+    use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
+    let n = 75;
+    let spec = SharedOutputSpec::uniform(n, 32);
+    let circ = with_shared_outputs(&spec, |b| {
+        let va: Vec<_> = (0..n).map(|_| b.alice_word(32)).collect();
+        let za: Vec<_> = (0..n).map(|_| b.alice_word(32)).collect();
+        let vb: Vec<_> = (0..n).map(|_| b.bob_word(32)).collect();
+        let zb: Vec<_> = (0..n).map(|_| b.bob_word(32)).collect();
+        (0..n)
+            .map(|i| {
+                let v = b.add_words(&va[i], &vb[i]);
+                let z = b.add_words(&za[i], &zb[i]);
+                b.mul_words(&v, &z)
+            })
+            .collect()
+    });
+    println!("product circuit: {} ANDs", circ.and_count());
+    let (c1, c2) = (circ.clone(), circ.clone());
+    let (s1, s2) = (spec.clone(), spec.clone());
+    let t = Instant::now();
+    run_protocol(
+        move |ch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut ots = OtSender::setup(ch, &mut rng, hasher);
+            let bits: Vec<bool> = (0..n * 64).map(|i| i % 3 == 0).collect();
+            garble_shared(ch, &c1, &s1, &bits, &mut ots, hasher, &mut rng)
+        },
+        move |ch| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut otr = OtReceiver::setup(ch, &mut rng, hasher);
+            let bits: Vec<bool> = (0..n * 64).map(|i| i % 3 == 0).collect();
+            evaluate_shared(ch, &c2, &s2, &bits, &mut otr, hasher)
+        },
+    );
+    println!("product GC 75 rows: {:?}", t.elapsed());
+
+    // 4. PSI 75 x 300 with plain payloads
+    let t = Instant::now();
+    run_protocol(
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
+            let mut otr = OtReceiver::setup(ch, &mut rng, hasher);
+            let x: Vec<u64> = (0..75).collect();
+            secyan_psi::psi_receiver(ch, &x, 300, ring, &mut kkrt, &mut otr, hasher).ind_shares.len()
+        },
+        |ch| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng);
+            let mut ots = OtSender::setup(ch, &mut rng, hasher);
+            let y: Vec<(u64, u64)> = (0..300u64).map(|i| (i, i)).collect();
+            secyan_psi::psi_sender(ch, &y, 75, ring, &mut kkrt, &mut ots, hasher, &mut rng).ind_shares.len()
+        },
+    );
+    println!("plain PSI 75x300: {:?}", t.elapsed());
+
+    // 5. merge/agg circuit over 300 rows
+    let spec = SharedOutputSpec::uniform(300, 32);
+    let t = Instant::now();
+    let _c = with_shared_outputs(&spec, |b| {
+        let eq: Vec<_> = (0..299).map(|_| b.alice_input()).collect();
+        let a: Vec<_> = (0..300).map(|_| b.alice_word(32)).collect();
+        let bb: Vec<_> = (0..300).map(|_| b.bob_word(32)).collect();
+        let vs: Vec<_> = a.iter().zip(&bb).map(|(x, y)| b.add_words(x, y)).collect();
+        let mut z = vs[0].clone();
+        let mut outs = Vec::new();
+        for i in 0..299 {
+            let ne = b.not(eq[i]);
+            outs.push(b.and_word_bit(&z, ne));
+            let keep = b.and_word_bit(&z, eq[i]);
+            z = b.add_words(&keep, &vs[i + 1]);
+        }
+        outs.push(z);
+        outs
+    });
+    println!("merge circuit build 300: {:?} ({} ANDs)", t.elapsed(), _c.and_count());
+    let _ = u64_to_bits(0, 1);
+    let _ = Builder::new();
+}

@@ -1,0 +1,47 @@
+//! Plaintext circuit evaluation — the correctness oracle for garbling.
+
+use crate::ir::{Circuit, Gate};
+
+/// Evaluate `circuit` on cleartext inputs, returning the output bits in
+/// declaration order. Input slices must match the declared input counts.
+pub fn evaluate(circuit: &Circuit, alice: &[bool], bob: &[bool]) -> Vec<bool> {
+    assert_eq!(alice.len(), circuit.alice_inputs, "alice input arity");
+    assert_eq!(bob.len(), circuit.bob_inputs, "bob input arity");
+    let mut wires = vec![false; circuit.num_wires];
+    wires[..alice.len()].copy_from_slice(alice);
+    wires[alice.len()..alice.len() + bob.len()].copy_from_slice(bob);
+    for g in &circuit.gates {
+        match *g {
+            Gate::Xor { a, b, out } => wires[out] = wires[a] ^ wires[b],
+            Gate::And { a, b, out } => wires[out] = wires[a] & wires[b],
+            Gate::Inv { a, out } => wires[out] = !wires[a],
+        }
+    }
+    circuit.outputs.iter().map(|&o| wires[o]).collect()
+}
+
+/// Convert a u64 to `bits` little-endian booleans.
+pub fn u64_to_bits(v: u64, bits: usize) -> Vec<bool> {
+    (0..bits).map(|i| v >> i & 1 == 1).collect()
+}
+
+/// Convert little-endian booleans back to a u64 (panics if over 64 bits).
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    assert!(bits.len() <= 64);
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (b as u64) << i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX, 1 << 63] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v, 64)), v);
+        }
+        assert_eq!(bits_to_u64(&u64_to_bits(0xff, 4)), 0xf);
+    }
+}

@@ -1,0 +1,112 @@
+//! Circuit intermediate representation.
+
+/// A gate over wire indices. Gates appear in topological order: a gate's
+/// inputs are either circuit inputs or outputs of earlier gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// `out = a ^ b` — free under free-XOR garbling.
+    Xor { a: usize, b: usize, out: usize },
+    /// `out = a & b` — two ciphertexts under half-gates.
+    And { a: usize, b: usize, out: usize },
+    /// `out = !a` — free under free-XOR garbling.
+    Inv { a: usize, out: usize },
+}
+
+impl Gate {
+    /// The output wire index.
+    pub fn out(&self) -> usize {
+        match *self {
+            Gate::Xor { out, .. } | Gate::And { out, .. } | Gate::Inv { out, .. } => out,
+        }
+    }
+}
+
+/// A boolean circuit with two-party inputs.
+///
+/// Wire indices `0..alice_inputs + bob_inputs` are the input wires (Alice's
+/// first); gates extend the wire space. The circuit is public to both
+/// parties — only the input *values* are private.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    /// Number of wires including inputs and every gate output.
+    pub num_wires: usize,
+    /// Number of Alice (garbler-side) input wires; they are wires `0..n_a`.
+    pub alice_inputs: usize,
+    /// Number of Bob (evaluator-side) input wires; wires `n_a..n_a + n_b`.
+    pub bob_inputs: usize,
+    /// Gates in topological order.
+    pub gates: Vec<Gate>,
+    /// Output wires, in the order the protocol will decode them.
+    pub outputs: Vec<usize>,
+}
+
+/// Gate-count summary; the benchmark extrapolation model consumes this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    pub and_gates: u64,
+    pub xor_gates: u64,
+    pub inv_gates: u64,
+    pub wires: u64,
+    pub outputs: u64,
+}
+
+impl Circuit {
+    /// Number of AND gates — the communication/computation cost driver.
+    pub fn and_count(&self) -> u64 {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And { .. }))
+            .count() as u64
+    }
+
+    /// Full gate-count statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let mut s = CircuitStats {
+            wires: self.num_wires as u64,
+            outputs: self.outputs.len() as u64,
+            ..Default::default()
+        };
+        for g in &self.gates {
+            match g {
+                Gate::Xor { .. } => s.xor_gates += 1,
+                Gate::And { .. } => s.and_gates += 1,
+                Gate::Inv { .. } => s.inv_gates += 1,
+            }
+        }
+        s
+    }
+
+    /// Check structural sanity: topological order, in-range indices.
+    /// Used by tests; builder-produced circuits always pass.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_in = self.alice_inputs + self.bob_inputs;
+        let mut defined = vec![false; self.num_wires];
+        for w in defined.iter_mut().take(n_in) {
+            *w = true;
+        }
+        for (i, g) in self.gates.iter().enumerate() {
+            let (ins, out): (Vec<usize>, usize) = match *g {
+                Gate::Xor { a, b, out } | Gate::And { a, b, out } => (vec![a, b], out),
+                Gate::Inv { a, out } => (vec![a], out),
+            };
+            for a in ins {
+                if a >= self.num_wires || !defined[a] {
+                    return Err(format!("gate {i} reads undefined wire {a}"));
+                }
+            }
+            if out >= self.num_wires {
+                return Err(format!("gate {i} writes out-of-range wire {out}"));
+            }
+            if defined[out] {
+                return Err(format!("gate {i} redefines wire {out}"));
+            }
+            defined[out] = true;
+        }
+        for &o in &self.outputs {
+            if o >= self.num_wires || !defined[o] {
+                return Err(format!("output reads undefined wire {o}"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,381 @@
+//! The oblivious join (paper §6.3) — the full-join phase.
+//!
+//! Precondition (established by the semijoin phase): every dangling tuple
+//! is zero-annotated, so the nonzero support R*_F of each relation equals
+//! its projection of the join result J* and may be revealed to the
+//! designated receiver. The receiver then joins locally, announces
+//! OUT = |J*| (public per §4), and per-relation OEPs + one product circuit
+//! produce J*'s annotations — in shared form, so the result can feed query
+//! composition (§7), or revealed when it *is* the final answer.
+
+use crate::session::Session;
+use crate::srel::SecureRelation;
+use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit, Word};
+use secyan_gc::{
+    evaluate_circuit, evaluate_shared, garble_circuit, garble_shared, with_shared_outputs,
+    OutputMode, SharedOutputSpec,
+};
+use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
+use secyan_transport::{ReadExt, Role, WriteExt};
+use std::collections::HashMap;
+
+/// Result of the oblivious join.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    /// Combined schema (fold order, duplicates removed).
+    pub schema: Vec<String>,
+    /// Receiver side: the join tuples J*. Empty on the other side.
+    pub tuples: Vec<Vec<u64>>,
+    /// Annotation shares per output row (both sides), unless revealed.
+    pub annot_shares: Vec<u64>,
+    /// Revealed annotations (receiver side, only when `reveal` was set).
+    pub values: Vec<u64>,
+    /// Public output size.
+    pub out_size: usize,
+}
+
+/// The reveal circuit for one relation: per row, `ind = (v ≠ 0)` plus the
+/// tuple words gated by `ind` (only when the receiver does not own the
+/// tuples). Garbler = relation owner when it is not the receiver,
+/// otherwise the other party; outputs reveal to the receiver-evaluator.
+fn reveal_circuit(n: usize, ell: usize, attrs: usize, owner_is_garbler: bool) -> Circuit {
+    let mut b = Builder::new();
+    // Garbler inputs: v-shares, plus tuple words when the garbler owns them.
+    let va: Vec<Word> = (0..n).map(|_| b.alice_word(ell)).collect();
+    let ta: Vec<Vec<Word>> = (0..n)
+        .map(|_| {
+            if owner_is_garbler {
+                (0..attrs).map(|_| b.alice_word(64)).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let vb: Vec<Word> = (0..n).map(|_| b.bob_word(ell)).collect();
+    for i in 0..n {
+        let v = b.add_words(&va[i], &vb[i]);
+        let ind = b.is_nonzero_word(&v);
+        b.output(ind);
+        if owner_is_garbler {
+            for w in &ta[i] {
+                let gated = b.and_word_bit(w, ind);
+                b.output_word(&gated);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Reveal the nonzero support of `rel` to the receiver. Returns, on the
+/// receiver side, `Some(rows)` where `rows[i] = Some(tuple)` for real
+/// non-dangling rows (indexed by the owner's storage order).
+fn reveal_support(
+    sess: &mut Session,
+    rel: &mut SecureRelation,
+    receiver: Role,
+) -> Option<Vec<Option<Vec<u64>>>> {
+    rel.ensure_shared(sess);
+    let n = rel.size;
+    let ell = sess.ring.bits() as usize;
+    let attrs = rel.schema.len();
+    let i_am_receiver = sess.role() == receiver;
+    let owner_is_garbler = rel.owner != receiver;
+    let circuit = reveal_circuit(n, ell, attrs, owner_is_garbler);
+    if i_am_receiver {
+        // Receiver evaluates.
+        let mut bits = Vec::new();
+        for &s in &rel.annot_shares {
+            bits.extend(u64_to_bits(s, ell));
+        }
+        let out = evaluate_circuit(
+            sess.ch,
+            &circuit,
+            &bits,
+            &mut sess.ot_recv,
+            sess.hasher,
+            OutputMode::RevealToEvaluator,
+        )
+        .expect("reveals to evaluator");
+        let stride = 1 + if owner_is_garbler { attrs * 64 } else { 0 };
+        let mut rows = Vec::with_capacity(n);
+        let my_tuples = rel.tuples.clone();
+        for i in 0..n {
+            let base = i * stride;
+            if !out[base] {
+                rows.push(None);
+                continue;
+            }
+            let tuple = if owner_is_garbler {
+                (0..attrs)
+                    .map(|a| bits_to_u64(&out[base + 1 + a * 64..base + 1 + (a + 1) * 64]))
+                    .collect()
+            } else {
+                my_tuples.as_ref().expect("receiver owns the tuples")[i].clone()
+            };
+            rows.push(Some(tuple));
+        }
+        Some(rows)
+    } else {
+        // Non-receiver garbles; contributes tuples when it owns them.
+        // Packing matches the circuit's declaration order: all v-shares
+        // first, then all tuple words.
+        let mut bits = Vec::new();
+        for &s in &rel.annot_shares {
+            bits.extend(u64_to_bits(s, ell));
+        }
+        if owner_is_garbler {
+            let tuples = rel.tuples.as_ref().expect("owner side");
+            for t in tuples {
+                for &v in t {
+                    bits.extend(u64_to_bits(v, 64));
+                }
+            }
+        }
+        garble_circuit(
+            sess.ch,
+            &circuit,
+            &bits,
+            &mut sess.ot_send,
+            sess.hasher,
+            &mut sess.rng,
+            OutputMode::RevealToEvaluator,
+        );
+        None
+    }
+}
+
+/// The k-way annotation product circuit over `out_size` rows. Garbler =
+/// non-receiver. When `reveal`, outputs go to the receiver in the clear;
+/// otherwise they leave as fresh shares.
+fn product_tree_circuit(
+    n: usize,
+    k: usize,
+    ell: usize,
+    reveal: bool,
+) -> (Circuit, Option<SharedOutputSpec>) {
+    let build = |b: &mut Builder| -> Vec<Word> {
+        let ga: Vec<Vec<Word>> = (0..n)
+            .map(|_| (0..k).map(|_| b.alice_word(ell)).collect())
+            .collect();
+        let gb: Vec<Vec<Word>> = (0..n)
+            .map(|_| (0..k).map(|_| b.bob_word(ell)).collect())
+            .collect();
+        (0..n)
+            .map(|i| {
+                let mut acc: Option<Word> = None;
+                for j in 0..k {
+                    let v = b.add_words(&ga[i][j], &gb[i][j]);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => b.mul_words(&a, &v),
+                    });
+                }
+                acc.expect("k >= 1")
+            })
+            .collect()
+    };
+    if reveal {
+        let mut b = Builder::new();
+        let words = build(&mut b);
+        for w in &words {
+            b.output_word(w);
+        }
+        (b.finish(), None)
+    } else {
+        let spec = SharedOutputSpec::uniform(n, ell);
+        (with_shared_outputs(&spec, build), Some(spec))
+    }
+}
+
+/// The oblivious join. `rels` must be ordered so that each prefix is
+/// connected (the driver folds bottom-up along the join tree); all
+/// dangling tuples must already be zero-annotated. `reveal` controls
+/// whether the annotations are opened to the receiver or left shared.
+pub fn oblivious_join(
+    sess: &mut Session,
+    rels: &mut [SecureRelation],
+    receiver: Role,
+    reveal: bool,
+) -> JoinOutput {
+    assert!(!rels.is_empty());
+    let ell = sess.ring.bits() as usize;
+    let i_am_receiver = sess.role() == receiver;
+    // Step 1: reveal every relation's nonzero support to the receiver.
+    let revealed: Vec<Option<Vec<Option<Vec<u64>>>>> = rels
+        .iter_mut()
+        .map(|r| reveal_support(sess, r, receiver))
+        .collect();
+    // Step 2: the receiver joins locally, tracking per-relation provenance.
+    let mut schema: Vec<String> = Vec::new();
+    for r in rels.iter() {
+        for a in &r.schema {
+            if !schema.contains(a) {
+                schema.push(a.clone());
+            }
+        }
+    }
+    let (tuples, prov, out_size) = if i_am_receiver {
+        let mut acc: Vec<(HashMap<String, u64>, Vec<usize>)> = Vec::new();
+        for (ri, rows) in revealed.iter().enumerate() {
+            let rows = rows.as_ref().expect("receiver side");
+            let rel_schema = &rels[ri].schema;
+            if ri == 0 {
+                for (idx, row) in rows.iter().enumerate() {
+                    if let Some(t) = row {
+                        let vals: HashMap<String, u64> = rel_schema
+                            .iter()
+                            .cloned()
+                            .zip(t.iter().copied())
+                            .collect();
+                        acc.push((vals, vec![idx]));
+                    }
+                }
+                continue;
+            }
+            // Hash the new relation on the shared attributes.
+            let common: Vec<String> = rel_schema
+                .iter()
+                .filter(|a| acc.first().map_or(false, |(m, _)| m.contains_key(*a)))
+                .cloned()
+                .collect();
+            let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+            for (idx, row) in rows.iter().enumerate() {
+                if let Some(t) = row {
+                    let key: Vec<u64> = common
+                        .iter()
+                        .map(|a| {
+                            let p = rel_schema.iter().position(|s| s == a).expect("common attr");
+                            t[p]
+                        })
+                        .collect();
+                    index.entry(key).or_default().push(idx);
+                }
+            }
+            let mut next = Vec::new();
+            for (vals, prov) in acc {
+                let key: Vec<u64> = common.iter().map(|a| vals[a]).collect();
+                if let Some(matches) = index.get(&key) {
+                    for &idx in matches {
+                        let t = rows[idx].as_ref().expect("indexed row is real");
+                        let mut vals2 = vals.clone();
+                        for (a, &v) in rel_schema.iter().zip(t.iter()) {
+                            vals2.insert(a.clone(), v);
+                        }
+                        let mut prov2 = prov.clone();
+                        prov2.push(idx);
+                        next.push((vals2, prov2));
+                    }
+                }
+            }
+            acc = next;
+        }
+        let out_size = acc.len();
+        sess.ch.send_u64(out_size as u64);
+        let tuples: Vec<Vec<u64>> = acc
+            .iter()
+            .map(|(vals, _)| schema.iter().map(|a| vals[a]).collect())
+            .collect();
+        let prov: Vec<Vec<usize>> = acc.into_iter().map(|(_, p)| p).collect();
+        (tuples, prov, out_size)
+    } else {
+        let out_size = sess.ch.recv_u64() as usize;
+        (Vec::new(), Vec::new(), out_size)
+    };
+    if out_size == 0 {
+        return JoinOutput {
+            schema,
+            tuples,
+            annot_shares: Vec::new(),
+            values: Vec::new(),
+            out_size,
+        };
+    }
+    // Step 3: per-relation OEPs align annotation shares with J* rows.
+    let k = rels.len();
+    let mut aligned: Vec<Vec<u64>> = Vec::with_capacity(k);
+    for (ri, rel) in rels.iter().enumerate() {
+        if i_am_receiver {
+            let xi: Vec<usize> = prov.iter().map(|p| p[ri]).collect();
+            aligned.push(shared_oep_perm_holder(
+                sess.ch,
+                &xi,
+                &rel.annot_shares,
+                sess.ring,
+                &mut sess.ot_recv,
+            ));
+        } else {
+            aligned.push(shared_oep_other(
+                sess.ch,
+                &rel.annot_shares,
+                out_size,
+                sess.ring,
+                &mut sess.ot_send,
+                &mut sess.rng,
+            ));
+        }
+    }
+    // Step 4: product circuit. Garbler = non-receiver.
+    let (circuit, spec) = product_tree_circuit(out_size, k, ell, reveal);
+    let mut bits = Vec::new();
+    for i in 0..out_size {
+        for a in aligned.iter() {
+            bits.extend(u64_to_bits(a[i], ell));
+        }
+    }
+    let (annot_shares, values) = if i_am_receiver {
+        if reveal {
+            let out = evaluate_circuit(
+                sess.ch,
+                &circuit,
+                &bits,
+                &mut sess.ot_recv,
+                sess.hasher,
+                OutputMode::RevealToEvaluator,
+            )
+            .expect("reveals to evaluator");
+            let values = (0..out_size)
+                .map(|i| bits_to_u64(&out[i * ell..(i + 1) * ell]))
+                .collect();
+            (Vec::new(), values)
+        } else {
+            let shares = evaluate_shared(
+                sess.ch,
+                &circuit,
+                &spec.expect("shared mode"),
+                &bits,
+                &mut sess.ot_recv,
+                sess.hasher,
+            );
+            (shares, Vec::new())
+        }
+    } else if reveal {
+        garble_circuit(
+            sess.ch,
+            &circuit,
+            &bits,
+            &mut sess.ot_send,
+            sess.hasher,
+            &mut sess.rng,
+            OutputMode::RevealToEvaluator,
+        );
+        (Vec::new(), Vec::new())
+    } else {
+        let shares = garble_shared(
+            sess.ch,
+            &circuit,
+            &spec.expect("shared mode"),
+            &bits,
+            &mut sess.ot_send,
+            sess.hasher,
+            &mut sess.rng,
+        );
+        (shares, Vec::new())
+    };
+    JoinOutput {
+        schema,
+        tuples,
+        annot_shares,
+        values,
+        out_size,
+    }
+}

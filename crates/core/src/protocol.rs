@@ -1,0 +1,587 @@
+//! The secure Yannakakis driver (paper §6.4).
+//!
+//! Both parties run this function with the same public [`SecureQuery`];
+//! each passes its own relations' data. Control flow — which operator runs
+//! on which node, in which order — is a function of the public plan only,
+//! as obliviousness demands. The three phases mirror
+//! `secyan_relation::yannakakis` exactly:
+//!
+//! 1. **Reduce**: bottom-up, each node is either folded into its parent
+//!    (π⊕ + reduce-join) or kept with its non-output attributes
+//!    aggregated away.
+//! 2. **Semijoin**: bottom-up then top-down passes mark dangling tuples by
+//!    zeroing their annotation shares (nothing is physically removed —
+//!    sizes are public).
+//! 3. **Full join**: reveal supports, local join, OEP + product circuit
+//!    (§6.3). When the reduce phase leaves a single node (e.g. TPC-H Q3),
+//!    the driver skips phases 2–3 and reveals that node directly.
+
+use crate::agg::{oblivious_project_agg, AggKind};
+use crate::join::oblivious_join;
+use crate::query::SecureQuery;
+use crate::semijoin::{oblivious_reduce_join, oblivious_semijoin};
+use crate::session::Session;
+use crate::srel::SecureRelation;
+use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit};
+use secyan_gc::{evaluate_circuit, garble_circuit, OutputMode};
+use secyan_relation::{NaturalRing, Relation};
+use secyan_transport::Role;
+
+/// The receiver-side result of a secure query (the other party's copy has
+/// empty tuples/values and only the public `out_size`).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    pub schema: Vec<String>,
+    pub tuples: Vec<Vec<u64>>,
+    pub values: Vec<u64>,
+    pub out_size: usize,
+}
+
+/// Shared-form result used for query composition (§7): the receiver knows
+/// the tuples; the aggregate of row i stays split between the parties.
+#[derive(Debug, Clone)]
+pub struct SharedQueryResult {
+    pub schema: Vec<String>,
+    pub tuples: Vec<Vec<u64>>,
+    pub annot_shares: Vec<u64>,
+    pub out_size: usize,
+}
+
+/// Run the secure Yannakakis protocol, revealing the results to
+/// `receiver`. `my_relations[i]` is `Some` iff this party owns relation i.
+pub fn secure_yannakakis(
+    sess: &mut Session,
+    query: &SecureQuery,
+    my_relations: &[Option<Relation<NaturalRing>>],
+    receiver: Role,
+) -> QueryResult {
+    let (mut rels, survivors) = reduce_and_semijoin(sess, query, my_relations);
+    if survivors.len() == 1 {
+        // Reduce collapsed everything (e.g. Q3): reveal the root directly.
+        let root = survivors[0];
+        return reveal_result(sess, &mut rels[root], receiver);
+    }
+    let mut folded: Vec<SecureRelation> = fold_order(query, &survivors)
+        .into_iter()
+        .map(|i| rels[i].clone())
+        .collect();
+    let out = oblivious_join(sess, &mut folded, receiver, true);
+    QueryResult {
+        schema: out.schema,
+        tuples: out.tuples,
+        values: out.values,
+        out_size: out.out_size,
+    }
+}
+
+/// Like [`secure_yannakakis`] but leaving the aggregates in shared form
+/// for composition (§7).
+pub fn secure_yannakakis_shared(
+    sess: &mut Session,
+    query: &SecureQuery,
+    my_relations: &[Option<Relation<NaturalRing>>],
+    receiver: Role,
+) -> SharedQueryResult {
+    let (mut rels, survivors) = reduce_and_semijoin(sess, query, my_relations);
+    if survivors.len() == 1 {
+        let root = survivors[0];
+        let rel = &mut rels[root];
+        rel.ensure_shared(sess);
+        // Reveal only the tuples' support — here the tuples themselves are
+        // part of the output, but the aggregates stay shared. We reveal
+        // all rows (dummies included) and keep the shares aligned; the
+        // caller's composition circuit treats zero-reconstructing rows as
+        // padding, exactly like the §7 avg example.
+        let out = oblivious_join(sess, std::slice::from_mut(rel), receiver, false);
+        return SharedQueryResult {
+            schema: out.schema,
+            tuples: out.tuples,
+            annot_shares: out.annot_shares,
+            out_size: out.out_size,
+        };
+    }
+    let mut folded: Vec<SecureRelation> = fold_order(query, &survivors)
+        .into_iter()
+        .map(|i| rels[i].clone())
+        .collect();
+    let out = oblivious_join(sess, &mut folded, receiver, false);
+    SharedQueryResult {
+        schema: out.schema,
+        tuples: out.tuples,
+        annot_shares: out.annot_shares,
+        out_size: out.out_size,
+    }
+}
+
+/// Phases 1 and 2. Returns the per-node relations (folded nodes left in
+/// place but dead) and the surviving node indices.
+fn reduce_and_semijoin(
+    sess: &mut Session,
+    query: &SecureQuery,
+    my_relations: &[Option<Relation<NaturalRing>>],
+) -> (Vec<SecureRelation>, Vec<usize>) {
+    assert_eq!(my_relations.len(), query.len());
+    let tree = &query.tree;
+    let root = tree.root();
+    // Load.
+    let mut rels: Vec<SecureRelation> = (0..query.len())
+        .map(|i| {
+            SecureRelation::load(
+                sess,
+                query.owners[i],
+                query.schemas[i].clone(),
+                my_relations[i].as_ref(),
+            )
+        })
+        .collect();
+    let mut removed = vec![false; query.len()];
+    let mut kept_below = vec![false; query.len()];
+
+    // Phase 1: reduce (public control flow — schemas only).
+    for i in tree.bottom_up() {
+        if i == root {
+            let f_prime: Vec<String> = rels[i]
+                .schema
+                .iter()
+                .filter(|a| query.output.contains(a))
+                .cloned()
+                .collect();
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = oblivious_project_agg(sess, &rels[i], &f_prime, AggKind::Sum);
+            }
+            continue;
+        }
+        let p = tree.parent(i).expect("non-root");
+        let parent_schema = rels[p].schema.clone();
+        let f_prime: Vec<String> = rels[i]
+            .schema
+            .iter()
+            .filter(|a| query.output.contains(a) || parent_schema.contains(a))
+            .cloned()
+            .collect();
+        let mergeable = !kept_below[i] && f_prime.iter().all(|a| parent_schema.contains(a));
+        if mergeable {
+            let mut folded = oblivious_project_agg(sess, &rels[i], &f_prime, AggKind::Sum);
+            let mut parent = rels[p].clone();
+            rels[p] = oblivious_reduce_join(sess, &mut parent, &mut folded);
+            removed[i] = true;
+        } else {
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = oblivious_project_agg(sess, &rels[i], &f_prime, AggKind::Sum);
+            }
+            kept_below[p] = true;
+        }
+    }
+    let survivors: Vec<usize> = (0..query.len()).filter(|&i| !removed[i]).collect();
+
+    // Phase 2: semijoins over survivors (skipped when only the root is
+    // left).
+    if survivors.len() > 1 {
+        for i in tree.bottom_up() {
+            if removed[i] || i == root {
+                continue;
+            }
+            let p = tree.parent(i).expect("non-root");
+            let mut parent = rels[p].clone();
+            let mut child = rels[i].clone();
+            rels[p] = oblivious_semijoin(sess, &mut parent, &mut child);
+            rels[i] = child;
+        }
+        for i in tree.top_down() {
+            if removed[i] || i == root {
+                continue;
+            }
+            let p = tree.parent(i).expect("non-root");
+            let mut parent = rels[p].clone();
+            let mut child = rels[i].clone();
+            rels[i] = oblivious_semijoin(sess, &mut child, &mut parent);
+            rels[p] = parent;
+        }
+    }
+    (rels, survivors)
+}
+
+/// Bottom-up fold order over the surviving nodes, starting from the
+/// deepest leaf so every prefix of the fold is connected in the tree.
+fn fold_order(query: &SecureQuery, survivors: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = query
+        .tree
+        .top_down()
+        .into_iter()
+        .filter(|i| survivors.contains(i))
+        .collect();
+    // Top-down from the root keeps every prefix connected; the join is
+    // commutative so this is as good as bottom-up and simpler to compute.
+    order.dedup();
+    order
+}
+
+/// Reveal a single relation's real rows (tuples + aggregate values) to the
+/// receiver — the fast path when the reduce phase ends with one node.
+fn reveal_result(
+    sess: &mut Session,
+    rel: &mut SecureRelation,
+    receiver: Role,
+) -> QueryResult {
+    rel.ensure_shared(sess);
+    let n = rel.size;
+    let ell = sess.ring.bits() as usize;
+    let attrs = rel.schema.len();
+    let i_am_receiver = sess.role() == receiver;
+    let owner_is_garbler = rel.owner != receiver;
+    let circuit = reveal_values_circuit(n, ell, attrs, owner_is_garbler);
+    if i_am_receiver {
+        let mut bits = Vec::new();
+        for &s in &rel.annot_shares {
+            bits.extend(u64_to_bits(s, ell));
+        }
+        let out = evaluate_circuit(
+            sess.ch,
+            &circuit,
+            &bits,
+            &mut sess.ot_recv,
+            sess.hasher,
+            OutputMode::RevealToEvaluator,
+        )
+        .expect("reveals to evaluator");
+        let stride = ell + if owner_is_garbler { attrs * 64 } else { 0 };
+        let mut tuples = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            let base = i * stride;
+            let v = bits_to_u64(&out[base..base + ell]);
+            if v == 0 {
+                continue; // dummy or dangling
+            }
+            let tuple = if owner_is_garbler {
+                (0..attrs)
+                    .map(|a| {
+                        bits_to_u64(&out[base + ell + a * 64..base + ell + (a + 1) * 64])
+                    })
+                    .collect()
+            } else {
+                rel.tuples.as_ref().expect("receiver owns tuples")[i].clone()
+            };
+            tuples.push(tuple);
+            values.push(v);
+        }
+        let out_size = tuples.len();
+        QueryResult {
+            schema: rel.schema.clone(),
+            tuples,
+            values,
+            out_size,
+        }
+    } else {
+        // Packing matches the circuit declaration: all v-shares first,
+        // then all tuple words.
+        let mut bits = Vec::new();
+        for &s in &rel.annot_shares {
+            bits.extend(u64_to_bits(s, ell));
+        }
+        if owner_is_garbler {
+            for t in rel.tuples.as_ref().expect("owner side") {
+                for &v in t {
+                    bits.extend(u64_to_bits(v, 64));
+                }
+            }
+        }
+        garble_circuit(
+            sess.ch,
+            &circuit,
+            &bits,
+            &mut sess.ot_send,
+            sess.hasher,
+            &mut sess.rng,
+            OutputMode::RevealToEvaluator,
+        );
+        QueryResult {
+            schema: rel.schema.clone(),
+            tuples: Vec::new(),
+            values: Vec::new(),
+            out_size: 0,
+        }
+    }
+}
+
+/// Per row: the reconstructed aggregate v, and the tuple gated by
+/// `v ≠ 0` when the garbler owns the tuples. Zero-valued rows are
+/// indistinguishable from dummies, exactly as the paper notes (a zero
+/// aggregate contributes nothing to the result).
+fn reveal_values_circuit(n: usize, ell: usize, attrs: usize, owner_is_garbler: bool) -> Circuit {
+    let mut b = Builder::new();
+    let va: Vec<_> = (0..n).map(|_| b.alice_word(ell)).collect();
+    let ta: Vec<Vec<_>> = (0..n)
+        .map(|_| {
+            if owner_is_garbler {
+                (0..attrs).map(|_| b.alice_word(64)).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let vb: Vec<_> = (0..n).map(|_| b.bob_word(ell)).collect();
+    for i in 0..n {
+        let v = b.add_words(&va[i], &vb[i]);
+        b.output_word(&v);
+        if owner_is_garbler {
+            let ind = b.is_nonzero_word(&v);
+            for w in &ta[i] {
+                let gated = b.and_word_bit(w, ind);
+                b.output_word(&gated);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secyan_crypto::{RingCtx, TweakHasher};
+    use secyan_relation::naive::naive_join_aggregate;
+    use secyan_relation::JoinTree;
+    use secyan_transport::run_protocol;
+    use std::collections::HashMap;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Run the secure protocol end-to-end and return the receiver's
+    /// (tuple → value) map, canonicalized over the output schema order.
+    fn run_secure(
+        query: SecureQuery,
+        alice_rels: Vec<Option<Relation<NaturalRing>>>,
+        bob_rels: Vec<Option<Relation<NaturalRing>>>,
+    ) -> (Vec<String>, HashMap<Vec<u64>, u64>) {
+        let q2 = query.clone();
+        let (res, _, _) = run_protocol(
+            move |ch| {
+                let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 101);
+                secure_yannakakis(&mut sess, &query, &alice_rels, Role::Alice)
+            },
+            move |ch| {
+                let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 102);
+                secure_yannakakis(&mut sess, &q2, &bob_rels, Role::Alice)
+            },
+        );
+        let mut map = HashMap::new();
+        for (t, &v) in res.tuples.iter().zip(&res.values) {
+            let prev = map.insert(t.clone(), v);
+            assert!(prev.is_none(), "duplicate output tuple {t:?}");
+        }
+        (res.schema, map)
+    }
+
+    /// Canonicalize a plaintext result against a given schema order.
+    fn expect_map(
+        rels: &[Relation<NaturalRing>],
+        output: &[String],
+        schema: &[String],
+    ) -> HashMap<Vec<u64>, u64> {
+        let want = naive_join_aggregate(rels, output);
+        let pos: Vec<usize> = schema
+            .iter()
+            .map(|a| want.schema.iter().position(|s| s == a).expect("attr"))
+            .collect();
+        want.tuples
+            .iter()
+            .zip(&want.annots)
+            .map(|(t, &v)| (pos.iter().map(|&p| t[p]).collect(), v))
+            .collect()
+    }
+
+    fn example_1_1() -> Vec<Relation<NaturalRing>> {
+        let ring = NaturalRing::paper_default();
+        vec![
+            Relation::from_rows(
+                ring,
+                strings(&["person"]),
+                vec![(vec![1], 80), (vec![2], 50), (vec![3], 70)],
+            ),
+            Relation::from_rows(
+                ring,
+                strings(&["person", "disease"]),
+                vec![
+                    (vec![1, 10], 1000),
+                    (vec![1, 11], 500),
+                    (vec![2, 10], 2000),
+                    (vec![9, 10], 400), // dangling person
+                ],
+            ),
+            Relation::from_rows(
+                ring,
+                strings(&["disease", "class"]),
+                vec![(vec![10, 7], 1), (vec![11, 8], 1), (vec![12, 9], 1)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn example_1_1_end_to_end() {
+        // Alice = insurance (R1, R3), Bob = hospital (R2) — the paper's
+        // exact scenario. The reduce phase collapses the whole chain, so
+        // this exercises the single-survivor reveal path.
+        let rels = example_1_1();
+        let query = SecureQuery::new(
+            vec![
+                strings(&["person"]),
+                strings(&["person", "disease"]),
+                strings(&["disease", "class"]),
+            ],
+            vec![Role::Alice, Role::Bob, Role::Alice],
+            JoinTree::chain(3),
+            strings(&["class"]),
+        );
+        let (schema, got) = run_secure(
+            query,
+            vec![Some(rels[0].clone()), None, Some(rels[2].clone())],
+            vec![None, Some(rels[1].clone()), None],
+        );
+        let want = expect_map(&rels, &strings(&["class"]), &schema);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_join_attribute_full_join_path() {
+        // Output includes attributes from two nodes, so the reduce phase
+        // keeps several survivors and the full-join path runs.
+        let ring = NaturalRing::paper_default();
+        let r1 = Relation::from_rows(
+            ring,
+            strings(&["a", "b"]),
+            vec![(vec![1, 10], 2), (vec![2, 20], 3), (vec![3, 10], 5)],
+        );
+        let r2 = Relation::from_rows(
+            ring,
+            strings(&["b", "c"]),
+            vec![(vec![10, 100], 7), (vec![20, 200], 11), (vec![30, 300], 13)],
+        );
+        let out = strings(&["a", "b", "c"]);
+        let query = SecureQuery::new(
+            vec![strings(&["a", "b"]), strings(&["b", "c"])],
+            vec![Role::Alice, Role::Bob],
+            JoinTree::chain(2),
+            out.clone(),
+        );
+        let (schema, got) = run_secure(
+            query,
+            vec![Some(r1.clone()), None],
+            vec![None, Some(r2.clone())],
+        );
+        let want = expect_map(&[r1, r2], &out, &schema);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn three_relations_with_survivors() {
+        // Chain of 3 with group-by on the two outer join attributes:
+        // exercises reduce + semijoin + full join together.
+        let ring = NaturalRing::paper_default();
+        let r1 = Relation::from_rows(
+            ring,
+            strings(&["a", "b"]),
+            vec![(vec![1, 5], 1), (vec![2, 5], 2), (vec![3, 6], 3), (vec![4, 7], 4)],
+        );
+        let r2 = Relation::from_rows(
+            ring,
+            strings(&["b", "c"]),
+            vec![(vec![5, 8], 10), (vec![6, 9], 20), (vec![6, 8], 30)],
+        );
+        let r3 = Relation::from_rows(
+            ring,
+            strings(&["c", "d"]),
+            vec![(vec![8, 1], 100), (vec![9, 1], 200), (vec![9, 2], 300)],
+        );
+        let out = strings(&["b", "c"]);
+        // Rooted at R2(b,c) so both output attributes' TOPs sit at the
+        // root, witnessing free-connexity.
+        let query = SecureQuery::new(
+            vec![strings(&["a", "b"]), strings(&["b", "c"]), strings(&["c", "d"])],
+            vec![Role::Alice, Role::Bob, Role::Alice],
+            JoinTree::new(vec![Some(1), None, Some(1)]),
+            out.clone(),
+        );
+        let (schema, got) = run_secure(
+            query,
+            vec![Some(r1.clone()), None, Some(r3.clone())],
+            vec![None, Some(r2.clone()), None],
+        );
+        let want = expect_map(&[r1, r2, r3], &out, &schema);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn count_star_scalar_query() {
+        // O = ∅: the secure COUNT(*)-style scalar aggregate.
+        let ring = NaturalRing::paper_default();
+        let r1 = Relation::from_rows(
+            ring,
+            strings(&["a"]),
+            vec![(vec![1], 1), (vec![2], 1), (vec![3], 1)],
+        );
+        let r2 = Relation::from_rows(
+            ring,
+            strings(&["a", "b"]),
+            vec![(vec![1, 1], 1), (vec![1, 2], 1), (vec![3, 1], 1), (vec![4, 4], 1)],
+        );
+        let out: Vec<String> = vec![];
+        let query = SecureQuery::new(
+            vec![strings(&["a"]), strings(&["a", "b"])],
+            vec![Role::Alice, Role::Bob],
+            JoinTree::chain(2),
+            out.clone(),
+        );
+        let (_, got) = run_secure(
+            query,
+            vec![Some(r1.clone()), None],
+            vec![None, Some(r2.clone())],
+        );
+        assert_eq!(got.get(&vec![]), Some(&3));
+    }
+
+    #[test]
+    fn bob_as_receiver_owner_side_reveal() {
+        // The receiver owns the final relation: owner == receiver path.
+        let ring = NaturalRing::paper_default();
+        let r1 = Relation::from_rows(ring, strings(&["a"]), vec![(vec![1], 5), (vec![2], 6)]);
+        let r2 = Relation::from_rows(
+            ring,
+            strings(&["a", "g"]),
+            vec![(vec![1, 77], 10), (vec![2, 88], 100), (vec![2, 77], 1)],
+        );
+        let out = strings(&["g"]);
+        let query = SecureQuery::new(
+            vec![strings(&["a"]), strings(&["a", "g"])],
+            vec![Role::Alice, Role::Bob],
+            JoinTree::chain(2),
+            out.clone(),
+        );
+        let q2 = query.clone();
+        let (_, res, _) = run_protocol(
+            move |ch| {
+                let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 103);
+                secure_yannakakis(
+                    &mut sess,
+                    &query,
+                    &[Some(r1.clone()), None],
+                    Role::Bob,
+                )
+            },
+            move |ch| {
+                let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 104);
+                secure_yannakakis(&mut sess, &q2, &[None, Some(r2.clone())], Role::Bob)
+            },
+        );
+        let mut got: Vec<(Vec<u64>, u64)> = res
+            .tuples
+            .iter()
+            .cloned()
+            .zip(res.values.iter().copied())
+            .collect();
+        got.sort();
+        // g=77: 5·10 + 6·1 = 56; g=88: 6·100 = 600.
+        assert_eq!(got, vec![(vec![77], 56), (vec![88], 600)]);
+    }
+}

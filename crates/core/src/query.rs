@@ -1,0 +1,92 @@
+//! Public query descriptions for the secure protocol.
+
+use secyan_relation::{check_free_connex, Hypergraph, JoinTree};
+use secyan_transport::Role;
+
+/// The public part of a free-connex join-aggregate query: schemas, who
+/// owns which relation, a rooted join tree witnessing free-connexity, and
+/// the output (group-by) attributes. Both parties construct this
+/// identically; only the tuple data is private.
+#[derive(Debug, Clone)]
+pub struct SecureQuery {
+    pub schemas: Vec<Vec<String>>,
+    pub owners: Vec<Role>,
+    pub tree: JoinTree,
+    pub output: Vec<String>,
+}
+
+impl SecureQuery {
+    /// Build and validate a query: the tree must be a join tree of the
+    /// schemas and its rooting must witness free-connexity.
+    pub fn new(
+        schemas: Vec<Vec<String>>,
+        owners: Vec<Role>,
+        tree: JoinTree,
+        output: Vec<String>,
+    ) -> SecureQuery {
+        assert_eq!(schemas.len(), owners.len());
+        assert_eq!(schemas.len(), tree.len());
+        let h = Hypergraph::new(schemas.clone());
+        assert!(
+            check_free_connex(&h, &tree, &output),
+            "query is not free-connex under the supplied join tree"
+        );
+        SecureQuery {
+            schemas,
+            owners,
+            tree,
+            output,
+        }
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True when the query has no relations (never valid once built).
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn example_1_1_validates() {
+        let q = SecureQuery::new(
+            vec![
+                strings(&["person"]),
+                strings(&["person", "disease"]),
+                strings(&["disease", "class"]),
+            ],
+            vec![Role::Alice, Role::Bob, Role::Alice],
+            JoinTree::chain(3),
+            strings(&["class"]),
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not free-connex")]
+    fn bad_rooting_rejected() {
+        // Rooting the chain at R1 puts TOP(person) above TOP(class).
+        let tree = JoinTree::new(vec![None, Some(0), Some(1)]);
+        SecureQuery::new(
+            vec![
+                strings(&["person"]),
+                strings(&["person", "disease"]),
+                strings(&["disease", "class"]),
+            ],
+            vec![Role::Alice, Role::Bob, Role::Alice],
+            tree,
+            strings(&["class"]),
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! The binary field GF(2^64) and polynomial interpolation over it.
+//!
+//! The OPPRF used by circuit PSI (crate `secyan-psi`) programs, per cuckoo
+//! bin, a polynomial "hint" that corrects the sender's OPRF outputs to the
+//! programmed target values. Those hints are polynomials over GF(2^64):
+//! 64-bit outputs give a per-evaluation collision probability of 2^{-64},
+//! comfortably below the paper's statistical security target σ = 40 even
+//! after a union bound over all bins of a 100 MB workload.
+//!
+//! Reduction polynomial: x^64 + x^4 + x^3 + x + 1 (the standard GF(2^64)
+//! pentanomial, 0x1B).
+
+/// Field element of GF(2^64) (coefficients of x^0..x^63).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf64(pub u64);
+
+/// Low 64 bits of the reduction polynomial x^64 + x^4 + x^3 + x + 1.
+const POLY: u64 = 0x1b;
+
+impl Gf64 {
+    /// Additive identity.
+    pub const ZERO: Gf64 = Gf64(0);
+    /// Multiplicative identity.
+    pub const ONE: Gf64 = Gf64(1);
+
+    /// Field addition = XOR.
+    pub fn add(self, rhs: Gf64) -> Gf64 {
+        Gf64(self.0 ^ rhs.0)
+    }
+
+    /// Carry-less multiplication followed by modular reduction.
+    pub fn mul(self, rhs: Gf64) -> Gf64 {
+        let (lo, hi) = clmul(self.0, rhs.0);
+        Gf64(reduce(lo, hi))
+    }
+
+    /// Multiplicative inverse via x^(2^64 − 2) (panics on zero).
+    pub fn inv(self) -> Gf64 {
+        assert_ne!(self.0, 0, "inverse of zero in GF(2^64)");
+        // Square-and-multiply on the fixed exponent 2^64 - 2 =
+        // 0b111...110 (63 ones followed by a zero).
+        let mut acc = Gf64::ONE;
+        let mut base = self;
+        // bit 0 of the exponent is 0: skip one squaring of `base` into acc.
+        base = base.mul(base);
+        for _ in 1..64 {
+            acc = acc.mul(base);
+            base = base.mul(base);
+        }
+        acc
+    }
+}
+
+/// 64×64 carry-less multiply → 128-bit product `(lo, hi)`.
+///
+/// Portable 4-bit windowed implementation (no CLMUL intrinsic dependence).
+fn clmul(a: u64, b: u64) -> (u64, u64) {
+    // Precompute a · w for every 4-bit w as 128-bit values (a·w has at
+    // most 67 bits, kept as (lo, hi)). Built incrementally: each entry is
+    // the XOR of a power-of-two entry and a smaller one.
+    let mut table = [(0u64, 0u64); 16];
+    table[1] = (a, 0);
+    table[2] = (a << 1, a >> 63);
+    table[4] = (a << 2, a >> 62);
+    table[8] = (a << 3, a >> 61);
+    for w in [3usize, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15] {
+        let lowbit = w & w.wrapping_neg();
+        let (l1, h1) = table[lowbit];
+        let (l2, h2) = table[w ^ lowbit];
+        table[w] = (l1 ^ l2, h1 ^ h2);
+    }
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    // Process b in 4-bit windows from the top so a single 4-bit shift of the
+    // accumulator suffices per step.
+    for i in (0..16).rev() {
+        // Shift accumulator left by 4.
+        hi = (hi << 4) | (lo >> 60);
+        lo <<= 4;
+        let w = (b >> (i * 4)) & 0xf;
+        let (tlo, thi) = table[w as usize];
+        lo ^= tlo;
+        hi ^= thi;
+    }
+    (lo, hi)
+}
+
+/// Reduce a 128-bit carry-less product modulo x^64 + x^4 + x^3 + x + 1.
+fn reduce(lo: u64, hi: u64) -> u64 {
+    // x^64 ≡ x^4 + x^3 + x + 1, so fold `hi` down twice (folding can spill
+    // at most 4 bits back above position 64).
+    let (flo, fhi) = clmul(hi, POLY);
+    let lo2 = lo ^ flo;
+    let hi2 = fhi; // ≤ 4 bits
+    let (flo2, _) = clmul(hi2, POLY);
+    lo2 ^ flo2
+}
+
+/// Evaluate a polynomial (coefficients low-degree first) at `x` by Horner.
+pub fn poly_eval(coeffs: &[Gf64], x: Gf64) -> Gf64 {
+    let mut acc = Gf64::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+/// Batch inversion (Montgomery's trick): one field inversion plus 3(n−1)
+/// multiplications for n nonzero elements. Inversion costs ~127 muls, so
+/// this is the difference between O(n²) and O(n) inversions in the
+/// interpolator — the OPPRF hot path.
+pub fn batch_invert(xs: &[Gf64]) -> Vec<Gf64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut prefix = Vec::with_capacity(n);
+    let mut acc = Gf64::ONE;
+    for &x in xs {
+        assert_ne!(x, Gf64::ZERO, "batch_invert of zero");
+        prefix.push(acc);
+        acc = acc.mul(x);
+    }
+    let mut inv_acc = acc.inv();
+    let mut out = vec![Gf64::ZERO; n];
+    for i in (0..n).rev() {
+        out[i] = inv_acc.mul(prefix[i]);
+        inv_acc = inv_acc.mul(xs[i]);
+    }
+    out
+}
+
+/// Interpolate the unique polynomial of degree < n through `points`
+/// (pairwise-distinct x coordinates), returning its coefficients
+/// low-degree first. Newton's divided differences, O(n²) field
+/// multiplications and O(n) inversions (via [`batch_invert`]).
+pub fn poly_interpolate(points: &[(Gf64, Gf64)]) -> Vec<Gf64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Newton coefficients c_k = f[x_0..x_k].
+    let mut table: Vec<Gf64> = points.iter().map(|&(_, y)| y).collect();
+    let mut newton = vec![table[0]];
+    for level in 1..n {
+        let dens: Vec<Gf64> = (0..n - level)
+            .map(|i| {
+                let den = points[i + level].0.add(points[i].0);
+                assert_ne!(den, Gf64::ZERO, "duplicate x coordinate");
+                den
+            })
+            .collect();
+        let invs = batch_invert(&dens);
+        for i in 0..n - level {
+            let num = table[i + 1].add(table[i]); // subtraction == addition
+            table[i] = num.mul(invs[i]);
+        }
+        newton.push(table[0]);
+    }
+    // Expand the Newton form into monomial coefficients:
+    // p(x) = c_0 + (x - x_0)(c_1 + (x - x_1)(c_2 + ...)).
+    let mut coeffs = vec![Gf64::ZERO; n];
+    coeffs[0] = newton[n - 1];
+    let mut deg = 0;
+    for k in (0..n - 1).rev() {
+        // coeffs <- coeffs * (x - x_k) + c_k  ; over GF(2), -x_k == x_k.
+        let xk = points[k].0;
+        deg += 1;
+        for i in (1..=deg).rev() {
+            let lower = coeffs[i - 1];
+            coeffs[i] = coeffs[i].mul(xk).add(lower);
+        }
+        coeffs[0] = coeffs[0].mul(xk).add(newton[k]);
+    }
+    coeffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x+1)(x+1) = x^2 + 1 in GF(2)[x].
+        assert_eq!(clmul(0b11, 0b11), (0b101, 0));
+        // x^63 * x = x^64.
+        assert_eq!(clmul(1 << 63, 0b10), (0, 1));
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = Gf64(rng.gen());
+            let b = Gf64(rng.gen());
+            let c = Gf64(rng.gen());
+            assert_eq!(a.mul(b), b.mul(a));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            assert_eq!(a.mul(Gf64::ONE), a);
+            assert_eq!(a.mul(Gf64::ZERO), Gf64::ZERO);
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let a = Gf64(rng.gen::<u64>() | 1);
+            assert_eq!(a.mul(a.inv()), Gf64::ONE);
+        }
+        assert_eq!(Gf64::ONE.inv(), Gf64::ONE);
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 1..12usize {
+            let coeffs: Vec<Gf64> = (0..n).map(|_| Gf64(rng.gen())).collect();
+            // Distinct x values 1..=n.
+            let points: Vec<(Gf64, Gf64)> = (1..=n as u64)
+                .map(|x| (Gf64(x), poly_eval(&coeffs, Gf64(x))))
+                .collect();
+            let got = poly_interpolate(&points);
+            assert_eq!(got, coeffs, "degree {n}");
+        }
+    }
+
+    #[test]
+    fn interpolation_passes_through_points() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let points: Vec<(Gf64, Gf64)> = (0..20u64)
+            .map(|i| (Gf64(i * 7 + 1), Gf64(rng.gen())))
+            .collect();
+        let coeffs = poly_interpolate(&points);
+        for &(x, y) in &points {
+            assert_eq!(poly_eval(&coeffs, x), y);
+        }
+    }
+
+    #[test]
+    fn batch_invert_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Gf64> = (0..20).map(|_| Gf64(rng.gen::<u64>() | 1)).collect();
+        let got = batch_invert(&xs);
+        for (x, inv) in xs.iter().zip(&got) {
+            assert_eq!(*inv, x.inv());
+        }
+        assert!(batch_invert(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_x_panics() {
+        poly_interpolate(&[(Gf64(1), Gf64(2)), (Gf64(1), Gf64(3))]);
+    }
+}

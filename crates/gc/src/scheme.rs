@@ -1,0 +1,328 @@
+//! The garbling scheme: free-XOR, half-gates, point-and-permute.
+//!
+//! Channel-free: [`garble`] turns a circuit into tables + label metadata on
+//! the garbler side, [`eval`] consumes tables + input labels on the
+//! evaluator side. The two-party protocol in [`crate::protocol`] moves the
+//! bytes.
+
+use rand::Rng;
+use secyan_circuit::{Circuit, Gate};
+use secyan_crypto::{Block, TweakHasher};
+
+/// Garbler-side result of garbling a circuit.
+pub struct Garbling {
+    /// The global free-XOR offset Δ (lsb forced to 1 for point-and-permute).
+    pub delta: Block,
+    /// Zero-label of every input wire, in wire order (Alice inputs first).
+    pub input_zero_labels: Vec<Block>,
+    /// Zero-label of every output wire, in output order.
+    pub output_zero_labels: Vec<Block>,
+    /// Two ciphertexts per AND gate, in gate order.
+    pub tables: Vec<(Block, Block)>,
+}
+
+impl Garbling {
+    /// The label encoding bit `b` on input wire `i`.
+    pub fn input_label(&self, i: usize, b: bool) -> Block {
+        if b {
+            self.input_zero_labels[i] ^ self.delta
+        } else {
+            self.input_zero_labels[i]
+        }
+    }
+
+    /// Decode bits: lsb of each output zero-label. The evaluator XORs these
+    /// with the color bits of its output labels to learn the outputs.
+    pub fn decode_bits(&self) -> Vec<bool> {
+        self.output_zero_labels.iter().map(|l| l.lsb()).collect()
+    }
+
+    /// Decode an output label the evaluator computed back to a cleartext
+    /// bit (garbler-side check; panics on a label that matches neither).
+    pub fn decode_output(&self, idx: usize, label: Block) -> bool {
+        let zero = self.output_zero_labels[idx];
+        if label == zero {
+            false
+        } else if label == zero ^ self.delta {
+            true
+        } else {
+            panic!("output label matches neither candidate")
+        }
+    }
+}
+
+/// Evaluator-side view of the tables (what travels over the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalTables {
+    /// Two ciphertexts per AND gate, in gate order.
+    pub tables: Vec<(Block, Block)>,
+}
+
+impl EvalTables {
+    /// Serialize for the channel: 32 bytes per AND gate.
+    pub fn to_blocks(&self) -> Vec<u128> {
+        self.tables.iter().flat_map(|&(a, b)| [a.0, b.0]).collect()
+    }
+
+    /// Deserialize.
+    pub fn from_blocks(raw: &[u128]) -> EvalTables {
+        assert_eq!(raw.len() % 2, 0);
+        EvalTables {
+            tables: raw
+                .chunks_exact(2)
+                .map(|c| (Block(c[0]), Block(c[1])))
+                .collect(),
+        }
+    }
+}
+
+/// Garble `circuit`, drawing labels from `rng`.
+pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, hasher: TweakHasher, rng: &mut R) -> Garbling {
+    let delta = Block::random(rng).with_lsb(true);
+    let n_in = circuit.alice_inputs + circuit.bob_inputs;
+    let mut zero = vec![Block::ZERO; circuit.num_wires];
+    for z in zero.iter_mut().take(n_in) {
+        *z = Block::random(rng);
+    }
+    let mut tables = Vec::with_capacity(circuit.and_count() as usize);
+    let mut and_idx = 0u64;
+    for g in &circuit.gates {
+        match *g {
+            Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
+            Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
+            Gate::And { a, b, out } => {
+                let (wg, we, tg, te) = garble_and(zero[a], zero[b], delta, hasher, and_idx);
+                tables.push((tg, te));
+                zero[out] = wg ^ we;
+                and_idx += 1;
+            }
+        }
+    }
+    Garbling {
+        delta,
+        input_zero_labels: zero[..n_in].to_vec(),
+        output_zero_labels: circuit.outputs.iter().map(|&o| zero[o]).collect(),
+        tables,
+    }
+}
+
+/// Half-gates garbling of one AND gate. Returns the two halves of the
+/// output zero-label and the two table ciphertexts.
+fn garble_and(
+    wa0: Block,
+    wb0: Block,
+    delta: Block,
+    hasher: TweakHasher,
+    and_idx: u64,
+) -> (Block, Block, Block, Block) {
+    let pa = wa0.lsb();
+    let pb = wb0.lsb();
+    let j_g = 2 * and_idx;
+    let j_e = 2 * and_idx + 1;
+    // Generator half-gate.
+    let h_a0 = hasher.hash(wa0, j_g);
+    let h_a1 = hasher.hash(wa0 ^ delta, j_g);
+    let mut t_g = h_a0 ^ h_a1;
+    if pb {
+        t_g ^= delta;
+    }
+    let mut w_g = h_a0;
+    if pa {
+        w_g ^= t_g;
+    }
+    // Evaluator half-gate.
+    let h_b0 = hasher.hash(wb0, j_e);
+    let h_b1 = hasher.hash(wb0 ^ delta, j_e);
+    let t_e = h_b0 ^ h_b1 ^ wa0;
+    let mut w_e = h_b0;
+    if pb {
+        w_e ^= t_e ^ wa0;
+    }
+    (w_g, w_e, t_g, t_e)
+}
+
+/// Evaluate garbled `circuit` given one label per input wire. Returns one
+/// label per output wire.
+pub fn eval(
+    circuit: &Circuit,
+    tables: &EvalTables,
+    input_labels: &[Block],
+    hasher: TweakHasher,
+) -> Vec<Block> {
+    let n_in = circuit.alice_inputs + circuit.bob_inputs;
+    assert_eq!(input_labels.len(), n_in, "one label per input wire");
+    assert_eq!(tables.tables.len() as u64, circuit.and_count());
+    let mut wires = vec![Block::ZERO; circuit.num_wires];
+    wires[..n_in].copy_from_slice(input_labels);
+    let mut and_idx = 0u64;
+    for g in &circuit.gates {
+        match *g {
+            Gate::Xor { a, b, out } => wires[out] = wires[a] ^ wires[b],
+            // INV is free: the garbler flipped the semantics of the labels.
+            Gate::Inv { a, out } => wires[out] = wires[a],
+            Gate::And { a, b, out } => {
+                let (t_g, t_e) = tables.tables[and_idx as usize];
+                let (wa, wb) = (wires[a], wires[b]);
+                let j_g = 2 * and_idx;
+                let j_e = 2 * and_idx + 1;
+                let mut w_g = hasher.hash(wa, j_g);
+                if wa.lsb() {
+                    w_g ^= t_g;
+                }
+                let mut w_e = hasher.hash(wb, j_e);
+                if wb.lsb() {
+                    w_e ^= t_e ^ wa;
+                }
+                wires[out] = w_g ^ w_e;
+                and_idx += 1;
+            }
+        }
+    }
+    circuit.outputs.iter().map(|&o| wires[o]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_circuit::{bits_to_u64, evaluate as plain_eval, u64_to_bits, Builder};
+
+    /// Garble + evaluate `circuit` on cleartext inputs; compare to plaintext.
+    fn check(circuit: &Circuit, alice: &[bool], bob: &[bool], hasher: TweakHasher, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = garble(circuit, hasher, &mut rng);
+        let labels: Vec<Block> = alice
+            .iter()
+            .chain(bob)
+            .enumerate()
+            .map(|(i, &b)| g.input_label(i, b))
+            .collect();
+        let tables = EvalTables {
+            tables: g.tables.clone(),
+        };
+        let out_labels = eval(circuit, &tables, &labels, hasher);
+        let expect = plain_eval(circuit, alice, bob);
+        // Decode both ways: garbler-side exact check and evaluator-side
+        // color-bit decode.
+        let decode = g.decode_bits();
+        for (i, &lbl) in out_labels.iter().enumerate() {
+            assert_eq!(g.decode_output(i, lbl), expect[i], "garbler decode {i}");
+            assert_eq!(lbl.lsb() ^ decode[i], expect[i], "color decode {i}");
+        }
+    }
+
+    #[test]
+    fn single_gates_exhaustive() {
+        for hasher in [TweakHasher::Sha256, TweakHasher::Fast] {
+            for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+                for op in 0..4 {
+                    let mut b = Builder::new();
+                    let a = b.alice_input();
+                    let c = b.bob_input();
+                    let o = match op {
+                        0 => b.and(a, c),
+                        1 => b.xor(a, c),
+                        2 => b.or(a, c),
+                        _ => {
+                            let n = b.not(a);
+                            b.and(n, c)
+                        }
+                    };
+                    b.output(o);
+                    let circ = b.finish();
+                    check(&circ, &[x], &[y], hasher, 1 + op as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adder_circuit_matches_plaintext() {
+        let mut b = Builder::new();
+        let x = b.alice_word(32);
+        let y = b.bob_word(32);
+        let s = b.add_words(&x, &y);
+        b.output_word(&s);
+        let circ = b.finish();
+        for (x, y) in [(3u64, 5u64), (0xffff_ffff, 1), (123456, 654321)] {
+            check(&circ, &u64_to_bits(x, 32), &u64_to_bits(y, 32), TweakHasher::Sha256, 7);
+        }
+    }
+
+    #[test]
+    fn multiplier_circuit_matches_plaintext() {
+        let mut b = Builder::new();
+        let x = b.alice_word(16);
+        let y = b.bob_word(16);
+        let s = b.mul_words(&x, &y);
+        b.output_word(&s);
+        let circ = b.finish();
+        check(
+            &circ,
+            &u64_to_bits(1234, 16),
+            &u64_to_bits(4321, 16),
+            TweakHasher::Sha256,
+            8,
+        );
+    }
+
+    #[test]
+    fn eval_output_value_via_colors() {
+        // End-to-end decode of a word output using only evaluator knowledge.
+        let mut b = Builder::new();
+        let x = b.alice_word(16);
+        let y = b.bob_word(16);
+        let s = b.sub_words(&x, &y);
+        b.output_word(&s);
+        let circ = b.finish();
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = garble(&circ, TweakHasher::Sha256, &mut rng);
+        let labels: Vec<Block> = u64_to_bits(500, 16)
+            .iter()
+            .chain(&u64_to_bits(123, 16))
+            .enumerate()
+            .map(|(i, &bit)| g.input_label(i, bit))
+            .collect();
+        let outs = eval(
+            &circ,
+            &EvalTables { tables: g.tables.clone() },
+            &labels,
+            TweakHasher::Sha256,
+        );
+        let decode = g.decode_bits();
+        let bits: Vec<bool> = outs
+            .iter()
+            .zip(&decode)
+            .map(|(l, &d)| l.lsb() ^ d)
+            .collect();
+        assert_eq!(bits_to_u64(&bits), 500 - 123);
+    }
+
+    #[test]
+    fn tables_serialize_roundtrip() {
+        let t = EvalTables {
+            tables: vec![(Block(1), Block(2)), (Block(3), Block(4))],
+        };
+        assert_eq!(EvalTables::from_blocks(&t.to_blocks()), t);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_garbled_eq_plaintext(x in 0u64..1<<16, y in 0u64..1<<16, seed: u64) {
+            let mut b = Builder::new();
+            let xw = b.alice_word(16);
+            let yw = b.bob_word(16);
+            let sum = b.add_words(&xw, &yw);
+            let prod = b.mul_words(&xw, &yw);
+            let eqb = b.eq_words(&xw, &yw);
+            let lt = b.lt_words(&xw, &yw);
+            b.output_word(&sum);
+            b.output_word(&prod);
+            b.output(eqb);
+            b.output(lt);
+            let circ = b.finish();
+            check(&circ, &u64_to_bits(x, 16), &u64_to_bits(y, 16), TweakHasher::Sha256, seed);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Yao-to-arithmetic share conversion (paper §5.2) and shared inputs.
+//!
+//! The secure Yannakakis operators feed secret-shared annotations *into*
+//! garbled circuits and need the results back *as shares*, never in the
+//! clear. Two pieces make that work:
+//!
+//! * **Shared inputs** ([`SharedInput`]): a value v = v_A + v_B (mod 2^ℓ)
+//!   enters the circuit as one input word per party; an in-circuit adder
+//!   reconstructs v. This is exactly the paper's
+//!   "(⟦v⟧₁ + ⟦v⟧₂) computed inside the circuit" pattern (Example 5.1).
+//!
+//! * **Shared outputs** ([`with_shared_outputs`] + the run helpers): for
+//!   each output word W the garbler feeds a fresh random mask r as an extra
+//!   input; the circuit reveals W + r (mod 2^ℓ) to the evaluator only.
+//!   The evaluator's share is W + r, the garbler's is −r: a fresh additive
+//!   sharing of W, with neither party learning W. This is the standard
+//!   Yao-share → arithmetic-share conversion the paper cites from ABY.
+
+use rand::Rng;
+use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit, Word};
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_ot::{OtReceiver, OtSender};
+use secyan_transport::Channel;
+
+use crate::protocol::{evaluate_circuit, garble_circuit, OutputMode};
+
+/// A secret-shared ℓ-bit input: one word from each party.
+pub struct SharedInput {
+    a: Word,
+    b: Word,
+}
+
+impl SharedInput {
+    /// Declare the two halves. Must be called during the input-declaration
+    /// phase; Alice halves of all shared inputs come while Alice inputs are
+    /// still being declared.
+    pub fn declare_alice_half(builder: &mut Builder, bits: usize) -> Word {
+        builder.alice_word(bits)
+    }
+
+    /// Declare Bob's half (after all Alice inputs).
+    pub fn declare_bob_half(builder: &mut Builder, bits: usize) -> Word {
+        builder.bob_word(bits)
+    }
+
+    /// Pair two declared halves.
+    pub fn new(a: Word, b: Word) -> SharedInput {
+        assert_eq!(a.bits(), b.bits());
+        SharedInput { a, b }
+    }
+
+    /// Reconstruct the secret inside the circuit (one adder).
+    pub fn reconstruct(&self, builder: &mut Builder) -> Word {
+        builder.add_words(&self.a, &self.b)
+    }
+}
+
+/// Widths of the output words that must leave the circuit as arithmetic
+/// shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedOutputSpec {
+    pub widths: Vec<usize>,
+}
+
+impl SharedOutputSpec {
+    /// Spec for `n` words of `bits` bits each.
+    pub fn uniform(n: usize, bits: usize) -> SharedOutputSpec {
+        SharedOutputSpec {
+            widths: vec![bits; n],
+        }
+    }
+
+    /// Total output bits.
+    pub fn total_bits(&self) -> usize {
+        self.widths.iter().sum()
+    }
+}
+
+/// Build a circuit whose result words leave as arithmetic shares.
+///
+/// `f` declares the circuit's own inputs and computes the result words
+/// (widths must match `spec`). This helper prepends one garbler mask word
+/// per output and appends the mask adders, so the *same* function produces
+/// the identical circuit on both sides.
+pub fn with_shared_outputs(spec: &SharedOutputSpec, f: impl FnOnce(&mut Builder) -> Vec<Word>) -> Circuit {
+    let mut b = Builder::new();
+    let masks: Vec<Word> = spec.widths.iter().map(|&w| b.alice_word(w)).collect();
+    let words = f(&mut b);
+    assert_eq!(words.len(), spec.widths.len(), "output word count");
+    for ((word, mask), &w) in words.iter().zip(&masks).zip(&spec.widths) {
+        assert_eq!(word.bits(), w, "output word width");
+        let masked = b.add_words(word, mask);
+        b.output_word(&masked);
+    }
+    b.finish()
+}
+
+/// Garbler side of a shared-output circuit. `my_inputs` are the bits of the
+/// circuit's own garbler inputs (excluding masks, which this function draws
+/// from `rng`). Returns the garbler's arithmetic shares, one per output
+/// word.
+pub fn garble_shared<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    ot: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+) -> Vec<u64> {
+    let mut mask_bits = Vec::new();
+    let mut shares = Vec::with_capacity(spec.widths.len());
+    for &w in &spec.widths {
+        let ring = RingCtx::new(w as u32);
+        let r = ring.random(rng);
+        mask_bits.extend(u64_to_bits(r, w));
+        shares.push(ring.neg(r));
+    }
+    mask_bits.extend_from_slice(my_inputs);
+    let out = garble_circuit(
+        ch,
+        circuit,
+        &mask_bits,
+        ot,
+        hasher,
+        rng,
+        OutputMode::RevealToEvaluator,
+    );
+    debug_assert!(out.is_none());
+    shares
+}
+
+/// Evaluator side of a shared-output circuit. Returns the evaluator's
+/// arithmetic shares, one per output word.
+pub fn evaluate_shared(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+) -> Vec<u64> {
+    let bits = evaluate_circuit(ch, circuit, my_inputs, ot, hasher, OutputMode::RevealToEvaluator)
+        .expect("shared-output circuits reveal to the evaluator");
+    let mut shares = Vec::with_capacity(spec.widths.len());
+    let mut pos = 0;
+    for &w in &spec.widths {
+        shares.push(bits_to_u64(&bits[pos..pos + w]));
+        pos += w;
+    }
+    debug_assert_eq!(pos, bits.len());
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    /// Circuit: multiply a shared input by a garbler-private factor,
+    /// outputting the product as shares — the §6.2 annotation-product shape.
+    fn product_circuit(bits: usize) -> (Circuit, SharedOutputSpec) {
+        let spec = SharedOutputSpec::uniform(1, bits);
+        let c = with_shared_outputs(&spec, |b| {
+            let factor = b.alice_word(bits);
+            let va = SharedInput::declare_alice_half(b, bits);
+            let vb = SharedInput::declare_bob_half(b, bits);
+            let v = SharedInput::new(va, vb).reconstruct(b);
+            vec![b.mul_words(&v, &factor)]
+        });
+        (c, spec)
+    }
+
+    #[test]
+    fn shared_product_reconstructs() {
+        let bits = 32;
+        let ring = RingCtx::new(32);
+        let mut setup_rng = StdRng::seed_from_u64(42);
+        let secret = 777u64;
+        let factor = 1001u64;
+        let (sa, sb) = ring.share(secret, &mut setup_rng);
+        let (c, spec) = product_circuit(bits);
+        let (c2, spec2) = (c.clone(), spec.clone());
+        let (ga, gb, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut inputs = u64_to_bits(factor, bits);
+                inputs.extend(u64_to_bits(sa, bits));
+                garble_shared(ch, &c, &spec, &inputs, &mut ot, TweakHasher::Sha256, &mut rng)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                evaluate_shared(ch, &c2, &spec2, &u64_to_bits(sb, bits), &mut ot, TweakHasher::Sha256)
+            },
+        );
+        assert_eq!(ring.reconstruct(ga[0], gb[0]), ring.mul(secret, factor));
+        // Individual shares are not the product itself (overwhelmingly).
+        assert_ne!(ga[0], ring.mul(secret, factor));
+    }
+
+    #[test]
+    fn multiple_output_words() {
+        // Two shared outputs of different widths in one circuit.
+        let spec = SharedOutputSpec {
+            widths: vec![16, 8],
+        };
+        let c = with_shared_outputs(&spec, |b| {
+            let x = b.alice_word(16);
+            let y = b.bob_word(8);
+            let y16 = b.resize_word(&y, 16);
+            let sum = b.add_words(&x, &y16);
+            let y2 = b.add_words(&y, &y);
+            vec![sum, y2]
+        });
+        let spec2 = spec.clone();
+        let c2 = c.clone();
+        let (ga, gb, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                garble_shared(
+                    ch,
+                    &c,
+                    &spec,
+                    &u64_to_bits(1000, 16),
+                    &mut ot,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                )
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                evaluate_shared(ch, &c2, &spec2, &u64_to_bits(77, 8), &mut ot, TweakHasher::Sha256)
+            },
+        );
+        let r16 = RingCtx::new(16);
+        let r8 = RingCtx::new(8);
+        assert_eq!(r16.reconstruct(ga[0], gb[0]), 1077);
+        assert_eq!(r8.reconstruct(ga[1], gb[1]), 154);
+    }
+}

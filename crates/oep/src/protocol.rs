@@ -1,0 +1,164 @@
+//! The user-facing OEP protocols (paper §5.4).
+//!
+//! Two flavours:
+//!
+//! * **Plain OEP** — Bob knows the values x₁..x_M in the clear, Alice holds
+//!   ξ : [N] → [M]; they end with fresh shares of x_{ξ(i)}. Direct wrapper
+//!   over the oblivious switching network.
+//! * **Shared OEP** — the values are themselves secret-shared (the usual
+//!   situation for intermediate annotations). Following the paper: run
+//!   plain OEP on Bob's shares, then Alice locally adds her own permuted
+//!   shares; the OSN's fresh masks re-randomize everything, so neither
+//!   party links old and new shares.
+
+use rand::Rng;
+use secyan_crypto::RingCtx;
+use secyan_ot::{OtReceiver, OtSender};
+use secyan_transport::Channel;
+
+use crate::network::EpNetwork;
+use crate::osn::{osn_perm_holder, osn_value_holder};
+
+/// Plain OEP, value-holder side (Bob). Returns Bob's output shares.
+pub fn oep_value_holder<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    values: &[u64],
+    n_out: usize,
+    ring: RingCtx,
+    ot: &mut OtSender,
+    rng: &mut R,
+) -> Vec<u64> {
+    let net = EpNetwork::new(values.len(), n_out);
+    osn_value_holder(ch, &net, values, ring, ot, rng)
+}
+
+/// Plain OEP, permutation-holder side (Alice). `xi[o]` is the input index
+/// feeding output `o`; `n_in` is Bob's (public) vector length. Returns
+/// Alice's output shares.
+pub fn oep_perm_holder(
+    ch: &mut Channel,
+    xi: &[usize],
+    n_in: usize,
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    let net = EpNetwork::new(n_in, xi.len());
+    let routing = net.route(xi);
+    osn_perm_holder(ch, &net, &routing, ring, ot)
+}
+
+/// Shared OEP, permutation-holder side: Alice holds ξ *and* her shares of
+/// the input vector. Returns Alice's shares of the permuted vector.
+pub fn shared_oep_perm_holder(
+    ch: &mut Channel,
+    xi: &[usize],
+    my_shares: &[u64],
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    let fresh = oep_perm_holder(ch, xi, my_shares.len(), ring, ot);
+    // Locally add the permutation of her own shares (she knows ξ).
+    fresh
+        .iter()
+        .zip(xi)
+        .map(|(&f, &src)| ring.add(f, my_shares[src]))
+        .collect()
+}
+
+/// Shared OEP, other side: Bob holds only his shares of the input vector.
+/// Returns Bob's shares of the permuted vector.
+pub fn shared_oep_other<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    my_shares: &[u64],
+    n_out: usize,
+    ring: RingCtx,
+    ot: &mut OtSender,
+    rng: &mut R,
+) -> Vec<u64> {
+    oep_value_holder(ch, my_shares, n_out, ring, ot, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_crypto::TweakHasher;
+    use secyan_transport::run_protocol;
+
+    #[test]
+    fn shared_oep_permutes_the_secret() {
+        let ring = RingCtx::new(32);
+        let mut setup = StdRng::seed_from_u64(1);
+        let secrets: Vec<u64> = (0..12).map(|i| 100 + i).collect();
+        let (alice_in, bob_in) = ring.share_vec(&secrets, &mut setup);
+        let xi = vec![3usize, 3, 0, 11, 7, 7, 7, 2];
+        let xi2 = xi.clone();
+        let (a_out, b_out, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_oep_perm_holder(ch, &xi, &alice_in, ring, &mut ot)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_oep_other(ch, &bob_in, 8, ring, &mut ot, &mut rng)
+            },
+        );
+        let got = ring.reconstruct_vec(&a_out, &b_out);
+        let want: Vec<u64> = xi2.iter().map(|&i| secrets[i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_oep_refreshes_shares() {
+        // Identity permutation must still produce *different* shares
+        // (fresh randomness), per the paper's remark.
+        let ring = RingCtx::new(32);
+        let mut setup = StdRng::seed_from_u64(4);
+        let secrets = vec![5u64, 6, 7];
+        let (alice_in, bob_in) = ring.share_vec(&secrets, &mut setup);
+        let a_in = alice_in.clone();
+        let b_in = bob_in.clone();
+        let (a_out, b_out, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(5);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_oep_perm_holder(ch, &[0, 1, 2], &alice_in, ring, &mut ot)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_oep_other(ch, &bob_in, 3, ring, &mut ot, &mut rng)
+            },
+        );
+        assert_eq!(ring.reconstruct_vec(&a_out, &b_out), secrets);
+        assert_ne!(a_out, a_in);
+        assert_ne!(b_out, b_in);
+    }
+
+    #[test]
+    fn plain_oep_matches_indexing() {
+        let ring = RingCtx::new(16);
+        let values = vec![11u64, 22, 33];
+        let xi = vec![2usize, 0, 2, 1, 1];
+        let v2 = values.clone();
+        let xi2 = xi.clone();
+        let (a_out, b_out, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                oep_perm_holder(ch, &xi, 3, ring, &mut ot)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(8);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                oep_value_holder(ch, &v2, 5, ring, &mut ot, &mut rng)
+            },
+        );
+        let got = ring.reconstruct_vec(&a_out, &b_out);
+        let want: Vec<u64> = xi2.iter().map(|&i| values[i]).collect();
+        assert_eq!(got, want);
+    }
+}

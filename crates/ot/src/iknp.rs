@@ -1,0 +1,344 @@
+//! IKNP oblivious-transfer extension.
+//!
+//! After κ = 128 base OTs (run once per [`OtSender::setup`] /
+//! [`OtReceiver::setup`] pair), any number of 1-out-of-2 OTs cost only
+//! symmetric-key work and one m-bit column message per base OT. The secure
+//! Yannakakis protocol consumes OTs in bulk: garbled-circuit evaluator
+//! inputs, every switch of the oblivious switching network, and the OPPRF
+//! all sit on top of this module.
+//!
+//! Semi-honest IKNP as in the original paper: the receiver's choice bits
+//! are an input (chosen-choice, random-message OT); chosen messages are
+//! layered on by one-time-pad masking.
+
+use rand::Rng;
+use secyan_crypto::transpose::BitMatrix;
+use secyan_crypto::{Block, Prg, TweakHasher};
+use secyan_transport::{Channel, ReadExt, WriteExt};
+
+/// Security parameter κ: number of base OTs / width of the extension
+/// matrix.
+pub const KAPPA: usize = 128;
+
+/// Extension sender: after setup, produces message pairs.
+pub struct OtSender {
+    /// The κ secret choice bits used in the reversed base OTs.
+    s: u128,
+    /// One PRG per column, seeded with the base-OT key `k_{s_i}`.
+    prgs: Vec<Prg>,
+    hasher: TweakHasher,
+    ctr: u64,
+}
+
+/// Extension receiver: after setup, obtains one message per choice bit.
+pub struct OtReceiver {
+    /// PRG pairs per column, seeded with both base-OT keys.
+    prgs: Vec<(Prg, Prg)>,
+    hasher: TweakHasher,
+    ctr: u64,
+}
+
+impl OtSender {
+    /// Bootstrap via base OTs (this side plays base-OT *receiver*).
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> OtSender {
+        let s: u128 = rng.gen();
+        let choices: Vec<bool> = (0..KAPPA).map(|i| s >> i & 1 == 1).collect();
+        let seeds = crate::base::receive(ch, &choices, rng);
+        let prgs = seeds
+            .into_iter()
+            .map(|k| Prg::from_seed(b"iknp-col", k))
+            .collect();
+        OtSender {
+            s,
+            prgs,
+            hasher,
+            ctr: 0,
+        }
+    }
+
+    /// Produce `m` random-message OT instances. The receiver (running
+    /// [`OtReceiver::random`] with its choice bits) learns exactly one
+    /// message of each returned pair.
+    pub fn random(&mut self, ch: &mut Channel, m: usize) -> Vec<(Block, Block)> {
+        if m == 0 {
+            return Vec::new();
+        }
+        let row_bytes = m.div_ceil(8);
+        // Column i of Q: G(k_{s_i}) ⊕ s_i · u_i.
+        let mut q = BitMatrix::zero(KAPPA, m);
+        for i in 0..KAPPA {
+            let mut col = vec![0u8; row_bytes];
+            self.prgs[i].fill(&mut col);
+            let u = ch.recv_bytes(row_bytes);
+            if self.s >> i & 1 == 1 {
+                for (c, &ub) in col.iter_mut().zip(&u) {
+                    *c ^= ub;
+                }
+            }
+            q.row_mut(i).copy_from_slice(&col);
+        }
+        let rows = q.transpose(); // m rows of κ bits
+        let mut out = Vec::with_capacity(m);
+        for j in 0..m {
+            let qj = Block(u128::from_le_bytes(
+                rows.row(j).try_into().expect("κ/8 = 16 bytes"),
+            ));
+            let tweak = self.ctr + j as u64;
+            out.push((
+                self.hasher.hash(qj, tweak),
+                self.hasher.hash(qj ^ Block(self.s), tweak),
+            ));
+        }
+        self.ctr += m as u64;
+        out
+    }
+
+    /// Chosen-message OT on 128-bit messages.
+    pub fn send_blocks(&mut self, ch: &mut Channel, pairs: &[(Block, Block)]) {
+        let pads = self.random(ch, pairs.len());
+        let mut masked = Vec::with_capacity(pairs.len() * 2);
+        for ((m0, m1), (x0, x1)) in pairs.iter().zip(&pads) {
+            masked.push((*m0 ^ *x0).0);
+            masked.push((*m1 ^ *x1).0);
+        }
+        ch.send_u128_slice(&masked);
+    }
+
+    /// Chosen-message OT on equal-length byte strings.
+    pub fn send_bytes(&mut self, ch: &mut Channel, pairs: &[(Vec<u8>, Vec<u8>)]) {
+        let pads = self.random(ch, pairs.len());
+        let mut buf = Vec::new();
+        for ((m0, m1), &(x0, x1)) in pairs.iter().zip(&pads) {
+            assert_eq!(m0.len(), m1.len(), "OT messages must have equal length");
+            buf.extend_from_slice(&mask_bytes(m0, x0));
+            buf.extend_from_slice(&mask_bytes(m1, x1));
+        }
+        ch.send(buf);
+    }
+}
+
+impl OtReceiver {
+    /// Bootstrap via base OTs (this side plays base-OT *sender*).
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> OtReceiver {
+        let pairs = crate::base::send(ch, KAPPA, rng);
+        let prgs = pairs
+            .into_iter()
+            .map(|(k0, k1)| {
+                (
+                    Prg::from_seed(b"iknp-col", k0),
+                    Prg::from_seed(b"iknp-col", k1),
+                )
+            })
+            .collect();
+        OtReceiver {
+            prgs,
+            hasher,
+            ctr: 0,
+        }
+    }
+
+    /// Obtain the message selected by each choice bit (random-message OT).
+    pub fn random(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
+        let m = choices.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let row_bytes = m.div_ceil(8);
+        let mut r_packed = vec![0u8; row_bytes];
+        for (j, &c) in choices.iter().enumerate() {
+            if c {
+                r_packed[j / 8] |= 1 << (j % 8);
+            }
+        }
+        let mut t = BitMatrix::zero(KAPPA, m);
+        for i in 0..KAPPA {
+            let (prg0, prg1) = &mut self.prgs[i];
+            let mut t0 = vec![0u8; row_bytes];
+            prg0.fill(&mut t0);
+            let mut u = vec![0u8; row_bytes];
+            prg1.fill(&mut u);
+            for k in 0..row_bytes {
+                u[k] ^= t0[k] ^ r_packed[k];
+            }
+            ch.send_bytes(&u);
+            t.row_mut(i).copy_from_slice(&t0);
+        }
+        let rows = t.transpose();
+        let out = (0..m)
+            .map(|j| {
+                let tj = Block(u128::from_le_bytes(
+                    rows.row(j).try_into().expect("16 bytes"),
+                ));
+                self.hasher.hash(tj, self.ctr + j as u64)
+            })
+            .collect();
+        self.ctr += m as u64;
+        out
+    }
+
+    /// Receive chosen 128-bit messages.
+    pub fn recv_blocks(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
+        let pads = self.random(ch, choices);
+        let masked = ch.recv_u128_vec(choices.len() * 2);
+        choices
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| Block(masked[2 * j + c as usize]) ^ pads[j])
+            .collect()
+    }
+
+    /// Receive chosen byte-string messages of known length `len`.
+    pub fn recv_bytes(&mut self, ch: &mut Channel, choices: &[bool], len: usize) -> Vec<Vec<u8>> {
+        let pads = self.random(ch, choices);
+        let raw = ch.recv_bytes(choices.len() * 2 * len);
+        choices
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let start = (2 * j + c as usize) * len;
+                mask_bytes(&raw[start..start + len], pads[j])
+            })
+            .collect()
+    }
+}
+
+/// XOR a byte string with the PRG expansion of a pad block.
+fn mask_bytes(msg: &[u8], pad: Block) -> Vec<u8> {
+    let mut stream = vec![0u8; msg.len()];
+    Prg::from_seed(b"ot-pad", pad).fill(&mut stream);
+    msg.iter().zip(&stream).map(|(&a, &b)| a ^ b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    fn run_random(m: usize, seed: u64) -> (Vec<(Block, Block)>, Vec<Block>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let c2 = choices.clone();
+        let (pairs, got, _) = run_protocol(
+            move |ch| {
+                let mut s = OtSender::setup(ch, &mut StdRng::seed_from_u64(seed + 1), TweakHasher::Sha256);
+                s.random(ch, m)
+            },
+            move |ch| {
+                let mut r = OtReceiver::setup(ch, &mut StdRng::seed_from_u64(seed + 2), TweakHasher::Sha256);
+                r.random(ch, &c2)
+            },
+        );
+        (pairs, got, choices)
+    }
+
+    #[test]
+    fn random_ot_delivers_chosen_message() {
+        let (pairs, got, choices) = run_random(100, 10);
+        for j in 0..100 {
+            let (x0, x1) = pairs[j];
+            assert_ne!(x0, x1);
+            assert_eq!(got[j], if choices[j] { x1 } else { x0 }, "instance {j}");
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_eight_sizes() {
+        for m in [1, 7, 9, 63, 65] {
+            let (pairs, got, choices) = run_random(m, 20 + m as u64);
+            for j in 0..m {
+                let (x0, x1) = pairs[j];
+                assert_eq!(got[j], if choices[j] { x1 } else { x0 });
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_extensions_reuse_setup() {
+        let (outs, gots, _) = run_protocol(
+            |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(30), TweakHasher::Sha256);
+                (s.random(ch, 10), s.random(ch, 10))
+            },
+            |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(31), TweakHasher::Sha256);
+                (r.random(ch, &[true; 10]), r.random(ch, &[false; 10]))
+            },
+        );
+        for j in 0..10 {
+            assert_eq!(gots.0[j], outs.0[j].1);
+            assert_eq!(gots.1[j], outs.1[j].0);
+        }
+        // Distinct instances across the two batches.
+        assert_ne!(outs.0, outs.1);
+    }
+
+    #[test]
+    fn chosen_blocks_transfer() {
+        let pairs: Vec<(Block, Block)> = (0..50u128).map(|i| (Block(i), Block(i + 1000))).collect();
+        let p2 = pairs.clone();
+        let choices: Vec<bool> = (0..50).map(|i| i % 3 == 0).collect();
+        let c2 = choices.clone();
+        let (_, got, _) = run_protocol(
+            move |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(40), TweakHasher::Sha256);
+                s.send_blocks(ch, &p2);
+            },
+            move |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(41), TweakHasher::Sha256);
+                r.recv_blocks(ch, &c2)
+            },
+        );
+        for j in 0..50 {
+            let want = if choices[j] { pairs[j].1 } else { pairs[j].0 };
+            assert_eq!(got[j], want);
+        }
+    }
+
+    #[test]
+    fn chosen_bytes_transfer() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20u8).map(|i| (vec![i; 33], vec![i + 100; 33])).collect();
+        let p2 = pairs.clone();
+        let choices: Vec<bool> = (0..20).map(|i| i % 2 == 1).collect();
+        let c2 = choices.clone();
+        let (_, got, _) = run_protocol(
+            move |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(50), TweakHasher::Sha256);
+                s.send_bytes(ch, &p2);
+            },
+            move |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(51), TweakHasher::Sha256);
+                r.recv_bytes(ch, &c2, 33)
+            },
+        );
+        for j in 0..20 {
+            let want = if choices[j] { &pairs[j].1 } else { &pairs[j].0 };
+            assert_eq!(&got[j], want);
+        }
+    }
+
+    #[test]
+    fn fast_hasher_also_works() {
+        let (pairs, got, _) = run_protocol(
+            |ch| {
+                let mut s = OtSender::setup(ch, &mut StdRng::seed_from_u64(60), TweakHasher::Fast);
+                s.random(ch, 16)
+            },
+            |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(61), TweakHasher::Fast);
+                r.random(ch, &[true; 16])
+            },
+        );
+        for j in 0..16 {
+            assert_eq!(got[j], pairs[j].1);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! KKRT batched oblivious PRF (BaRK-OPRF).
+//!
+//! The wide-matrix (w = 512) cousin of IKNP: for a batch of m inputs, the
+//! *receiver* learns F(j, x_j) for its j-th input x_j, while the *sender*
+//! learns a key that lets it evaluate F(j, ·) at arbitrary points. That
+//! asymmetry is exactly what the OPPRF hint construction in circuit PSI
+//! needs (`secyan-psi::opprf`): the sender programs corrections
+//! F(j, y) ⊕ target for each of its own elements y.
+//!
+//! Outputs are truncated to 64 bits so they embed into GF(2^64) for the
+//! polynomial hints; the 2^{-64} collision probability keeps the total
+//! failure probability under the paper's 2^{-σ}, σ = 40, for all workload
+//! sizes used here.
+
+use rand::Rng;
+use secyan_crypto::sha256::{digest_to_u64, Sha256};
+use secyan_crypto::transpose::BitMatrix;
+use secyan_crypto::Prg;
+use secyan_transport::{Channel, ReadExt, WriteExt};
+
+/// Matrix width w: the pseudorandom-code length in bits.
+pub const WIDTH: usize = 512;
+const WIDTH_BYTES: usize = WIDTH / 8;
+
+/// The pseudorandom code C: arbitrary bytes → 512 bits.
+fn code(x: &[u8]) -> [u8; WIDTH_BYTES] {
+    let mut out = [0u8; WIDTH_BYTES];
+    for half in 0..2u8 {
+        let mut h = Sha256::new();
+        h.update(b"kkrt-code");
+        h.update(&[half]);
+        h.update(x);
+        out[half as usize * 32..(half as usize + 1) * 32].copy_from_slice(&h.finalize());
+    }
+    out
+}
+
+/// The output hash: H(j, row) truncated to 64 bits.
+fn out_hash(tweak: u64, row: &[u8; WIDTH_BYTES]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(b"kkrt-out");
+    h.update(&tweak.to_le_bytes());
+    h.update(row);
+    digest_to_u64(&h.finalize())
+}
+
+/// OPRF sender (key holder). Holds the base-OT state; each
+/// [`KkrtSender::key_batch`] call produces a key for one batch.
+pub struct KkrtSender {
+    s: [u8; WIDTH_BYTES],
+    prgs: Vec<Prg>,
+    ctr: u64,
+}
+
+/// OPRF receiver (input holder).
+pub struct KkrtReceiver {
+    prgs: Vec<(Prg, Prg)>,
+    ctr: u64,
+}
+
+/// A batch key: lets the sender evaluate F(j, ·) for each instance j of the
+/// batch.
+pub struct KkrtSenderKey {
+    q_rows: Vec<[u8; WIDTH_BYTES]>,
+    s: [u8; WIDTH_BYTES],
+    base: u64,
+}
+
+impl KkrtSender {
+    /// Bootstrap: run w base OTs as base-OT receiver with secret choices s.
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R) -> KkrtSender {
+        let mut s = [0u8; WIDTH_BYTES];
+        rng.fill(&mut s[..]);
+        let choices: Vec<bool> = (0..WIDTH).map(|i| s[i / 8] >> (i % 8) & 1 == 1).collect();
+        let seeds = crate::base::receive(ch, &choices, rng);
+        let prgs = seeds
+            .into_iter()
+            .map(|k| Prg::from_seed(b"kkrt-col", k))
+            .collect();
+        KkrtSender { s, prgs, ctr: 0 }
+    }
+
+    /// Run one batch of size `m`, obtaining the evaluation key.
+    pub fn key_batch(&mut self, ch: &mut Channel, m: usize) -> KkrtSenderKey {
+        let base = self.ctr;
+        self.ctr += m as u64;
+        if m == 0 {
+            return KkrtSenderKey {
+                q_rows: Vec::new(),
+                s: self.s,
+                base,
+            };
+        }
+        let row_bytes = m.div_ceil(8);
+        let mut q = BitMatrix::zero(WIDTH, m);
+        for i in 0..WIDTH {
+            let mut col = vec![0u8; row_bytes];
+            self.prgs[i].fill(&mut col);
+            let u = ch.recv_bytes(row_bytes);
+            if self.s[i / 8] >> (i % 8) & 1 == 1 {
+                for (c, &ub) in col.iter_mut().zip(&u) {
+                    *c ^= ub;
+                }
+            }
+            q.row_mut(i).copy_from_slice(&col);
+        }
+        let rows = q.transpose();
+        let q_rows = (0..m)
+            .map(|j| {
+                let mut r = [0u8; WIDTH_BYTES];
+                r.copy_from_slice(rows.row(j));
+                r
+            })
+            .collect();
+        KkrtSenderKey {
+            q_rows,
+            s: self.s,
+            base,
+        }
+    }
+}
+
+impl KkrtSenderKey {
+    /// Number of instances in the batch.
+    pub fn len(&self) -> usize {
+        self.q_rows.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q_rows.is_empty()
+    }
+
+    /// Evaluate F(j, y) for arbitrary y.
+    pub fn eval(&self, j: usize, y: &[u8]) -> u64 {
+        let c = code(y);
+        let mut row = self.q_rows[j];
+        for k in 0..WIDTH_BYTES {
+            row[k] ^= c[k] & self.s[k];
+        }
+        out_hash(self.base + j as u64, &row)
+    }
+}
+
+impl KkrtReceiver {
+    /// Bootstrap: run w base OTs as base-OT sender.
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R) -> KkrtReceiver {
+        let pairs = crate::base::send(ch, WIDTH, rng);
+        let prgs = pairs
+            .into_iter()
+            .map(|(k0, k1)| {
+                (
+                    Prg::from_seed(b"kkrt-col", k0),
+                    Prg::from_seed(b"kkrt-col", k1),
+                )
+            })
+            .collect();
+        KkrtReceiver { prgs, ctr: 0 }
+    }
+
+    /// Run one batch on `inputs`, learning F(j, inputs[j]) per instance.
+    pub fn eval_batch(&mut self, ch: &mut Channel, inputs: &[&[u8]]) -> Vec<u64> {
+        let m = inputs.len();
+        let base = self.ctr;
+        self.ctr += m as u64;
+        if m == 0 {
+            return Vec::new();
+        }
+        let row_bytes = m.div_ceil(8);
+        // Code matrix: row j = C(x_j); we need its columns.
+        let codes: Vec<[u8; WIDTH_BYTES]> = inputs.iter().map(|x| code(x)).collect();
+        let mut t = BitMatrix::zero(WIDTH, m);
+        for i in 0..WIDTH {
+            let (prg0, prg1) = &mut self.prgs[i];
+            let mut t0 = vec![0u8; row_bytes];
+            prg0.fill(&mut t0);
+            let mut u = vec![0u8; row_bytes];
+            prg1.fill(&mut u);
+            // u = t0 ⊕ t1 ⊕ c_i (column i of the code matrix).
+            for (j, cj) in codes.iter().enumerate() {
+                if cj[i / 8] >> (i % 8) & 1 == 1 {
+                    u[j / 8] ^= 1 << (j % 8);
+                }
+            }
+            for k in 0..row_bytes {
+                u[k] ^= t0[k];
+            }
+            ch.send_bytes(&u);
+            t.row_mut(i).copy_from_slice(&t0);
+        }
+        let rows = t.transpose();
+        (0..m)
+            .map(|j| {
+                let mut r = [0u8; WIDTH_BYTES];
+                r.copy_from_slice(rows.row(j));
+                out_hash(base + j as u64, &r)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    fn run_batch(inputs: Vec<Vec<u8>>) -> (KkrtSenderKey, Vec<u64>) {
+        let (key, got, _) = run_protocol(
+            |ch| {
+                let mut s = KkrtSender::setup(ch, &mut StdRng::seed_from_u64(1));
+                let m = { ch.recv_u64() as usize };
+                s.key_batch(ch, m)
+            },
+            move |ch| {
+                let mut r = KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(2));
+                ch.send_u64(inputs.len() as u64);
+                let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+                r.eval_batch(ch, &refs)
+            },
+        );
+        (key, got)
+    }
+
+    #[test]
+    fn receiver_output_matches_sender_eval() {
+        let inputs: Vec<Vec<u8>> = (0..40u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let (key, got) = run_batch(inputs.clone());
+        for (j, x) in inputs.iter().enumerate() {
+            assert_eq!(got[j], key.eval(j, x), "instance {j}");
+        }
+    }
+
+    #[test]
+    fn other_points_look_different() {
+        let inputs: Vec<Vec<u8>> = (0..10u64).map(|i| i.to_le_bytes().to_vec()).collect();
+        let (key, got) = run_batch(inputs);
+        // Evaluating at a different point gives a different value.
+        for j in 0..10 {
+            let other = 999u64.to_le_bytes().to_vec();
+            assert_ne!(got[j], key.eval(j, &other));
+        }
+        // Same input under different instance indices differs.
+        assert_ne!(key.eval(0, &0u64.to_le_bytes()), key.eval(1, &0u64.to_le_bytes()));
+    }
+
+    #[test]
+    fn multiple_batches_are_independent() {
+        let (keys, gots, _) = run_protocol(
+            |ch| {
+                let mut s = KkrtSender::setup(ch, &mut StdRng::seed_from_u64(3));
+                (s.key_batch(ch, 5), s.key_batch(ch, 5))
+            },
+            |ch| {
+                let mut r = KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(4));
+                let ins: Vec<Vec<u8>> = (0..5u64).map(|i| i.to_le_bytes().to_vec()).collect();
+                let refs: Vec<&[u8]> = ins.iter().map(|v| v.as_slice()).collect();
+                (r.eval_batch(ch, &refs), r.eval_batch(ch, &refs))
+            },
+        );
+        for j in 0..5 {
+            let x = (j as u64).to_le_bytes();
+            assert_eq!(gots.0[j], keys.0.eval(j, &x));
+            assert_eq!(gots.1[j], keys.1.eval(j, &x));
+            assert_ne!(gots.0[j], gots.1[j], "batches must not collide");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (key, got) = run_batch(vec![]);
+        assert!(key.is_empty());
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Circuit PSI with payloads (paper §5.3).
+//!
+//! Roles (independent of transport roles): the **receiver** holds the set X
+//! being cuckoo-hashed and evaluates the garbled circuit; the **sender**
+//! holds the set Y with one payload per element and garbles. For each bin b
+//! of the receiver's cuckoo table, both parties obtain additive shares of
+//!
+//! * `Ind(x_b ∈ Y)` (as a 0/1 ring element), and
+//! * the payload of the matching y (or 0 when there is no match),
+//!
+//! and nothing else — the intersection itself stays hidden, which is what
+//! lets the paper chain PSI into semijoins (§6.2).
+//!
+//! Sender elements must be distinct: the Yannakakis reduce phase guarantees
+//! this by aggregating before every semijoin.
+
+use rand::Rng;
+use secyan_circuit::{u64_to_bits, Circuit};
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
+use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
+use secyan_transport::{Channel, ReadExt, WriteExt};
+use std::collections::HashMap;
+
+use crate::hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
+use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
+
+/// Per-party result of a circuit PSI: one entry per cuckoo bin.
+#[derive(Debug, Clone)]
+pub struct PsiOutput {
+    /// The receiver's cuckoo table (receiver side only) — needed to map
+    /// bins back to elements downstream.
+    pub cuckoo: Option<CuckooTable>,
+    /// Shares of Ind(x_b ∈ Y) per bin.
+    pub ind_shares: Vec<u64>,
+    /// Shares of the matched payload (0 on no match) per bin.
+    pub payload_shares: Vec<u64>,
+}
+
+/// The public parameters both parties derive identically.
+pub(crate) struct PsiParams {
+    pub bins: usize,
+    pub degree: usize,
+}
+
+pub(crate) fn psi_params(receiver_size: usize, sender_size: usize) -> PsiParams {
+    let bins = bin_count(receiver_size);
+    PsiParams {
+        bins,
+        degree: max_bin_size(sender_size, bins),
+    }
+}
+
+/// The per-bin matching circuit: shares of indicator and payload.
+pub(crate) fn matching_circuit(bins: usize, ell: usize) -> (Circuit, SharedOutputSpec) {
+    let spec = SharedOutputSpec::uniform(2 * bins, ell);
+    let circuit = with_shared_outputs(&spec, |b| {
+        // Garbler (sender): s_b then w_b per bin; evaluator: o_b then p_b.
+        let sw: Vec<_> = (0..bins)
+            .map(|_| (b.alice_word(64), b.alice_word(64)))
+            .collect();
+        let op: Vec<_> = (0..bins)
+            .map(|_| (b.bob_word(64), b.bob_word(64)))
+            .collect();
+        let mut words = Vec::with_capacity(2 * bins);
+        for ((s, w), (o, p)) in sw.iter().zip(&op) {
+            let ind = b.eq_words(o, s);
+            let z64 = b.xor_words(p, w);
+            let z = b.resize_word(&z64, ell);
+            let val = b.and_word_bit(&z, ind);
+            let mut ind_bits = vec![b.constant(false); ell];
+            ind_bits[0] = ind;
+            words.push(secyan_circuit::Word(ind_bits));
+            words.push(val);
+        }
+        words
+    });
+    (circuit, spec)
+}
+
+/// Split the interleaved `[ind, val, ind, val, ...]` share list.
+fn split_shares(shares: Vec<u64>) -> (Vec<u64>, Vec<u64>) {
+    let mut ind = Vec::with_capacity(shares.len() / 2);
+    let mut val = Vec::with_capacity(shares.len() / 2);
+    for pair in shares.chunks_exact(2) {
+        ind.push(pair[0]);
+        val.push(pair[1]);
+    }
+    (ind, val)
+}
+
+/// Agree on a cuckoo/simple-hash seed whose bin loads respect the public
+/// bound. Receiver side; returns the table.
+pub(crate) fn negotiate_cuckoo(
+    ch: &mut Channel,
+    elements: &[u64],
+    params: &PsiParams,
+) -> CuckooTable {
+    let mut seed = 0u64;
+    loop {
+        let table = CuckooTable::build(elements, params.bins, seed);
+        ch.send_u64(table.seed);
+        if ch.recv_u64() == 1 {
+            return table;
+        }
+        seed = table.seed.wrapping_add(1);
+    }
+}
+
+/// Sender side of the seed negotiation; returns the simple-hash table.
+pub(crate) fn negotiate_simple(
+    ch: &mut Channel,
+    elements: &[u64],
+    params: &PsiParams,
+) -> SimpleTable {
+    loop {
+        let seed = ch.recv_u64();
+        let table = SimpleTable::build(elements, params.bins, seed);
+        let ok = table.max_load() <= params.degree;
+        ch.send_u64(ok as u64);
+        if ok {
+            return table;
+        }
+    }
+}
+
+/// Receiver (cuckoo) side of circuit PSI. `elements` must be distinct;
+/// `sender_size` is the public size of the sender's set.
+pub fn psi_receiver(
+    ch: &mut Channel,
+    elements: &[u64],
+    sender_size: usize,
+    ring: RingCtx,
+    kkrt: &mut KkrtReceiver,
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+) -> PsiOutput {
+    let params = psi_params(elements.len(), sender_size);
+    let cuckoo = negotiate_cuckoo(ch, elements, &params);
+    let queries: Vec<PsiItem> = cuckoo
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, slot)| match slot {
+            Some(e) => PsiItem::Real(*e),
+            None => PsiItem::Dummy(b as u64),
+        })
+        .collect();
+    let o = opprf_evaluate(ch, kkrt, &queries, params.degree);
+    let p = opprf_evaluate(ch, kkrt, &queries, params.degree);
+    // The matching circuit: this party evaluates.
+    let (circuit, spec) = matching_circuit(params.bins, ring.bits() as usize);
+    let mut my_bits = Vec::with_capacity(params.bins * 128);
+    for b in 0..params.bins {
+        my_bits.extend(u64_to_bits(o[b], 64));
+        my_bits.extend(u64_to_bits(p[b], 64));
+    }
+    let shares = evaluate_shared(ch, &circuit, &spec, &my_bits, ot, hasher);
+    let (ind_shares, payload_shares) = split_shares(shares);
+    PsiOutput {
+        cuckoo: Some(cuckoo),
+        ind_shares,
+        payload_shares,
+    }
+}
+
+/// Sender side of circuit PSI. `items` are distinct `(element, payload)`
+/// pairs with payloads already reduced into `ring`; `receiver_size` is the
+/// public size of the receiver's set.
+pub fn psi_sender<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    items: &[(u64, u64)],
+    receiver_size: usize,
+    ring: RingCtx,
+    kkrt: &mut KkrtSender,
+    ot: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+) -> PsiOutput {
+    let params = psi_params(receiver_size, items.len());
+    let payload_of: HashMap<u64, u64> = items.iter().copied().collect();
+    assert_eq!(payload_of.len(), items.len(), "sender elements must be distinct");
+    let elements: Vec<u64> = items.iter().map(|&(e, _)| e).collect();
+    let simple = negotiate_simple(ch, &elements, &params);
+    // Membership OPPRF: every element of bin b targets the same random s_b.
+    let s: Vec<u64> = (0..params.bins).map(|_| rng.gen()).collect();
+    let member_prog: Vec<Vec<(u64, u64)>> = simple
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, ys)| ys.iter().map(|&y| (y, s[b])).collect())
+        .collect();
+    opprf_program(ch, kkrt, &member_prog, params.degree, rng);
+    // Payload OPPRF: element y targets payload(y) ⊕ w_b.
+    let w: Vec<u64> = (0..params.bins).map(|_| rng.gen()).collect();
+    let payload_prog: Vec<Vec<(u64, u64)>> = simple
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, ys)| {
+            ys.iter()
+                .map(|&y| (y, payload_of[&y] ^ w[b]))
+                .collect()
+        })
+        .collect();
+    opprf_program(ch, kkrt, &payload_prog, params.degree, rng);
+    // The matching circuit: this party garbles.
+    let (circuit, spec) = matching_circuit(params.bins, ring.bits() as usize);
+    let mut my_bits = Vec::with_capacity(params.bins * 128);
+    for b in 0..params.bins {
+        my_bits.extend(u64_to_bits(s[b], 64));
+        my_bits.extend(u64_to_bits(w[b], 64));
+    }
+    let shares = garble_shared(ch, &circuit, &spec, &my_bits, ot, hasher, rng);
+    let (ind_shares, payload_shares) = split_shares(shares);
+    PsiOutput {
+        cuckoo: None,
+        ind_shares,
+        payload_shares,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    fn run_psi(x: Vec<u64>, y: Vec<(u64, u64)>) -> (PsiOutput, PsiOutput, RingCtx) {
+        let ring = RingCtx::new(32);
+        let x_len = x.len();
+        let y_len = y.len();
+        let (r, s, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(21);
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
+                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                psi_receiver(ch, &x, y_len, ring, &mut kkrt, &mut ot, TweakHasher::Sha256)
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(22);
+                let mut kkrt = KkrtSender::setup(ch, &mut rng);
+                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                psi_sender(
+                    ch,
+                    &y,
+                    x_len,
+                    ring,
+                    &mut kkrt,
+                    &mut ot,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                )
+            },
+        );
+        (r, s, ring)
+    }
+
+    #[test]
+    fn intersection_and_payloads_reconstruct() {
+        let x = vec![1u64, 2, 3, 4, 5];
+        let y = vec![(2u64, 200u64), (4, 400), (6, 600)];
+        let (r, s, ring) = run_psi(x, y);
+        let cuckoo = r.cuckoo.as_ref().unwrap();
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        let val = ring.reconstruct_vec(&r.payload_shares, &s.payload_shares);
+        for (b, slot) in cuckoo.bins.iter().enumerate() {
+            match slot {
+                Some(e) if [2, 4].contains(e) => {
+                    assert_eq!(ind[b], 1, "element {e}");
+                    assert_eq!(val[b], e * 100);
+                }
+                _ => {
+                    assert_eq!(ind[b], 0, "bin {b} slot {slot:?}");
+                    assert_eq!(val[b], 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_yield_all_zero() {
+        let (r, s, ring) = run_psi(vec![1, 2, 3], vec![(7, 70), (8, 80)]);
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        let val = ring.reconstruct_vec(&r.payload_shares, &s.payload_shares);
+        assert!(ind.iter().all(|&v| v == 0));
+        assert!(val.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn full_overlap() {
+        let x = vec![10u64, 11, 12];
+        let y: Vec<(u64, u64)> = x.iter().map(|&e| (e, e + 1000)).collect();
+        let (r, s, ring) = run_psi(x.clone(), y);
+        let cuckoo = r.cuckoo.as_ref().unwrap();
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        let val = ring.reconstruct_vec(&r.payload_shares, &s.payload_shares);
+        let matched: usize = ind.iter().map(|&v| v as usize).sum();
+        assert_eq!(matched, 3);
+        for (b, slot) in cuckoo.bins.iter().enumerate() {
+            if let Some(e) = slot {
+                assert_eq!(val[b], e + 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn shares_alone_look_uninformative() {
+        // Neither share vector should equal the cleartext indicators.
+        let (r, s, ring) = run_psi(vec![1, 2], vec![(1, 10), (2, 20)]);
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        assert_ne!(r.ind_shares, ind);
+        assert_ne!(s.ind_shares, ind);
+    }
+}

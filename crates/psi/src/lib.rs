@@ -1,0 +1,31 @@
+//! Circuit-based private set intersection with payloads (paper §5.3, §5.5).
+//!
+//! The PSI flavour the secure Yannakakis protocol needs is unusual: the
+//! intersection must *not* be revealed. Instead, for each bin of the
+//! receiver's cuckoo table the parties end with secret shares of
+//! `Ind(x_b ∈ Y)` and of the matching payload (or 0). This follows Pinkas
+//! et al.'s circuit-PSI blueprint, which the paper adopted for exactly this
+//! "circuit-friendliness".
+//!
+//! Layers:
+//! * [`hashing`] — cuckoo hashing on the receiver side (3 hash functions,
+//!   B = ⌈1.27·M⌉ bins, per the paper's footnote), simple hashing on the
+//!   sender side, and the public bin-size bound that keeps padding
+//!   oblivious.
+//! * [`opprf`] — oblivious *programmable* PRF: KKRT OPRF plus per-bin
+//!   polynomial hints over GF(2^64).
+//! * [`circuit_psi`] — the §5.3 protocol: membership + payload OPPRFs and
+//!   one garbled circuit turning OPPRF outputs into shares of indicator and
+//!   payload.
+//! * [`shared_payload`] — the §5.5 protocol for payloads that are
+//!   themselves secret-shared, built from two OEPs and a k-index-revealing
+//!   garbled circuit, exactly as the paper constructs it.
+
+pub mod circuit_psi;
+pub mod hashing;
+pub mod opprf;
+pub mod shared_payload;
+
+pub use circuit_psi::{psi_receiver, psi_sender, PsiOutput};
+pub use hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
+pub use shared_payload::{shared_payload_psi_receiver, shared_payload_psi_sender};

@@ -1,0 +1,222 @@
+//! Oblivious programmable PRF (OPPRF).
+//!
+//! The sender *programs* target values: for each bin b and each of his
+//! elements y in that bin, F(b, y) must equal a chosen target t_{b,y};
+//! everywhere else F looks random. The receiver evaluates F at one point
+//! per bin (her cuckoo-placed element) and cannot tell programmed from
+//! random outputs.
+//!
+//! Construction (Pinkas et al., polynomial-hint variant): run a KKRT OPRF
+//! batch keyed per bin, then the sender interpolates, per bin, the
+//! polynomial through (enc(y), t_{b,y} ⊕ OPRF(b, y)) — padded with random
+//! points to the public degree bound — and ships all hint polynomials. The
+//! receiver outputs OPRF(b, x_b) ⊕ hint_b(enc(x_b)).
+
+use rand::Rng;
+use secyan_crypto::gf64::{poly_eval, poly_interpolate, Gf64};
+use secyan_crypto::sha256::{digest_to_u64, Sha256};
+use secyan_ot::{KkrtReceiver, KkrtSender};
+use secyan_transport::{Channel, ReadExt, WriteExt};
+
+/// Encoding of a PSI element as an OPRF input. Real elements and
+/// receiver-side dummies live in disjoint domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsiItem {
+    /// A real element.
+    Real(u64),
+    /// The dummy filling an empty receiver bin (parameterized by the bin
+    /// index so dummies are distinct).
+    Dummy(u64),
+}
+
+impl PsiItem {
+    /// Byte encoding fed to the OPRF.
+    pub fn encode(self) -> [u8; 9] {
+        let mut out = [0u8; 9];
+        match self {
+            PsiItem::Real(v) => {
+                out[0] = 0;
+                out[1..].copy_from_slice(&v.to_le_bytes());
+            }
+            PsiItem::Dummy(b) => {
+                out[0] = 1;
+                out[1..].copy_from_slice(&b.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// Map an element to its interpolation x-coordinate. A salt lets the
+/// sender re-draw on the (≈2^{-64}·pairs) chance of an in-bin collision.
+fn x_coord(salt: u64, item: PsiItem) -> Gf64 {
+    let mut h = Sha256::new();
+    h.update(b"opprf-x");
+    h.update(&salt.to_le_bytes());
+    h.update(&item.encode());
+    Gf64(digest_to_u64(&h.finalize()))
+}
+
+/// Sender side: program one target per (bin, element) pair.
+///
+/// `programs[b]` lists `(element, target)` pairs for bin b; `degree` is the
+/// public per-bin point count (pad bound ≥ every bin's length). Sends the
+/// hints; returns nothing (the targets are the sender's own secrets).
+pub fn opprf_program<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    kkrt: &mut KkrtSender,
+    programs: &[Vec<(u64, u64)>],
+    degree: usize,
+    rng: &mut R,
+) {
+    let bins = programs.len();
+    let key = kkrt.key_batch(ch, bins);
+    // Choose a salt with collision-free x-coordinates in every bin.
+    let (salt, coords) = 'salt: {
+        let mut salt = rng.gen::<u64>();
+        loop {
+            let mut all: Vec<Vec<Gf64>> = Vec::with_capacity(bins);
+            let mut ok = true;
+            for prog in programs {
+                let mut xs: Vec<Gf64> =
+                    prog.iter().map(|&(y, _)| x_coord(salt, PsiItem::Real(y))).collect();
+                let before = xs.len();
+                xs.sort_by_key(|g| g.0);
+                xs.dedup();
+                if xs.len() != before {
+                    ok = false;
+                    break;
+                }
+                all.push(xs);
+            }
+            if ok {
+                break 'salt (salt, all);
+            }
+            salt = salt.wrapping_add(1);
+        }
+    };
+    ch.send_u64(salt);
+    let mut hint_words: Vec<u64> = Vec::with_capacity(bins * degree);
+    for (b, prog) in programs.iter().enumerate() {
+        assert!(
+            prog.len() <= degree,
+            "bin {b} has {} items, exceeding the public bound {degree}",
+            prog.len()
+        );
+        let mut points: Vec<(Gf64, Gf64)> = prog
+            .iter()
+            .map(|&(y, t)| {
+                let f = key.eval(b, &PsiItem::Real(y).encode());
+                (x_coord(salt, PsiItem::Real(y)), Gf64(t ^ f))
+            })
+            .collect();
+        // Pad with random points at fresh x-coordinates.
+        let mut used: Vec<Gf64> = coords[b].clone();
+        while points.len() < degree {
+            let x = Gf64(rng.gen());
+            if used.contains(&x) {
+                continue;
+            }
+            used.push(x);
+            points.push((x, Gf64(rng.gen())));
+        }
+        let coeffs = poly_interpolate(&points);
+        hint_words.extend(coeffs.iter().map(|c| c.0));
+    }
+    ch.send_u64_slice(&hint_words);
+}
+
+/// Receiver side: evaluate F(b, queries[b]) for every bin.
+pub fn opprf_evaluate(
+    ch: &mut Channel,
+    kkrt: &mut KkrtReceiver,
+    queries: &[PsiItem],
+    degree: usize,
+) -> Vec<u64> {
+    let bins = queries.len();
+    let encodings: Vec<[u8; 9]> = queries.iter().map(|q| q.encode()).collect();
+    let refs: Vec<&[u8]> = encodings.iter().map(|e| e.as_slice()).collect();
+    let oprf_out = kkrt.eval_batch(ch, &refs);
+    let salt = ch.recv_u64();
+    let hint_words = ch.recv_u64_vec(bins * degree);
+    queries
+        .iter()
+        .enumerate()
+        .map(|(b, &q)| {
+            let coeffs: Vec<Gf64> = hint_words[b * degree..(b + 1) * degree]
+                .iter()
+                .map(|&w| Gf64(w))
+                .collect();
+            oprf_out[b] ^ poly_eval(&coeffs, x_coord(salt, q)).0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    fn run_opprf(
+        programs: Vec<Vec<(u64, u64)>>,
+        queries: Vec<PsiItem>,
+        degree: usize,
+    ) -> Vec<u64> {
+        let (_, out, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let mut kkrt = KkrtSender::setup(ch, &mut rng);
+                opprf_program(ch, &mut kkrt, &programs, degree, &mut rng);
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(12);
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
+                opprf_evaluate(ch, &mut kkrt, &queries, degree)
+            },
+        );
+        out
+    }
+
+    #[test]
+    fn programmed_points_hit_targets() {
+        let programs = vec![
+            vec![(10, 111), (20, 222)],
+            vec![(30, 333)],
+            vec![],
+            vec![(40, 444), (50, 555), (60, 666)],
+        ];
+        let queries = vec![
+            PsiItem::Real(20),
+            PsiItem::Real(30),
+            PsiItem::Dummy(2),
+            PsiItem::Real(50),
+        ];
+        let out = run_opprf(programs, queries, 4);
+        assert_eq!(out[0], 222);
+        assert_eq!(out[1], 333);
+        assert_eq!(out[3], 555);
+    }
+
+    #[test]
+    fn unprogrammed_points_miss() {
+        let programs = vec![vec![(10, 111)], vec![(20, 222)]];
+        let queries = vec![PsiItem::Real(99), PsiItem::Dummy(1)];
+        let out = run_opprf(programs, queries, 2);
+        assert_ne!(out[0], 111);
+        assert_ne!(out[1], 222);
+    }
+
+    #[test]
+    fn same_element_in_different_bins() {
+        // The per-bin KKRT instance separates identical inputs across bins.
+        let programs = vec![vec![(7, 1)], vec![(7, 2)]];
+        let out = run_opprf(
+            programs,
+            vec![PsiItem::Real(7), PsiItem::Real(7)],
+            1,
+        );
+        assert_eq!(out, vec![1, 2]);
+    }
+}

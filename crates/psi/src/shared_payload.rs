@@ -1,0 +1,320 @@
+//! PSI with **secret-shared** payloads (paper §5.5).
+//!
+//! In the middle of a query plan the payloads (annotations) no longer
+//! belong to either party — they exist only as additive shares. The paper's
+//! construction, reproduced here exactly:
+//!
+//! 1. extend the N payload shares to N+B with zeros (locally);
+//! 2. the sender draws a random permutation ξ₁ of [N+B]; one **shared OEP**
+//!    re-randomizes and permutes the shares to z'_j = z_{ξ₁(j)};
+//! 3. run the OPPRFs of circuit PSI, but the programmed payload of y_j is
+//!    the *index* ξ₁⁻¹(j);
+//! 4. a garbled circuit reveals, per bin b, k_b = ξ₁⁻¹(j) on a match and
+//!    k_b = ξ₁⁻¹(N+b) otherwise — a uniformly random set of distinct
+//!    indices either way, so the receiver learns nothing — plus shares of
+//!    the indicator;
+//! 5. the receiver uses ξ₂(b) = k_b in a second **shared OEP**, landing the
+//!    parties on fresh shares of the matched payload (or of the zero
+//!    padding).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit, Word};
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_gc::{evaluate_circuit, garble_circuit, OutputMode};
+use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
+use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
+use secyan_transport::Channel;
+use std::collections::HashMap;
+
+use crate::circuit_psi::{negotiate_cuckoo, negotiate_simple, psi_params, PsiOutput};
+use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
+
+/// The k-index circuit: per bin, shares of the indicator plus the routing
+/// index k_b in the clear (toward the evaluator = PSI receiver).
+fn k_circuit(bins: usize, ell: usize) -> Circuit {
+    let mut b = Builder::new();
+    // Garbler (= PSI sender): per-bin indicator masks, then s, w, d.
+    let masks: Vec<Word> = (0..bins).map(|_| b.alice_word(ell)).collect();
+    let swd: Vec<(Word, Word, Word)> = (0..bins)
+        .map(|_| (b.alice_word(64), b.alice_word(64), b.alice_word(64)))
+        .collect();
+    // Evaluator (= PSI receiver): per-bin o, p.
+    let op: Vec<(Word, Word)> = (0..bins)
+        .map(|_| (b.bob_word(64), b.bob_word(64)))
+        .collect();
+    let mut masked_inds = Vec::with_capacity(bins);
+    let mut ks = Vec::with_capacity(bins);
+    for (((s, w, d), (o, p)), mask) in swd.iter().zip(&op).zip(&masks) {
+        let ind = b.eq_words(o, s);
+        let mut ind_bits = vec![b.constant(false); ell];
+        ind_bits[0] = ind;
+        let ind_word = Word(ind_bits);
+        masked_inds.push(b.add_words(&ind_word, mask));
+        let unmasked = b.xor_words(p, w);
+        ks.push(b.mux_words(ind, &unmasked, d));
+    }
+    for m in &masked_inds {
+        b.output_word(m);
+    }
+    for k in &ks {
+        b.output_word(k);
+    }
+    b.finish()
+}
+
+/// Receiver side (the cuckoo/X holder; also holds shares of the sender's
+/// payload vector). `my_payload_shares.len()` is the sender's public set
+/// size. Returns per-bin shares of indicator and payload.
+#[allow(clippy::too_many_arguments)]
+pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    elements: &[u64],
+    my_payload_shares: &[u64],
+    ring: RingCtx,
+    kkrt: &mut KkrtReceiver,
+    ot_recv: &mut OtReceiver,
+    ot_send: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+) -> PsiOutput {
+    let n = my_payload_shares.len();
+    let params = psi_params(elements.len(), n);
+    let bins = params.bins;
+    // Step 1–2: extend shares with B zeros; shared OEP under the sender's ξ₁.
+    let mut ext = my_payload_shares.to_vec();
+    ext.resize(n + bins, 0);
+    let zprime_shares = shared_oep_other(ch, &ext, n + bins, ring, ot_send, rng);
+    // Step 3: binning + OPPRFs.
+    let cuckoo = negotiate_cuckoo(ch, elements, &params);
+    let queries: Vec<PsiItem> = cuckoo
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, slot)| match slot {
+            Some(e) => PsiItem::Real(*e),
+            None => PsiItem::Dummy(b as u64),
+        })
+        .collect();
+    let o = opprf_evaluate(ch, kkrt, &queries, params.degree);
+    let p = opprf_evaluate(ch, kkrt, &queries, params.degree);
+    // Step 4: evaluate the k circuit.
+    let circuit = k_circuit(bins, ring.bits() as usize);
+    let mut my_bits = Vec::with_capacity(bins * 128);
+    for b in 0..bins {
+        my_bits.extend(u64_to_bits(o[b], 64));
+        my_bits.extend(u64_to_bits(p[b], 64));
+    }
+    let out_bits = evaluate_circuit(
+        ch,
+        &circuit,
+        &my_bits,
+        ot_recv,
+        hasher,
+        OutputMode::RevealToEvaluator,
+    )
+    .expect("k circuit reveals to evaluator");
+    let ell = ring.bits() as usize;
+    let ind_shares: Vec<u64> = (0..bins)
+        .map(|b| bits_to_u64(&out_bits[b * ell..(b + 1) * ell]))
+        .collect();
+    let k_base = bins * ell;
+    let ks: Vec<usize> = (0..bins)
+        .map(|b| bits_to_u64(&out_bits[k_base + b * 64..k_base + (b + 1) * 64]) as usize)
+        .collect();
+    for &k in &ks {
+        assert!(k < n + bins, "k index out of range: corrupted transcript");
+    }
+    // Step 5: second shared OEP with ξ₂ = k.
+    let payload_shares = shared_oep_perm_holder(ch, &ks, &zprime_shares, ring, ot_recv);
+    PsiOutput {
+        cuckoo: Some(cuckoo),
+        ind_shares,
+        payload_shares,
+    }
+}
+
+/// Sender side (the Y holder; also holds shares of his own payload vector,
+/// aligned by index with `elements`). `receiver_size` is public.
+#[allow(clippy::too_many_arguments)]
+pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    elements: &[u64],
+    receiver_size: usize,
+    my_payload_shares: &[u64],
+    ring: RingCtx,
+    kkrt: &mut KkrtSender,
+    ot_send: &mut OtSender,
+    ot_recv: &mut OtReceiver,
+    hasher: TweakHasher,
+    rng: &mut R,
+) -> PsiOutput {
+    let n = elements.len();
+    assert_eq!(my_payload_shares.len(), n);
+    let index_of: HashMap<u64, usize> = elements
+        .iter()
+        .enumerate()
+        .map(|(j, &e)| (e, j))
+        .collect();
+    assert_eq!(index_of.len(), n, "sender elements must be distinct");
+    let params = psi_params(receiver_size, n);
+    let bins = params.bins;
+    // Steps 1–2: ξ₁ and the first shared OEP (this side holds ξ₁).
+    let mut xi1: Vec<usize> = (0..n + bins).collect();
+    xi1.shuffle(rng);
+    let mut xi1_inv = vec![0usize; n + bins];
+    for (j, &v) in xi1.iter().enumerate() {
+        xi1_inv[v] = j;
+    }
+    let mut ext = my_payload_shares.to_vec();
+    ext.resize(n + bins, 0);
+    let zprime_shares = shared_oep_perm_holder(ch, &xi1, &ext, ring, ot_recv);
+    // Step 3: binning + OPPRFs.
+    let simple = negotiate_simple(ch, elements, &params);
+    let s: Vec<u64> = (0..bins).map(|_| rng.gen()).collect();
+    let member_prog: Vec<Vec<(u64, u64)>> = simple
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, ys)| ys.iter().map(|&y| (y, s[b])).collect())
+        .collect();
+    opprf_program(ch, kkrt, &member_prog, params.degree, rng);
+    let w: Vec<u64> = (0..bins).map(|_| rng.gen()).collect();
+    let index_prog: Vec<Vec<(u64, u64)>> = simple
+        .bins
+        .iter()
+        .enumerate()
+        .map(|(b, ys)| {
+            ys.iter()
+                .map(|&y| (y, xi1_inv[index_of[&y]] as u64 ^ w[b]))
+                .collect()
+        })
+        .collect();
+    opprf_program(ch, kkrt, &index_prog, params.degree, rng);
+    // Step 4: garble the k circuit; collect the indicator-mask shares.
+    let circuit = k_circuit(bins, ring.bits() as usize);
+    let mut ind_shares = Vec::with_capacity(bins);
+    let mut my_bits = Vec::new();
+    let mut swd_bits = Vec::new();
+    for b in 0..bins {
+        let r = ring.random(rng);
+        ind_shares.push(ring.neg(r));
+        my_bits.extend(u64_to_bits(r, ring.bits() as usize));
+        swd_bits.extend(u64_to_bits(s[b], 64));
+        swd_bits.extend(u64_to_bits(w[b], 64));
+        swd_bits.extend(u64_to_bits(xi1_inv[n + b] as u64, 64));
+    }
+    my_bits.extend(swd_bits);
+    let out = garble_circuit(
+        ch,
+        &circuit,
+        &my_bits,
+        ot_send,
+        hasher,
+        rng,
+        OutputMode::RevealToEvaluator,
+    );
+    debug_assert!(out.is_none());
+    // Step 5: second shared OEP (receiver holds ξ₂).
+    let payload_shares = shared_oep_other(ch, &zprime_shares, bins, ring, ot_send, rng);
+    PsiOutput {
+        cuckoo: None,
+        ind_shares,
+        payload_shares,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use secyan_transport::run_protocol;
+
+    fn run(
+        x: Vec<u64>,
+        y: Vec<u64>,
+        payloads: Vec<u64>,
+    ) -> (PsiOutput, PsiOutput, RingCtx) {
+        let ring = RingCtx::new(32);
+        let mut setup = StdRng::seed_from_u64(31);
+        let (recv_sh, send_sh) = ring.share_vec(&payloads, &mut setup);
+        let x_len = x.len();
+        let (r, s, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(32);
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
+                let mut ot_r = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot_s = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_payload_psi_receiver(
+                    ch,
+                    &x,
+                    &recv_sh,
+                    ring,
+                    &mut kkrt,
+                    &mut ot_r,
+                    &mut ot_s,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                )
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(33);
+                let mut kkrt = KkrtSender::setup(ch, &mut rng);
+                // Setup order must complement the receiver's: their
+                // OtReceiver pairs with our OtSender and vice versa.
+                let mut ot_s = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot_r = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                shared_payload_psi_sender(
+                    ch,
+                    &y,
+                    x_len,
+                    &send_sh,
+                    ring,
+                    &mut kkrt,
+                    &mut ot_s,
+                    &mut ot_r,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                )
+            },
+        );
+        (r, s, ring)
+    }
+
+    #[test]
+    fn shared_payloads_land_in_matching_bins() {
+        let x = vec![1u64, 2, 3, 4, 5, 6];
+        let y = vec![2u64, 4, 9];
+        let payloads = vec![222u64, 444, 999];
+        let (r, s, ring) = run(x, y, payloads);
+        let cuckoo = r.cuckoo.as_ref().unwrap();
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        let val = ring.reconstruct_vec(&r.payload_shares, &s.payload_shares);
+        for (b, slot) in cuckoo.bins.iter().enumerate() {
+            match slot {
+                Some(2) => {
+                    assert_eq!(ind[b], 1);
+                    assert_eq!(val[b], 222);
+                }
+                Some(4) => {
+                    assert_eq!(ind[b], 1);
+                    assert_eq!(val[b], 444);
+                }
+                _ => {
+                    assert_eq!(ind[b], 0, "bin {b}");
+                    assert_eq!(val[b], 0, "bin {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_matches_all_zero() {
+        let (r, s, ring) = run(vec![1, 2, 3], vec![7, 8], vec![70, 80]);
+        let ind = ring.reconstruct_vec(&r.ind_shares, &s.ind_shares);
+        let val = ring.reconstruct_vec(&r.payload_shares, &s.payload_shares);
+        assert!(ind.iter().all(|&v| v == 0));
+        assert!(val.iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,296 @@
+//! Query hypergraphs: acyclicity and the free-connex property (§3.1).
+//!
+//! A join query is a hypergraph whose vertices are attributes and whose
+//! hyperedges are relation schemas. It is *acyclic* iff it has a join tree;
+//! we find one via the classical maximal-spanning-tree characterization
+//! (Bernstein–Goodman): weight every relation pair by the size of its
+//! shared attribute set, take a maximum spanning tree, and verify the
+//! running-intersection property.
+//!
+//! Free-connexity (condition (2) of §3.1) is checked per candidate root:
+//! for output attribute A and non-output attribute B, TOP(B) must not be a
+//! strict ancestor of TOP(A). [`find_free_connex_tree`] searches all roots
+//! of the discovered join tree; callers with handcrafted trees (the TPC-H
+//! queries ship theirs) can validate them with [`check_free_connex`].
+
+use crate::tree::JoinTree;
+use std::collections::HashSet;
+
+/// A query hypergraph: one attribute-name set per relation.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    pub edges: Vec<Vec<String>>,
+}
+
+impl Hypergraph {
+    /// Build from relation schemas.
+    pub fn new(edges: Vec<Vec<String>>) -> Hypergraph {
+        Hypergraph { edges }
+    }
+
+    /// All attributes.
+    pub fn attributes(&self) -> HashSet<String> {
+        self.edges.iter().flatten().cloned().collect()
+    }
+
+    fn shared(&self, i: usize, j: usize) -> usize {
+        self.edges[i]
+            .iter()
+            .filter(|a| self.edges[j].contains(a))
+            .count()
+    }
+}
+
+/// Find a join tree for an acyclic hypergraph (None if cyclic). The root
+/// of the returned tree is arbitrary; use [`find_free_connex_tree`] when a
+/// specific rooting is required.
+pub fn find_join_tree(h: &Hypergraph) -> Option<JoinTree> {
+    let n = h.edges.len();
+    if n == 0 {
+        return None;
+    }
+    // Prim's algorithm for a maximum spanning tree on the intersection
+    // graph (edges of weight 0 still connect: cartesian products are
+    // acyclic too).
+    let mut in_tree = vec![false; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut best: Vec<(usize, usize)> = (0..n).map(|i| (h.shared(i, 0), 0)).collect();
+    in_tree[0] = true;
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&i| !in_tree[i])
+            .max_by_key(|&i| best[i].0)
+            .expect("nodes remain");
+        in_tree[next] = true;
+        parent[next] = Some(best[next].1);
+        for i in 0..n {
+            if !in_tree[i] {
+                let w = h.shared(i, next);
+                if w > best[i].0 {
+                    best[i] = (w, next);
+                }
+            }
+        }
+    }
+    let tree = JoinTree::new(parent);
+    if satisfies_running_intersection(h, &tree) {
+        Some(tree)
+    } else {
+        None
+    }
+}
+
+/// Running-intersection property: for every attribute, the nodes containing
+/// it induce a connected subtree.
+pub fn satisfies_running_intersection(h: &Hypergraph, tree: &JoinTree) -> bool {
+    for attr in h.attributes() {
+        let holders: Vec<usize> = (0..h.edges.len())
+            .filter(|&i| h.edges[i].contains(&attr))
+            .collect();
+        // Walk each holder toward the root; the attribute must persist
+        // along the path until the subtree's top holder.
+        let top = top_node(h, tree, &attr).expect("attribute has a holder");
+        for &v in &holders {
+            let mut cur = v;
+            while cur != top {
+                match tree.parent(cur) {
+                    Some(p) => {
+                        if !h.edges[p].contains(&attr) {
+                            return false;
+                        }
+                        cur = p;
+                    }
+                    None => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// TOP(attr): the holder of `attr` closest to the root (unique under
+/// running intersection; for violating trees returns the closest holder).
+fn top_node(h: &Hypergraph, tree: &JoinTree, attr: &str) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (depth, node)
+    for i in 0..h.edges.len() {
+        if h.edges[i].iter().any(|a| a == attr) {
+            let mut depth = 0;
+            let mut cur = i;
+            while let Some(p) = tree.parent(cur) {
+                depth += 1;
+                cur = p;
+            }
+            if best.map_or(true, |(d, _)| depth < d) {
+                best = Some((depth, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Check condition (2) of the free-connex definition for a concrete rooted
+/// tree: no TOP(non-output) is a strict ancestor of a TOP(output).
+pub fn check_free_connex(h: &Hypergraph, tree: &JoinTree, output: &[String]) -> bool {
+    if !satisfies_running_intersection(h, tree) {
+        return false;
+    }
+    let attrs = h.attributes();
+    let out_set: HashSet<&String> = output.iter().collect();
+    let out_tops: Vec<usize> = attrs
+        .iter()
+        .filter(|a| out_set.contains(a))
+        .filter_map(|a| top_node(h, tree, a))
+        .collect();
+    let non_out_tops: Vec<usize> = attrs
+        .iter()
+        .filter(|a| !out_set.contains(a))
+        .filter_map(|a| top_node(h, tree, a))
+        .collect();
+    for &b in &non_out_tops {
+        for &a in &out_tops {
+            if tree.is_strict_ancestor(b, a) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Re-root an (undirected view of a) join tree at `root`.
+fn reroot(tree: &JoinTree, root: usize) -> JoinTree {
+    let n = tree.len();
+    // Undirected adjacency.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        if let Some(p) = tree.parent(i) {
+            adj[i].push(p);
+            adj[p].push(i);
+        }
+    }
+    let mut parent = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root] = true;
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v] {
+            if !visited[w] {
+                visited[w] = true;
+                parent[w] = Some(v);
+                stack.push(w);
+            }
+        }
+    }
+    JoinTree::new(parent)
+}
+
+/// Find a join tree witnessing free-connexity, searching over all rootings
+/// of the discovered join tree. Returns None if the hypergraph is cyclic
+/// or no rooting of that tree satisfies condition (2) — callers may still
+/// supply a handcrafted tree and validate via [`check_free_connex`].
+pub fn find_free_connex_tree(h: &Hypergraph, output: &[String]) -> Option<JoinTree> {
+    let base = find_join_tree(h)?;
+    for root in 0..base.len() {
+        let candidate = reroot(&base, root);
+        if check_free_connex(h, &candidate, output) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hg(edges: &[&[&str]]) -> Hypergraph {
+        Hypergraph::new(
+            edges
+                .iter()
+                .map(|e| e.iter().map(|s| s.to_string()).collect())
+                .collect(),
+        )
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn chain_query_is_acyclic() {
+        // Example 1.1: R1(person, coins, state), R2(person, disease, cost),
+        // R3(disease, class).
+        let h = hg(&[
+            &["person", "coins", "state"],
+            &["person", "disease", "cost"],
+            &["disease", "class"],
+        ]);
+        let t = find_join_tree(&h).expect("acyclic");
+        assert!(satisfies_running_intersection(&h, &t));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let h = hg(&[&["a", "b"], &["b", "c"], &["a", "c"]]);
+        assert!(find_join_tree(&h).is_none());
+    }
+
+    #[test]
+    fn example_1_1_is_free_connex_for_class() {
+        let h = hg(&[
+            &["person", "coins", "state"],
+            &["person", "disease", "cost"],
+            &["disease", "class"],
+        ]);
+        let t = find_free_connex_tree(&h, &strings(&["class"])).expect("free-connex");
+        // The witnessing root must be R3 (index 2), per the paper.
+        assert_eq!(t.root(), 2);
+    }
+
+    #[test]
+    fn figure_1_query_is_free_connex() {
+        // Figure 1 (reconstructed from Example 3.2's reduce/semijoin
+        // trace): R1(A,B), R2(A,C), R3(B,D,E), R4(D,F,G), R5(D,E),
+        // output {B, D, E, F}.
+        let h = hg(&[
+            &["A", "B"],
+            &["A", "C"],
+            &["B", "D", "E"],
+            &["D", "F", "G"],
+            &["D", "E"],
+        ]);
+        let out = strings(&["B", "D", "E", "F"]);
+        let t = find_free_connex_tree(&h, &out).expect("paper says free-connex");
+        assert!(check_free_connex(&h, &t, &out));
+    }
+
+    #[test]
+    fn group_by_everything_is_free_connex() {
+        let h = hg(&[&["a", "b"], &["b", "c"]]);
+        assert!(find_free_connex_tree(&h, &strings(&["a", "b", "c"])).is_some());
+    }
+
+    #[test]
+    fn full_aggregation_is_free_connex() {
+        // O = ∅ always satisfies condition (2).
+        let h = hg(&[&["a", "b"], &["b", "c"], &["c", "d"]]);
+        assert!(find_free_connex_tree(&h, &[]).is_some());
+    }
+
+    #[test]
+    fn non_free_connex_example() {
+        // Example 1.1 variant: group by {class, coins} is NOT free-connex,
+        // per the paper.
+        let h = hg(&[
+            &["person", "coins", "state"],
+            &["person", "disease", "cost"],
+            &["disease", "class"],
+        ]);
+        assert!(find_free_connex_tree(&h, &strings(&["class", "coins"])).is_none());
+    }
+
+    #[test]
+    fn cartesian_product_has_a_tree() {
+        let h = hg(&[&["a"], &["b"]]);
+        assert!(find_join_tree(&h).is_some());
+    }
+}

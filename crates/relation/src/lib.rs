@@ -1,0 +1,29 @@
+//! Annotated relations and the plaintext Yannakakis algorithm (paper §3).
+//!
+//! Everything in this crate is *non-private*: it is (a) the data model the
+//! secure protocol operates on, (b) the query-plan layer (hypergraphs, join
+//! trees, the free-connex property), (c) the modified 3-phase Yannakakis
+//! algorithm of §3.2 that the secure protocol mirrors step for step, and
+//! (d) a brute-force join-aggregate oracle used to cross-check everything.
+//!
+//! It also plays the role MySQL plays in the paper's figures: the
+//! non-private baseline whose running time the secure protocol is compared
+//! against.
+//!
+//! Attribute values are dictionary-encoded `u64`s; annotations live in a
+//! pluggable [`Semiring`] — the paper's framework from Green et al., with
+//! the arithmetic ring Z_{2^ℓ} used by the secure layer, the boolean
+//! semiring used by π¹, and a couple of extras exercised in tests.
+
+pub mod hypergraph;
+pub mod naive;
+pub mod relation;
+pub mod semiring;
+pub mod tree;
+pub mod yannakakis;
+
+pub use hypergraph::{check_free_connex, find_free_connex_tree, find_join_tree, Hypergraph};
+pub use relation::Relation;
+pub use semiring::{BoolSemiring, CountSemiring, MinPlus, NaturalRing, Semiring};
+pub use tree::JoinTree;
+pub use yannakakis::yannakakis;

@@ -1,0 +1,61 @@
+//! Brute-force join-aggregate evaluation — the correctness oracle.
+//!
+//! Joins all relations pairwise (no trees, no semijoins), then aggregates
+//! onto the output attributes. Exponential in general; only suitable for
+//! the small instances tests use, which is the point: its simplicity makes
+//! it trustworthy.
+
+use crate::relation::Relation;
+use crate::semiring::Semiring;
+
+/// Evaluate π⊕_output(⋈⊗ relations) by folding pairwise joins.
+pub fn naive_join_aggregate<S: Semiring>(
+    relations: &[Relation<S>],
+    output: &[String],
+) -> Relation<S> {
+    assert!(!relations.is_empty());
+    let mut acc = relations[0].clone();
+    for r in &relations[1..] {
+        acc = acc.join(r);
+    }
+    acc.project_agg(output).drop_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::NaturalRing;
+
+    #[test]
+    fn example_1_1_by_hand() {
+        let ring = NaturalRing::paper_default();
+        // R1(person, coinsurance%) — annotation = 100·(1−coinsurance).
+        let r1 = Relation::from_rows(
+            ring,
+            vec!["person".into()],
+            vec![(vec![1], 80), (vec![2], 50)],
+        );
+        // R2(person, disease) — annotation = cost.
+        let r2 = Relation::from_rows(
+            ring,
+            vec!["person".into(), "disease".into()],
+            vec![
+                (vec![1, 10], 1000),
+                (vec![1, 11], 500),
+                (vec![2, 10], 2000),
+            ],
+        );
+        // R3(disease, class) — annotation 1.
+        let r3 = Relation::from_rows(
+            ring,
+            vec!["disease".into(), "class".into()],
+            vec![(vec![10, 7], 1), (vec![11, 8], 1)],
+        );
+        let out = naive_join_aggregate(&[r1, r2, r3], &["class".into()]);
+        // class 7: 80·1000 + 50·2000 = 180000; class 8: 80·500 = 40000.
+        assert_eq!(
+            out.canonical(),
+            vec![(vec![7], 180_000), (vec![8], 40_000)]
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! Annotated relations and their operators (paper §3.1).
+
+use crate::semiring::Semiring;
+use std::collections::HashMap;
+
+/// An annotated relation: a bag of tuples over a named schema, each tuple
+/// carrying a semiring annotation. Attribute values are `u64` (dictionary
+/// encoding is the workload generator's job).
+#[derive(Debug, Clone)]
+pub struct Relation<S: Semiring> {
+    pub semiring: S,
+    pub schema: Vec<String>,
+    pub tuples: Vec<Vec<u64>>,
+    pub annots: Vec<S::El>,
+}
+
+impl<S: Semiring> Relation<S> {
+    /// Empty relation over `schema`.
+    pub fn new(semiring: S, schema: Vec<String>) -> Relation<S> {
+        Relation {
+            semiring,
+            schema,
+            tuples: Vec::new(),
+            annots: Vec::new(),
+        }
+    }
+
+    /// Build from rows of `(tuple, annotation)`.
+    pub fn from_rows(
+        semiring: S,
+        schema: Vec<String>,
+        rows: Vec<(Vec<u64>, S::El)>,
+    ) -> Relation<S> {
+        let mut r = Relation::new(semiring, schema);
+        for (t, a) in rows {
+            r.push(t, a);
+        }
+        r
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, tuple: Vec<u64>, annot: S::El) {
+        assert_eq!(tuple.len(), self.schema.len(), "tuple arity");
+        self.tuples.push(tuple);
+        self.annots.push(annot);
+    }
+
+    /// Number of tuples (including zero-annotated dummies).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Column positions of `attrs` in this schema (panics if missing).
+    pub fn positions(&self, attrs: &[String]) -> Vec<usize> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.schema
+                    .iter()
+                    .position(|s| s == a)
+                    .unwrap_or_else(|| panic!("attribute {a} not in schema {:?}", self.schema))
+            })
+            .collect()
+    }
+
+    /// Attributes shared with `other`, in this relation's schema order.
+    pub fn common_attrs(&self, other: &Relation<S>) -> Vec<String> {
+        self.schema
+            .iter()
+            .filter(|a| other.schema.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// Project a tuple onto column positions.
+    fn key_of(tuple: &[u64], pos: &[usize]) -> Vec<u64> {
+        pos.iter().map(|&p| tuple[p]).collect()
+    }
+
+    /// Annotated projection-aggregation π⊕_attrs(R): distinct values on
+    /// `attrs`, each annotated with the ⊕-aggregate of its group.
+    pub fn project_agg(&self, attrs: &[String]) -> Relation<S> {
+        let pos = self.positions(attrs);
+        let mut groups: HashMap<Vec<u64>, S::El> = HashMap::new();
+        let mut order: Vec<Vec<u64>> = Vec::new();
+        for (t, a) in self.tuples.iter().zip(&self.annots) {
+            let key = Self::key_of(t, &pos);
+            match groups.get_mut(&key) {
+                Some(acc) => *acc = self.semiring.add(acc, a),
+                None => {
+                    groups.insert(key.clone(), a.clone());
+                    order.push(key);
+                }
+            }
+        }
+        let mut out = Relation::new(self.semiring.clone(), attrs.to_vec());
+        for key in order {
+            let a = groups.remove(&key).expect("group exists");
+            out.push(key, a);
+        }
+        out
+    }
+
+    /// π¹_attrs(R): distinct `attrs`-values among *nonzero-annotated*
+    /// tuples, all annotated 1 (paper's support projection).
+    pub fn project_support(&self, attrs: &[String]) -> Relation<S> {
+        let pos = self.positions(attrs);
+        let mut seen: HashMap<Vec<u64>, ()> = HashMap::new();
+        let mut out = Relation::new(self.semiring.clone(), attrs.to_vec());
+        for (t, a) in self.tuples.iter().zip(&self.annots) {
+            if self.semiring.is_zero(a) {
+                continue;
+            }
+            let key = Self::key_of(t, &pos);
+            if seen.insert(key.clone(), ()).is_none() {
+                let one = self.semiring.one();
+                out.push(key, one);
+            }
+        }
+        out
+    }
+
+    /// Annotated natural join R ⋈⊗ R': tuples consistent on the shared
+    /// attributes, annotations multiplied.
+    pub fn join(&self, other: &Relation<S>) -> Relation<S> {
+        let common = self.common_attrs(other);
+        let my_pos = self.positions(&common);
+        let other_pos = other.positions(&common);
+        // Index the smaller side.
+        let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+        for (i, t) in other.tuples.iter().enumerate() {
+            index
+                .entry(Self::key_of(t, &other_pos))
+                .or_default()
+                .push(i);
+        }
+        let extra: Vec<usize> = other
+            .schema
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !self.schema.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let mut schema = self.schema.clone();
+        schema.extend(extra.iter().map(|&i| other.schema[i].clone()));
+        let mut out = Relation::new(self.semiring.clone(), schema);
+        for (t, a) in self.tuples.iter().zip(&self.annots) {
+            if let Some(matches) = index.get(&Self::key_of(t, &my_pos)) {
+                for &j in matches {
+                    let mut tuple = t.clone();
+                    tuple.extend(extra.iter().map(|&i| other.tuples[j][i]));
+                    out.push(tuple, self.semiring.mul(a, &other.annots[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Annotated semijoin R ⋉⊗ R' = R ⋈⊗ π¹(R'): keeps the tuples of R
+    /// that join with at least one nonzero-annotated tuple of R',
+    /// preserving their annotations.
+    pub fn semijoin(&self, other: &Relation<S>) -> Relation<S> {
+        let common = self.common_attrs(other);
+        let support = other.project_support(&common);
+        self.join(&support)
+    }
+
+    /// Drop zero-annotated tuples (used when revealing results).
+    pub fn drop_zero(&self) -> Relation<S> {
+        let mut out = Relation::new(self.semiring.clone(), self.schema.clone());
+        for (t, a) in self.tuples.iter().zip(&self.annots) {
+            if !self.semiring.is_zero(a) {
+                out.push(t.clone(), a.clone());
+            }
+        }
+        out
+    }
+
+    /// Canonical sorted form for equality checks in tests: rows sorted by
+    /// tuple, zero-annotated rows dropped, attributes sorted by name.
+    pub fn canonical(&self) -> Vec<(Vec<u64>, S::El)> {
+        let mut attr_order: Vec<usize> = (0..self.schema.len()).collect();
+        attr_order.sort_by(|&a, &b| self.schema[a].cmp(&self.schema[b]));
+        let mut rows: Vec<(Vec<u64>, S::El)> = self
+            .tuples
+            .iter()
+            .zip(&self.annots)
+            .filter(|(_, a)| !self.semiring.is_zero(a))
+            .map(|(t, a)| {
+                (
+                    attr_order.iter().map(|&i| t[i]).collect::<Vec<u64>>(),
+                    a.clone(),
+                )
+            })
+            .collect();
+        rows.sort_by(|x, y| x.0.cmp(&y.0));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolSemiring, CountSemiring, NaturalRing};
+
+    fn ring() -> NaturalRing {
+        NaturalRing::paper_default()
+    }
+
+    fn rel(schema: &[&str], rows: &[(&[u64], u64)]) -> Relation<NaturalRing> {
+        Relation::from_rows(
+            ring(),
+            schema.iter().map(|s| s.to_string()).collect(),
+            rows.iter().map(|(t, a)| (t.to_vec(), *a)).collect(),
+        )
+    }
+
+    #[test]
+    fn project_agg_groups_and_sums() {
+        let r = rel(&["a", "b"], &[(&[1, 10], 5), (&[1, 20], 7), (&[2, 30], 1)]);
+        let p = r.project_agg(&["a".into()]);
+        assert_eq!(p.canonical(), vec![(vec![1], 12), (vec![2], 1)]);
+    }
+
+    #[test]
+    fn project_agg_empty_attrs_is_grand_total() {
+        let r = rel(&["a"], &[(&[1], 5), (&[2], 7)]);
+        let p = r.project_agg(&[]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.annots[0], 12);
+    }
+
+    #[test]
+    fn project_support_skips_zero() {
+        let r = rel(&["a", "b"], &[(&[1, 10], 0), (&[1, 20], 7), (&[1, 30], 3)]);
+        let p = r.project_support(&["a".into()]);
+        assert_eq!(p.canonical(), vec![(vec![1], 1)]);
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let r = rel(&["a", "b"], &[(&[1, 10], 2), (&[2, 20], 3)]);
+        let s = rel(&["b", "c"], &[(&[10, 100], 5), (&[10, 200], 7), (&[99, 1], 1)]);
+        let j = r.join(&s);
+        assert_eq!(j.schema, vec!["a", "b", "c"]);
+        assert_eq!(
+            j.canonical(),
+            vec![(vec![1, 10, 100], 10), (vec![1, 10, 200], 14)]
+        );
+    }
+
+    #[test]
+    fn join_with_no_common_attrs_is_cartesian() {
+        let r = rel(&["a"], &[(&[1], 2), (&[2], 3)]);
+        let s = rel(&["b"], &[(&[7], 5)]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.canonical(),
+            vec![(vec![1, 7], 10), (vec![2, 7], 15)]
+        );
+    }
+
+    #[test]
+    fn semijoin_filters_by_nonzero_partner() {
+        let r = rel(&["a", "b"], &[(&[1, 10], 2), (&[2, 20], 3), (&[3, 30], 4)]);
+        let s = rel(&["b"], &[(&[10], 1), (&[20], 0)]);
+        let sj = r.semijoin(&s);
+        // b=20 partner is zero-annotated: dropped. Annotations preserved.
+        assert_eq!(sj.canonical(), vec![(vec![1, 10], 2)]);
+    }
+
+    #[test]
+    fn bool_semiring_join_behaves_like_sql() {
+        let b = BoolSemiring;
+        let r = Relation::from_rows(
+            b,
+            vec!["x".into()],
+            vec![(vec![1], true), (vec![2], true)],
+        );
+        let s = Relation::from_rows(b, vec!["x".into()], vec![(vec![2], true)]);
+        let j = r.join(&s);
+        assert_eq!(j.canonical(), vec![(vec![2], true)]);
+    }
+
+    #[test]
+    fn count_semiring_counts_join_sizes() {
+        let c = CountSemiring;
+        let r = Relation::from_rows(
+            c,
+            vec!["x".into()],
+            vec![(vec![1], 1), (vec![1], 1)],
+        );
+        let s = Relation::from_rows(c, vec!["x".into()], vec![(vec![1], 1)]);
+        let total = r.join(&s).project_agg(&[]);
+        assert_eq!(total.annots[0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn missing_attribute_panics() {
+        rel(&["a"], &[]).positions(&["zzz".into()]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Commutative semirings for annotated relations (paper §3.1).
+//!
+//! A query's aggregates are expressed by annotating every tuple with a
+//! semiring element: ⊗ combines annotations across a join, ⊕ aggregates
+//! them in a projection. The paper fixes the ground set to Z_{2^ℓ} for the
+//! secure protocol (elements are "merely identifiers"); the plaintext layer
+//! stays generic so tests can exercise several algebras.
+
+use secyan_crypto::RingCtx;
+
+/// A commutative semiring (S, ⊕, ⊗) with identities 0 and 1.
+pub trait Semiring: Clone {
+    /// The ground set.
+    type El: Clone + std::fmt::Debug + PartialEq;
+
+    /// The ⊕-identity (annotation of dummy tuples).
+    fn zero(&self) -> Self::El;
+    /// The ⊗-identity.
+    fn one(&self) -> Self::El;
+    /// ⊕ ("addition", used by projection-aggregation).
+    fn add(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// ⊗ ("multiplication", used by joins).
+    fn mul(&self, a: &Self::El, b: &Self::El) -> Self::El;
+    /// Whether an element is the ⊕-identity (dangling/dummy test).
+    fn is_zero(&self, a: &Self::El) -> bool {
+        *a == self.zero()
+    }
+}
+
+/// The ring (Z_{2^ℓ}, +, ×) — the algebra of the secure protocol and of
+/// SUM aggregates. ℓ = 32 matches the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NaturalRing(pub RingCtx);
+
+impl NaturalRing {
+    /// The paper's default ring Z_{2^32}.
+    pub fn paper_default() -> NaturalRing {
+        NaturalRing(RingCtx::paper_default())
+    }
+}
+
+impl Semiring for NaturalRing {
+    type El = u64;
+    fn zero(&self) -> u64 {
+        0
+    }
+    fn one(&self) -> u64 {
+        1
+    }
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        self.0.add(*a, *b)
+    }
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        self.0.mul(*a, *b)
+    }
+}
+
+/// The boolean semiring ({false, true}, ∨, ∧): plain relational semantics;
+/// also what π¹ uses internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoolSemiring;
+
+impl Semiring for BoolSemiring {
+    type El = bool;
+    fn zero(&self) -> bool {
+        false
+    }
+    fn one(&self) -> bool {
+        true
+    }
+    fn add(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    fn mul(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+}
+
+/// The counting semiring (ℕ, +, ×) on saturating u64 — COUNT aggregates
+/// without modular wrap-around; used by tests as an overflow-free oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CountSemiring;
+
+impl Semiring for CountSemiring {
+    type El = u64;
+    fn zero(&self) -> u64 {
+        0
+    }
+    fn one(&self) -> u64 {
+        1
+    }
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_mul(*b)
+    }
+}
+
+/// The tropical (min, +) semiring — shortest-path-style aggregation,
+/// demonstrating that the framework is not tied to sums. 0̄ = ∞ (u64::MAX),
+/// 1̄ = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type El = u64;
+    fn zero(&self) -> u64 {
+        u64::MAX
+    }
+    fn one(&self) -> u64 {
+        0
+    }
+    fn add(&self, a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+    fn mul(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_axioms<S: Semiring>(s: &S, samples: &[S::El]) {
+        for a in samples {
+            assert_eq!(s.add(a, &s.zero()), *a);
+            assert_eq!(s.mul(a, &s.one()), *a);
+            assert_eq!(s.mul(a, &s.zero()), s.zero());
+            for b in samples {
+                assert_eq!(s.add(a, b), s.add(b, a));
+                assert_eq!(s.mul(a, b), s.mul(b, a));
+                for c in samples {
+                    assert_eq!(s.add(&s.add(a, b), c), s.add(a, &s.add(b, c)));
+                    assert_eq!(s.mul(&s.mul(a, b), c), s.mul(a, &s.mul(b, c)));
+                    // Distributivity.
+                    assert_eq!(
+                        s.mul(a, &s.add(b, c)),
+                        s.add(&s.mul(a, b), &s.mul(a, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn natural_ring_axioms() {
+        let s = NaturalRing::paper_default();
+        check_axioms(&s, &[0, 1, 2, 5, 1 << 31, (1 << 32) - 1]);
+    }
+
+    #[test]
+    fn bool_semiring_axioms() {
+        check_axioms(&BoolSemiring, &[false, true]);
+    }
+
+    #[test]
+    fn count_semiring_axioms() {
+        check_axioms(&CountSemiring, &[0, 1, 2, 7]);
+    }
+
+    #[test]
+    fn min_plus_axioms() {
+        // Note: MinPlus distributivity holds because min distributes over +.
+        check_axioms(&MinPlus, &[0, 1, 5, 100, MinPlus.zero()]);
+    }
+
+    #[test]
+    fn is_zero_matches_zero() {
+        assert!(NaturalRing::paper_default().is_zero(&0));
+        assert!(!NaturalRing::paper_default().is_zero(&3));
+        assert!(MinPlus.is_zero(&u64::MAX));
+    }
+}

@@ -1,0 +1,142 @@
+//! Join trees (paper §3.1).
+
+/// A rooted join tree over relations `0..n`: `parent[i]` is `None` exactly
+/// for the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    parent: Vec<Option<usize>>,
+}
+
+impl JoinTree {
+    /// Build from parent pointers, validating that there is exactly one
+    /// root and no cycles.
+    pub fn new(parent: Vec<Option<usize>>) -> JoinTree {
+        let roots = parent.iter().filter(|p| p.is_none()).count();
+        assert_eq!(roots, 1, "join tree must have exactly one root");
+        let t = JoinTree { parent };
+        // Cycle check: every node must reach the root.
+        for i in 0..t.len() {
+            let mut cur = i;
+            let mut steps = 0;
+            while let Some(p) = t.parent[cur] {
+                cur = p;
+                steps += 1;
+                assert!(steps <= t.len(), "cycle in join tree");
+            }
+        }
+        t
+    }
+
+    /// A chain r_0 → r_1 → … with the *last* node as root (matching the
+    /// paper's Example 1.1 tree R1 − R2 − R3 rooted at R3).
+    pub fn chain(n: usize) -> JoinTree {
+        assert!(n >= 1);
+        JoinTree::new((0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes (never valid once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> usize {
+        self.parent
+            .iter()
+            .position(|p| p.is_none())
+            .expect("validated at construction")
+    }
+
+    /// Parent of `i` (None at the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Children of `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&c| self.parent[c] == Some(i))
+            .collect()
+    }
+
+    /// Nodes in a bottom-up order (every node before its parent).
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut visited = vec![false; self.len()];
+        // Repeatedly emit nodes whose children are all emitted.
+        while order.len() < self.len() {
+            for i in 0..self.len() {
+                if visited[i] {
+                    continue;
+                }
+                if self.children(i).iter().all(|&c| visited[c]) {
+                    visited[i] = true;
+                    order.push(i);
+                }
+            }
+        }
+        order
+    }
+
+    /// Nodes in a top-down order (every node after its parent).
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut order = self.bottom_up();
+        order.reverse();
+        order
+    }
+
+    /// True if `anc` is a strict ancestor of `node`.
+    pub fn is_strict_ancestor(&self, anc: usize, node: usize) -> bool {
+        let mut cur = node;
+        while let Some(p) = self.parent[cur] {
+            if p == anc {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let t = JoinTree::chain(3);
+        assert_eq!(t.root(), 2);
+        assert_eq!(t.parent(0), Some(1));
+        assert_eq!(t.children(2), vec![1]);
+        assert_eq!(t.bottom_up(), vec![0, 1, 2]);
+        assert_eq!(t.top_down(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn star_orders() {
+        // Root 0 with children 1, 2, 3.
+        let t = JoinTree::new(vec![None, Some(0), Some(0), Some(0)]);
+        let bu = t.bottom_up();
+        assert_eq!(*bu.last().unwrap(), 0);
+        assert!(t.is_strict_ancestor(0, 3));
+        assert!(!t.is_strict_ancestor(3, 0));
+        assert!(!t.is_strict_ancestor(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one root")]
+    fn two_roots_panic() {
+        JoinTree::new(vec![None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        JoinTree::new(vec![Some(1), Some(0), None]);
+    }
+}

@@ -1,0 +1,279 @@
+//! The modified 3-phase Yannakakis algorithm (paper §3.2).
+//!
+//! Phase 1 (*reduce*) folds non-output attributes away bottom-up,
+//! phase 2 (*semijoin*) removes dangling tuples with two passes,
+//! phase 3 (*full join*) assembles the output — O(IN + OUT) in total for
+//! free-connex queries. The secure protocol in `secyan-core` mirrors this
+//! structure operator for operator; this plaintext version doubles as the
+//! non-private baseline of the paper's figures and as the reference the
+//! secure results are tested against.
+
+use crate::relation::Relation;
+use crate::semiring::Semiring;
+use crate::tree::JoinTree;
+
+/// Evaluate the free-connex join-aggregate query
+/// π⊕_output(⋈⊗ relations) along `tree`.
+///
+/// `tree` must be a join tree for the relations' schemas whose rooting
+/// witnesses free-connexity (see `hypergraph::check_free_connex`); the
+/// TPC-H plans in `secyan-tpch` carry validated trees.
+pub fn yannakakis<S: Semiring>(
+    relations: &[Relation<S>],
+    tree: &JoinTree,
+    output: &[String],
+) -> Relation<S> {
+    assert_eq!(relations.len(), tree.len());
+    let mut rels: Vec<Relation<S>> = relations.to_vec();
+    let mut removed = vec![false; rels.len()];
+    let mut kept_below = vec![false; rels.len()];
+    let root = tree.root();
+
+    // Phase 1: reduce.
+    for i in tree.bottom_up() {
+        if i == root {
+            // Fold the root's non-output attributes (if any remain).
+            let f_prime: Vec<String> = rels[i]
+                .schema
+                .iter()
+                .filter(|a| output.contains(a))
+                .cloned()
+                .collect();
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = rels[i].project_agg(&f_prime);
+            }
+            continue;
+        }
+        let p = tree.parent(i).expect("non-root has a parent");
+        let parent_schema = rels[p].schema.clone();
+        let f_prime: Vec<String> = rels[i]
+            .schema
+            .iter()
+            .filter(|a| output.contains(a) || parent_schema.contains(a))
+            .cloned()
+            .collect();
+        let mergeable = !kept_below[i] && f_prime.iter().all(|a| parent_schema.contains(a));
+        if mergeable {
+            // R_p ← R_p ⋈⊗ π⊕_F'(R_i); since F' ⊆ F_p this is
+            // semijoin-shaped and cannot grow R_p.
+            let folded = rels[i].project_agg(&f_prime);
+            rels[p] = rels[p].join(&folded);
+            removed[i] = true;
+        } else {
+            // The reduce stops going upward on this branch: keep the node
+            // with its non-output attributes aggregated away. In a
+            // free-connex tree everything from here up is output-only.
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = rels[i].project_agg(&f_prime);
+            }
+            kept_below[p] = true;
+        }
+    }
+
+    let survives = |i: usize| !removed[i];
+
+    // Phase 2: semijoins (bottom-up, then top-down) over surviving nodes.
+    // A kept node's parent is never merged, so the original parent pointers
+    // restricted to survivors remain a valid tree.
+    for i in tree.bottom_up() {
+        if !survives(i) || i == root {
+            continue;
+        }
+        let p = tree.parent(i).expect("non-root");
+        debug_assert!(survives(p));
+        rels[p] = rels[p].semijoin(&rels[i]);
+    }
+    for i in tree.top_down() {
+        if !survives(i) || i == root {
+            continue;
+        }
+        let p = tree.parent(i).expect("non-root");
+        let parent_rel = rels[p].clone();
+        rels[i] = rels[i].semijoin(&parent_rel);
+    }
+
+    // Phase 3: full join, bottom-up into the root.
+    for i in tree.bottom_up() {
+        if !survives(i) || i == root {
+            continue;
+        }
+        let p = tree.parent(i).expect("non-root");
+        let child = rels[i].clone();
+        rels[p] = rels[p].join(&child);
+    }
+
+    rels[root].project_agg(output).drop_zero()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::{find_free_connex_tree, Hypergraph};
+    use crate::naive::naive_join_aggregate;
+    use crate::semiring::{CountSemiring, NaturalRing};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn example_1_1() -> Vec<Relation<NaturalRing>> {
+        let ring = NaturalRing::paper_default();
+        vec![
+            Relation::from_rows(
+                ring,
+                strings(&["person"]),
+                vec![(vec![1], 80), (vec![2], 50)],
+            ),
+            Relation::from_rows(
+                ring,
+                strings(&["person", "disease"]),
+                vec![(vec![1, 10], 1000), (vec![1, 11], 500), (vec![2, 10], 2000)],
+            ),
+            Relation::from_rows(
+                ring,
+                strings(&["disease", "class"]),
+                vec![(vec![10, 7], 1), (vec![11, 8], 1)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn example_1_1_matches_naive() {
+        let rels = example_1_1();
+        let tree = JoinTree::chain(3); // R1 − R2 − R3 rooted at R3
+        let got = yannakakis(&rels, &tree, &strings(&["class"]));
+        let want = naive_join_aggregate(&rels, &strings(&["class"]));
+        assert_eq!(got.canonical(), want.canonical());
+    }
+
+    #[test]
+    fn dangling_tuples_are_dropped() {
+        let ring = NaturalRing::paper_default();
+        let r1 = Relation::from_rows(
+            ring,
+            strings(&["a", "b"]),
+            vec![(vec![1, 1], 3), (vec![2, 2], 5)],
+        );
+        let r2 = Relation::from_rows(ring, strings(&["b", "c"]), vec![(vec![1, 9], 7)]);
+        let tree = JoinTree::chain(2);
+        let got = yannakakis(&[r1.clone(), r2.clone()], &tree, &strings(&["c"]));
+        let want = naive_join_aggregate(&[r1, r2], &strings(&["c"]));
+        assert_eq!(got.canonical(), want.canonical());
+        assert_eq!(got.canonical(), vec![(vec![9], 21)]);
+    }
+
+    #[test]
+    fn figure_1_query_matches_naive() {
+        // The 5-relation query of Figure 1 with output {B, D, E, F},
+        // using the free-connex tree the planner discovers.
+        let mut rng = StdRng::seed_from_u64(41);
+        let ring = NaturalRing::paper_default();
+        let schemas: Vec<Vec<String>> = vec![
+            strings(&["A", "B"]),
+            strings(&["A", "C"]),
+            strings(&["B", "D", "E"]),
+            strings(&["D", "F", "G"]),
+            strings(&["D", "E"]),
+        ];
+        let rels: Vec<Relation<NaturalRing>> = schemas
+            .iter()
+            .map(|schema| {
+                let rows = (0..30)
+                    .map(|_| {
+                        (
+                            schema.iter().map(|_| rng.gen_range(0..4u64)).collect(),
+                            rng.gen_range(1..10u64),
+                        )
+                    })
+                    .collect();
+                Relation::from_rows(ring, schema.clone(), rows)
+            })
+            .collect();
+        let out = strings(&["B", "D", "E", "F"]);
+        let h = Hypergraph::new(schemas);
+        let tree = find_free_connex_tree(&h, &out).expect("free-connex");
+        let got = yannakakis(&rels, &tree, &out);
+        let want = naive_join_aggregate(&rels, &out);
+        assert_eq!(got.canonical(), want.canonical());
+    }
+
+    #[test]
+    fn full_aggregation_single_scalar() {
+        // O = ∅: COUNT(*) of the join under the counting semiring.
+        let c = CountSemiring;
+        let r1 = Relation::from_rows(
+            c,
+            strings(&["a"]),
+            vec![(vec![1], 1), (vec![2], 1), (vec![3], 1)],
+        );
+        let r2 = Relation::from_rows(
+            c,
+            strings(&["a", "b"]),
+            vec![(vec![1, 1], 1), (vec![1, 2], 1), (vec![3, 1], 1)],
+        );
+        let got = yannakakis(&[r1, r2], &JoinTree::chain(2), &[]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.annots[0], 3);
+    }
+
+    #[test]
+    fn single_relation_query() {
+        let ring = NaturalRing::paper_default();
+        let r = Relation::from_rows(
+            ring,
+            strings(&["a", "b"]),
+            vec![(vec![1, 5], 2), (vec![1, 6], 3), (vec![2, 7], 4)],
+        );
+        let t = JoinTree::chain(1);
+        let got = yannakakis(&[r], &t, &strings(&["a"]));
+        assert_eq!(got.canonical(), vec![(vec![1], 5), (vec![2], 4)]);
+    }
+
+    #[test]
+    fn random_chain_queries_match_naive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ring = NaturalRing::paper_default();
+        for trial in 0..20 {
+            // Chain R0(x0,x1) − R1(x1,x2) − R2(x2,x3), random outputs that
+            // keep the query free-connex w.r.t. some rooting.
+            let schemas = vec![
+                strings(&["x0", "x1"]),
+                strings(&["x1", "x2"]),
+                strings(&["x2", "x3"]),
+            ];
+            let rels: Vec<Relation<NaturalRing>> = schemas
+                .iter()
+                .map(|schema| {
+                    let rows = (0..15)
+                        .map(|_| {
+                            (
+                                vec![rng.gen_range(0..4u64), rng.gen_range(0..4u64)],
+                                rng.gen_range(0..5u64),
+                            )
+                        })
+                        .collect();
+                    Relation::from_rows(ring, schema.clone(), rows)
+                })
+                .collect();
+            for out in [
+                vec![],
+                strings(&["x1"]),
+                strings(&["x0", "x1"]),
+                strings(&["x2", "x3"]),
+            ] {
+                let h = Hypergraph::new(schemas.clone());
+                if let Some(tree) = find_free_connex_tree(&h, &out) {
+                    let got = yannakakis(&rels, &tree, &out);
+                    let want = naive_join_aggregate(&rels, &out);
+                    assert_eq!(
+                        got.canonical(),
+                        want.canonical(),
+                        "trial {trial} out {out:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Deterministic TPC-H-style data generation.
+//!
+//! Row counts per megabyte track dbgen: at 1 MB (scale factor 0.001) —
+//! 150 customers, 1,500 orders, ~6,000 lineitems, 200 parts, 10 suppliers,
+//! 800 partsupps, matching the paper's report of 7,655 total tuples for
+//! Q3's three relations on the 1 MB dump. `nation`/`region` are public
+//! knowledge (25/5 rows) per the paper's Q10/Q8/Q9 rewrites.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dataset scale, expressed like the paper: megabytes of the classic dump.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    pub mb: f64,
+}
+
+impl Scale {
+    /// The paper's five evaluation scales.
+    pub const PAPER_SCALES: [f64; 5] = [1.0, 3.0, 10.0, 33.0, 100.0];
+
+    /// A dataset equivalent to an `mb`-megabyte dbgen dump.
+    pub fn mb(mb: f64) -> Scale {
+        assert!(mb > 0.0);
+        Scale { mb }
+    }
+
+    /// A tiny scale for unit tests (well under 1 MB).
+    pub fn tiny() -> Scale {
+        Scale { mb: 0.02 }
+    }
+
+    fn count(&self, per_mb: f64) -> usize {
+        ((per_mb * self.mb).round() as usize).max(1)
+    }
+
+    pub fn customers(&self) -> usize {
+        self.count(150.0)
+    }
+    pub fn orders(&self) -> usize {
+        self.count(1500.0)
+    }
+    pub fn parts(&self) -> usize {
+        self.count(200.0)
+    }
+    pub fn suppliers(&self) -> usize {
+        // Minimum 4 so every part can have four distinct suppliers.
+        self.count(10.0).max(4)
+    }
+    pub fn partsupps(&self) -> usize {
+        self.parts() * 4
+    }
+}
+
+/// Number of nations (public relation).
+pub const NATIONS: u64 = 25;
+/// Market segments; `AUTOMOBILE` is segment 0 (Q3's filter).
+pub const SEGMENTS: u64 = 5;
+/// Part types; Q8's `SMALL PLATED COPPER` is type 37 of 150.
+pub const PART_TYPES: u64 = 150;
+/// Q8's target nation (`BRAZIL` in the original query: nationkey 8).
+pub const Q8_NATION: u64 = 8;
+/// Q8's customer-region nations ({8, 9, 12, 18, 21} = AMERICA).
+pub const Q8_REGION_NATIONS: [u64; 5] = [8, 9, 12, 18, 21];
+
+/// Approximate calendar: days since 1992-01-01 with 30-day months. Only
+/// used consistently on both sides of every comparison, so the
+/// approximation is harmless.
+pub fn day(year: u64, month: u64, d: u64) -> u64 {
+    (year - 1992) * 365 + (month - 1) * 30 + (d - 1)
+}
+
+/// Year of a day number.
+pub fn year_of(day: u64) -> u64 {
+    1992 + day / 365
+}
+
+/// A generated column-named table of `u64` values.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: &'static str,
+    pub columns: Vec<&'static str>,
+    pub rows: Vec<Vec<u64>>,
+}
+
+impl Table {
+    /// Column index by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| *c == name)
+            .unwrap_or_else(|| panic!("no column {name} in {}", self.name))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The generated database (the six private tables; nation/region are
+/// treated as public constants per the paper's rewrites).
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub scale: Scale,
+    pub customer: Table,
+    pub orders: Table,
+    pub lineitem: Table,
+    pub part: Table,
+    pub supplier: Table,
+    pub partsupp: Table,
+}
+
+impl Database {
+    /// Generate deterministically from a seed.
+    pub fn generate(scale: Scale, seed: u64) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_cust = scale.customers();
+        let n_ord = scale.orders();
+        let n_part = scale.parts();
+        let n_supp = scale.suppliers();
+
+        let customer = Table {
+            name: "customer",
+            columns: vec!["custkey", "c_nationkey", "c_mktsegment"],
+            rows: (1..=n_cust as u64)
+                .map(|k| vec![k, rng.gen_range(0..NATIONS), rng.gen_range(0..SEGMENTS)])
+                .collect(),
+        };
+
+        // Orders: dates span 1992-01-01 .. 1998-08-02 like dbgen.
+        let max_day = day(1998, 8, 2);
+        let orders = Table {
+            name: "orders",
+            columns: vec!["orderkey", "custkey", "o_orderdate", "o_shippriority", "o_totalprice"],
+            rows: (1..=n_ord as u64)
+                .map(|k| {
+                    vec![
+                        k,
+                        rng.gen_range(1..=n_cust as u64),
+                        rng.gen_range(0..=max_day),
+                        0,
+                        rng.gen_range(1_000..500_000),
+                    ]
+                })
+                .collect(),
+        };
+
+        // Lineitems: 1..=7 per order (mean 4, like dbgen).
+        let mut li_rows = Vec::new();
+        for o in &orders.rows {
+            let (okey, odate) = (o[0], o[2]);
+            for _ in 0..rng.gen_range(1..=7) {
+                let partkey = rng.gen_range(1..=n_part as u64);
+                let suppkey = rng.gen_range(1..=n_supp as u64);
+                let price = rng.gen_range(100..10_000u64);
+                let discount = rng.gen_range(0..=10u64); // percent
+                let quantity = rng.gen_range(1..=50u64);
+                let shipdate = odate + rng.gen_range(1..=121);
+                let returnflag = rng.gen_range(0..4u64); // 3 == 'R' (25%)
+                li_rows.push(vec![
+                    okey, partkey, suppkey, price, discount, quantity, shipdate, returnflag,
+                ]);
+            }
+        }
+        let lineitem = Table {
+            name: "lineitem",
+            columns: vec![
+                "orderkey",
+                "partkey",
+                "suppkey",
+                "l_extendedprice",
+                "l_discount",
+                "l_quantity",
+                "l_shipdate",
+                "l_returnflag",
+            ],
+            rows: li_rows,
+        };
+
+        let part = Table {
+            name: "part",
+            columns: vec!["partkey", "p_type", "p_green"],
+            rows: (1..=n_part as u64)
+                .map(|k| {
+                    vec![
+                        k,
+                        rng.gen_range(0..PART_TYPES),
+                        // ~5.4% of parts have 'green' in p_name, like the
+                        // 5-of-92-colors name generator.
+                        (rng.gen_range(0..18u64) == 0) as u64,
+                    ]
+                })
+                .collect(),
+        };
+
+        let supplier = Table {
+            name: "supplier",
+            columns: vec!["suppkey", "s_nationkey"],
+            rows: (1..=n_supp as u64)
+                .map(|k| vec![k, rng.gen_range(0..NATIONS)])
+                .collect(),
+        };
+
+        // Four *distinct* suppliers per part: stride ⌊S/4⌋ ≥ 1 keeps the
+        // four offsets distinct modulo S for every S ≥ 4.
+        let stride = ((n_supp as u64) / 4).max(1);
+        let mut ps_rows = Vec::new();
+        for p in 1..=n_part as u64 {
+            for i in 0..4u64 {
+                let s = (p - 1 + i * stride) % n_supp as u64 + 1;
+                ps_rows.push(vec![p, s, rng.gen_range(1..1_000u64)]);
+            }
+        }
+        let partsupp = Table {
+            name: "partsupp",
+            columns: vec!["partkey", "suppkey", "ps_supplycost"],
+            rows: ps_rows,
+        };
+
+        Database {
+            scale,
+            customer,
+            orders,
+            lineitem,
+            part,
+            supplier,
+            partsupp,
+        }
+    }
+
+    /// Total tuples across the private tables.
+    pub fn total_tuples(&self) -> usize {
+        self.customer.len()
+            + self.orders.len()
+            + self.lineitem.len()
+            + self.part.len()
+            + self.supplier.len()
+            + self.partsupp.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mb_matches_paper_q3_tuple_count() {
+        let db = Database::generate(Scale::mb(1.0), 7);
+        let q3_tuples = db.customer.len() + db.orders.len() + db.lineitem.len();
+        // The paper reports 7,655 tuples for Q3's three relations at 1 MB;
+        // our generator lands within a few percent (lineitem count is
+        // random 1..=7 per order).
+        assert!(
+            (7_000..8_400).contains(&q3_tuples),
+            "got {q3_tuples} tuples"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Database::generate(Scale::tiny(), 42);
+        let b = Database::generate(Scale::tiny(), 42);
+        assert_eq!(a.lineitem.rows, b.lineitem.rows);
+        let c = Database::generate(Scale::tiny(), 43);
+        assert_ne!(a.lineitem.rows, c.lineitem.rows);
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let db = Database::generate(Scale::tiny(), 1);
+        let n_cust = db.customer.len() as u64;
+        let n_ord = db.orders.len() as u64;
+        for o in &db.orders.rows {
+            assert!((1..=n_cust).contains(&o[1]));
+        }
+        for l in &db.lineitem.rows {
+            assert!((1..=n_ord).contains(&l[0]));
+            assert!(l[6] > 0, "shipdate after orderdate");
+        }
+        for ps in &db.partsupp.rows {
+            assert!((1..=db.part.len() as u64).contains(&ps[0]));
+            assert!((1..=db.supplier.len() as u64).contains(&ps[1]));
+        }
+    }
+
+    #[test]
+    fn partsupp_pairs_are_distinct() {
+        for mb in [0.01, 0.1, 1.0] {
+            let db = Database::generate(Scale::mb(mb), 3);
+            let mut pairs: Vec<(u64, u64)> =
+                db.partsupp.rows.iter().map(|r| (r[0], r[1])).collect();
+            let before = pairs.len();
+            pairs.sort();
+            pairs.dedup();
+            assert_eq!(pairs.len(), before, "duplicate (part, supp) at {mb} MB");
+        }
+    }
+
+    #[test]
+    fn scales_grow_linearly() {
+        let s1 = Scale::mb(1.0);
+        let s10 = Scale::mb(10.0);
+        assert_eq!(s10.customers(), 10 * s1.customers());
+        assert_eq!(s10.orders(), 10 * s1.orders());
+    }
+
+    #[test]
+    fn calendar_helpers() {
+        assert_eq!(day(1992, 1, 1), 0);
+        assert_eq!(year_of(day(1995, 3, 13)), 1995);
+        assert_eq!(year_of(day(1992, 12, 30)), 1992);
+    }
+}

@@ -1,0 +1,20 @@
+//! TPC-H-style workload generation and the paper's five benchmark queries.
+//!
+//! The paper's evaluation (§8) runs TPC-H Q3, Q10, Q18, Q8 and Q9 on dumps
+//! of 1 MB – 100 MB. We reproduce the *shape* of that workload with a
+//! deterministic in-process generator: same schemas, same key structure
+//! (dense primary keys, foreign keys uniform over their target, 1–7
+//! lineitems per order), and per-scale row counts calibrated to dbgen's.
+//! Because the protocol is oblivious, its cost depends only on these row
+//! counts — the value distributions matter only for the plaintext answers,
+//! which tests cross-check against the naive oracle.
+//!
+//! Strings are dictionary-encoded into `u64`; dates are day numbers;
+//! monetary values are integer cents scaled down to keep 32-bit
+//! annotations overflow-free at test scales (documented per query).
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{Database, Scale};
+pub use queries::{PaperQuery, QuerySpec};

@@ -1,0 +1,285 @@
+//! The metered duplex channel connecting Alice and Bob.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// Which of the two parties an endpoint belongs to.
+///
+/// Following the paper's convention, *Alice* is the designated receiver of
+/// the query results unless a protocol documents otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    Alice,
+    Bob,
+}
+
+impl Role {
+    /// The other party.
+    pub fn peer(self) -> Role {
+        match self {
+            Role::Alice => Role::Bob,
+            Role::Bob => Role::Alice,
+        }
+    }
+
+    /// True for [`Role::Alice`].
+    pub fn is_alice(self) -> bool {
+        matches!(self, Role::Alice)
+    }
+}
+
+/// Shared counters observed by both endpoints and the harness.
+#[derive(Debug, Default)]
+struct Meter {
+    bytes_alice_to_bob: AtomicU64,
+    bytes_bob_to_alice: AtomicU64,
+    messages: AtomicU64,
+    rounds: AtomicU64,
+    /// Encodes the direction of the previous message so a direction switch
+    /// can be detected: 0 = none yet, 1 = Alice→Bob, 2 = Bob→Alice.
+    last_dir: AtomicU64,
+}
+
+/// A snapshot of the communication counters after (or during) a protocol run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Payload bytes sent from Alice to Bob.
+    pub bytes_alice_to_bob: u64,
+    /// Payload bytes sent from Bob to Alice.
+    pub bytes_bob_to_alice: u64,
+    /// Total number of messages in both directions.
+    pub messages: u64,
+    /// Number of communication rounds, counted as direction switches on the
+    /// wire (a "round" in the MPC sense: a maximal run of messages flowing
+    /// one way).
+    pub rounds: u64,
+}
+
+impl CommStats {
+    /// Total payload bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_alice_to_bob + self.bytes_bob_to_alice
+    }
+
+    /// Difference between two snapshots (counters only ever grow).
+    pub fn since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            bytes_alice_to_bob: self.bytes_alice_to_bob - earlier.bytes_alice_to_bob,
+            bytes_bob_to_alice: self.bytes_bob_to_alice - earlier.bytes_bob_to_alice,
+            messages: self.messages - earlier.messages,
+            rounds: self.rounds - earlier.rounds,
+        }
+    }
+}
+
+/// One endpoint of the metered duplex channel.
+///
+/// Protocol code takes `&mut Channel` and is written from the perspective of
+/// one party; [`Channel::role`] says which. Messages are owned byte vectors;
+/// the transcript of per-direction lengths is recorded for obliviousness
+/// tests.
+pub struct Channel {
+    role: Role,
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    meter: Arc<Meter>,
+    transcript: Arc<Mutex<Vec<(Role, usize)>>>,
+    /// Buffer holding the remainder of a partially consumed incoming message.
+    pending: Vec<u8>,
+    pending_pos: usize,
+}
+
+impl std::fmt::Debug for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel").field("role", &self.role).finish()
+    }
+}
+
+/// Create a connected pair of endpoints: `(alice, bob)`.
+pub fn channel_pair() -> (Channel, Channel) {
+    let (a2b_tx, a2b_rx) = mpsc::channel();
+    let (b2a_tx, b2a_rx) = mpsc::channel();
+    let meter = Arc::new(Meter::default());
+    let transcript = Arc::new(Mutex::new(Vec::new()));
+    let alice = Channel {
+        role: Role::Alice,
+        tx: a2b_tx,
+        rx: b2a_rx,
+        meter: Arc::clone(&meter),
+        transcript: Arc::clone(&transcript),
+        pending: Vec::new(),
+        pending_pos: 0,
+    };
+    let bob = Channel {
+        role: Role::Bob,
+        tx: b2a_tx,
+        rx: a2b_rx,
+        meter,
+        transcript,
+        pending: Vec::new(),
+        pending_pos: 0,
+    };
+    (alice, bob)
+}
+
+impl Channel {
+    /// The party this endpoint belongs to.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Send one message to the peer.
+    pub fn send(&mut self, data: Vec<u8>) {
+        let len = data.len() as u64;
+        match self.role {
+            Role::Alice => self
+                .meter
+                .bytes_alice_to_bob
+                .fetch_add(len, Ordering::Relaxed),
+            Role::Bob => self
+                .meter
+                .bytes_bob_to_alice
+                .fetch_add(len, Ordering::Relaxed),
+        };
+        self.meter.messages.fetch_add(1, Ordering::Relaxed);
+        let dir = match self.role {
+            Role::Alice => 1,
+            Role::Bob => 2,
+        };
+        if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
+            self.meter.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .push((self.role, data.len()));
+        self.tx.send(data).expect("peer hung up during send");
+    }
+
+    /// Receive one whole message from the peer, blocking until it arrives.
+    ///
+    /// Panics if a previous [`Channel::recv_into`] left a partially consumed
+    /// message; mixing the two styles on one message is a protocol bug.
+    pub fn recv(&mut self) -> Vec<u8> {
+        assert!(
+            self.pending_pos == self.pending.len(),
+            "recv() called with {} unconsumed buffered bytes",
+            self.pending.len() - self.pending_pos
+        );
+        self.rx.recv().expect("peer hung up during recv")
+    }
+
+    /// Receive exactly `buf.len()` bytes, spanning message boundaries if
+    /// needed. Useful for fixed-size framed protocols.
+    pub fn recv_into(&mut self, buf: &mut [u8]) {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if self.pending_pos == self.pending.len() {
+                self.pending = self.rx.recv().expect("peer hung up during recv");
+                self.pending_pos = 0;
+            }
+            let avail = self.pending.len() - self.pending_pos;
+            let take = avail.min(buf.len() - filled);
+            buf[filled..filled + take]
+                .copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + take]);
+            self.pending_pos += take;
+            filled += take;
+        }
+    }
+
+    /// Snapshot of the shared communication counters.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            bytes_alice_to_bob: self.meter.bytes_alice_to_bob.load(Ordering::Relaxed),
+            bytes_bob_to_alice: self.meter.bytes_bob_to_alice.load(Ordering::Relaxed),
+            messages: self.meter.messages.load(Ordering::Relaxed),
+            rounds: self.meter.rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The transcript of `(sender, message length)` pairs so far, in wire
+    /// order. Obliviousness tests compare this across different inputs of
+    /// the same public size: an oblivious protocol yields identical
+    /// transcripts.
+    pub fn transcript_lengths(&self) -> Vec<(Role, usize)> {
+        self.transcript
+            .lock()
+            .expect("transcript lock poisoned")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_and_meters() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            let m = b.recv();
+            assert_eq!(m, vec![1, 2, 3]);
+            b.send(vec![9; 10]);
+            b.stats()
+        });
+        a.send(vec![1, 2, 3]);
+        let m = a.recv();
+        assert_eq!(m, vec![9; 10]);
+        let stats = h.join().unwrap();
+        assert_eq!(stats.bytes_alice_to_bob, 3);
+        assert_eq!(stats.bytes_bob_to_alice, 10);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.rounds, 2);
+    }
+
+    #[test]
+    fn rounds_count_direction_switches() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            b.recv();
+            b.recv();
+            b.send(vec![0]);
+            b.recv();
+        });
+        a.send(vec![0]);
+        a.send(vec![0]); // same direction: still round 1
+        a.recv();
+        a.send(vec![0]);
+        h.join().unwrap();
+        assert_eq!(a.stats().rounds, 3);
+    }
+
+    #[test]
+    fn recv_into_spans_messages() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            b.send(vec![1, 2]);
+            b.send(vec![3, 4, 5]);
+        });
+        let mut buf = [0u8; 4];
+        a.recv_into(&mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        let mut rest = [0u8; 1];
+        a.recv_into(&mut rest);
+        assert_eq!(rest, [5]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn transcript_records_lengths_in_order() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            b.recv();
+            b.send(vec![7; 7]);
+        });
+        a.send(vec![1; 4]);
+        a.recv();
+        h.join().unwrap();
+        assert_eq!(
+            a.transcript_lengths(),
+            vec![(Role::Alice, 4), (Role::Bob, 7)]
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Two-party transport layer for the secure Yannakakis protocol suite.
+//!
+//! The paper's protocols are strictly two-party: Alice and Bob exchange
+//! messages over an authenticated channel. This crate provides an in-process
+//! realization of that channel: both parties run as real OS threads and
+//! exchange owned, length-delimited byte messages through a duplex pipe that
+//! meters every byte, message and communication round.
+//!
+//! Metering matters because the paper's evaluation (Figures 2–6) reports
+//! *communication cost* alongside running time; the benchmark harness reads
+//! the meters after each protocol run. Round counting (the number of
+//! direction switches on the wire) lets tests check the paper's claim that
+//! the number of rounds depends only on the query, not the data.
+//!
+//! Obliviousness testing also leans on this crate: a protocol is oblivious
+//! only if its transcript (here: the sequence of message lengths in each
+//! direction) is a function of the public parameters alone. See
+//! [`Channel::transcript_lengths`].
+
+mod channel;
+mod runner;
+mod wire;
+
+pub use channel::{channel_pair, Channel, CommStats, Role};
+pub use runner::run_protocol;
+pub use wire::{ReadExt, WriteExt};

@@ -1,0 +1,160 @@
+//! Typed send/receive helpers layered over raw byte messages.
+//!
+//! All integers travel little-endian. Slices are sent *without* a length
+//! prefix: the protocols in this workspace always know the expected lengths
+//! from public parameters, which is itself part of the obliviousness story
+//! (a secret-dependent length would be a leak).
+
+use crate::channel::Channel;
+
+/// Sending helpers for [`Channel`].
+///
+/// Zero-length payloads are silently skipped, mirroring the fact that the
+/// receiving side's fixed-length reads consume nothing for a zero-length
+/// request; this keeps empty batches from desynchronizing the stream.
+pub trait WriteExt {
+    fn send_u64(&mut self, v: u64);
+    fn send_u64_slice(&mut self, vs: &[u64]);
+    fn send_u128_slice(&mut self, vs: &[u128]);
+    fn send_bool_slice(&mut self, vs: &[bool]);
+    fn send_bytes(&mut self, vs: &[u8]);
+}
+
+/// Receiving helpers for [`Channel`]. Lengths are caller-supplied because
+/// they are public knowledge.
+pub trait ReadExt {
+    fn recv_u64(&mut self) -> u64;
+    fn recv_u64_vec(&mut self, n: usize) -> Vec<u64>;
+    fn recv_u128_vec(&mut self, n: usize) -> Vec<u128>;
+    fn recv_bool_vec(&mut self, n: usize) -> Vec<bool>;
+    fn recv_bytes(&mut self, n: usize) -> Vec<u8>;
+}
+
+impl WriteExt for Channel {
+    fn send_u64(&mut self, v: u64) {
+        self.send(v.to_le_bytes().to_vec());
+    }
+
+    fn send_u64_slice(&mut self, vs: &[u64]) {
+        if vs.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(vs.len() * 8);
+        for v in vs {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.send(buf);
+    }
+
+    fn send_u128_slice(&mut self, vs: &[u128]) {
+        if vs.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(vs.len() * 16);
+        for v in vs {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.send(buf);
+    }
+
+    fn send_bool_slice(&mut self, vs: &[bool]) {
+        if vs.is_empty() {
+            return;
+        }
+        // Bit-packed: 8 booleans per byte, consistent with how an optimized
+        // implementation would ship selection bits.
+        let mut buf = vec![0u8; vs.len().div_ceil(8)];
+        for (i, &b) in vs.iter().enumerate() {
+            if b {
+                buf[i / 8] |= 1 << (i % 8);
+            }
+        }
+        self.send(buf);
+    }
+
+    fn send_bytes(&mut self, vs: &[u8]) {
+        if vs.is_empty() {
+            return;
+        }
+        self.send(vs.to_vec());
+    }
+}
+
+impl ReadExt for Channel {
+    fn recv_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.recv_into(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    fn recv_u64_vec(&mut self, n: usize) -> Vec<u64> {
+        let mut raw = vec![0u8; n * 8];
+        self.recv_into(&mut raw);
+        raw.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect()
+    }
+
+    fn recv_u128_vec(&mut self, n: usize) -> Vec<u128> {
+        let mut raw = vec![0u8; n * 16];
+        self.recv_into(&mut raw);
+        raw.chunks_exact(16)
+            .map(|c| u128::from_le_bytes(c.try_into().expect("chunk is 16 bytes")))
+            .collect()
+    }
+
+    fn recv_bool_vec(&mut self, n: usize) -> Vec<bool> {
+        let mut raw = vec![0u8; n.div_ceil(8)];
+        self.recv_into(&mut raw);
+        (0..n).map(|i| raw[i / 8] >> (i % 8) & 1 == 1).collect()
+    }
+
+    fn recv_bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut raw = vec![0u8; n];
+        self.recv_into(&mut raw);
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_pair;
+    use std::thread;
+
+    #[test]
+    fn typed_roundtrips() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            assert_eq!(b.recv_u64(), 7);
+            assert_eq!(b.recv_u64_vec(3), vec![1, 2, 3]);
+            assert_eq!(b.recv_u128_vec(2), vec![u128::MAX, 5]);
+            assert_eq!(b.recv_bool_vec(10), {
+                let mut v = vec![false; 10];
+                v[0] = true;
+                v[9] = true;
+                v
+            });
+            assert_eq!(b.recv_bytes(4), vec![9, 8, 7, 6]);
+        });
+        a.send_u64(7);
+        a.send_u64_slice(&[1, 2, 3]);
+        a.send_u128_slice(&[u128::MAX, 5]);
+        let mut bools = vec![false; 10];
+        bools[0] = true;
+        bools[9] = true;
+        a.send_bool_slice(&bools);
+        a.send_bytes(&[9, 8, 7, 6]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bool_packing_is_compact() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || b.recv_bool_vec(17));
+        a.send_bool_slice(&vec![true; 17]);
+        assert_eq!(h.join().unwrap(), vec![true; 17]);
+        // 17 bools travel in 3 bytes.
+        assert_eq!(a.stats().bytes_alice_to_bob, 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Obliviousness tests: the transcript (sequence of message lengths and
+//! directions) of every protocol must be a function of the *public*
+//! parameters only. We run the same protocol twice with different private
+//! data of identical public shape and require byte-identical transcript
+//! structure — a direct, mechanical check of the property the paper's
+//! security argument rests on.
+
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_relation::{JoinTree, NaturalRing, Relation};
+use secyan_transport::{run_protocol, Role};
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+/// Run Example-1.1-shaped query on given data; return the transcript
+/// length sequence.
+fn transcript_of(
+    r1_rows: Vec<(Vec<u64>, u64)>,
+    r2_rows: Vec<(Vec<u64>, u64)>,
+    r3_rows: Vec<(Vec<u64>, u64)>,
+) -> Vec<(Role, usize)> {
+    let ring = NaturalRing::paper_default();
+    let r1 = Relation::from_rows(ring, strings(&["person"]), r1_rows);
+    let r2 = Relation::from_rows(ring, strings(&["person", "disease"]), r2_rows);
+    let r3 = Relation::from_rows(ring, strings(&["disease", "class"]), r3_rows);
+    let query = secyan_core::SecureQuery::new(
+        vec![
+            strings(&["person"]),
+            strings(&["person", "disease"]),
+            strings(&["disease", "class"]),
+        ],
+        vec![Role::Alice, Role::Bob, Role::Alice],
+        JoinTree::chain(3),
+        strings(&["class"]),
+    );
+    let q2 = query.clone();
+    let (transcript, _, _) = run_protocol(
+        move |ch| {
+            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 1);
+            secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None, Some(r3)], Role::Alice);
+            sess.ch.transcript_lengths()
+        },
+        move |ch| {
+            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 2);
+            secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2), None], Role::Alice);
+        },
+    );
+    transcript
+}
+
+/// Two databases with identical public shape (relation sizes) but totally
+/// different contents — including different join selectivities, different
+/// numbers of groups, and different dangling-tuple patterns.
+#[test]
+fn transcript_depends_only_on_public_sizes() {
+    // Database A: everything joins, 2 classes.
+    let t_a = transcript_of(
+        vec![(vec![1], 10), (vec![2], 20), (vec![3], 30)],
+        vec![(vec![1, 1], 5), (vec![2, 1], 6), (vec![3, 2], 7), (vec![1, 2], 8)],
+        vec![(vec![1, 100], 1), (vec![2, 200], 1)],
+    );
+    // Database B: same sizes; nothing joins at all, different values.
+    let t_b = transcript_of(
+        vec![(vec![91], 1), (vec![92], 1), (vec![93], 1)],
+        vec![
+            (vec![77, 5], 50),
+            (vec![78, 5], 60),
+            (vec![79, 6], 70),
+            (vec![80, 6], 80),
+        ],
+        vec![(vec![40, 300], 1), (vec![41, 300], 1)],
+    );
+    assert_eq!(
+        t_a.len(),
+        t_b.len(),
+        "different number of messages: {} vs {}",
+        t_a.len(),
+        t_b.len()
+    );
+    for (i, (ma, mb)) in t_a.iter().zip(&t_b).enumerate() {
+        assert_eq!(ma.0, mb.0, "message {i} direction differs");
+        assert_eq!(ma.1, mb.1, "message {i} length differs ({:?} vs {:?})", ma, mb);
+    }
+}
+
+/// Annotation values must not influence the transcript either (e.g. a
+/// database where every annotation is zero = every tuple is a dummy).
+#[test]
+fn all_dummy_database_is_indistinguishable() {
+    let t_real = transcript_of(
+        vec![(vec![1], 10), (vec![2], 20)],
+        vec![(vec![1, 1], 5), (vec![2, 2], 6)],
+        vec![(vec![1, 9], 1), (vec![2, 8], 1)],
+    );
+    let t_dummy = transcript_of(
+        vec![(vec![1], 0), (vec![2], 0)],
+        vec![(vec![1, 1], 0), (vec![2, 2], 0)],
+        vec![(vec![1, 9], 0), (vec![2, 8], 0)],
+    );
+    assert_eq!(t_real.len(), t_dummy.len());
+    for (ma, mb) in t_real.iter().zip(&t_dummy) {
+        assert_eq!(ma, mb);
+    }
+}
+
+/// Rounds must depend only on the query, not the data size — the paper's
+/// constant-round claim. Doubling the data must not change the number of
+/// direction switches.
+#[test]
+fn round_count_is_data_size_independent() {
+    let ring = NaturalRing::paper_default();
+    let mut rounds = Vec::new();
+    for n in [4usize, 16] {
+        let r1 = Relation::from_rows(
+            ring,
+            strings(&["a"]),
+            (0..n as u64).map(|i| (vec![i], 1)).collect(),
+        );
+        let r2 = Relation::from_rows(
+            ring,
+            strings(&["a", "g"]),
+            (0..n as u64).map(|i| (vec![i, i % 3], 2)).collect(),
+        );
+        let query = secyan_core::SecureQuery::new(
+            vec![strings(&["a"]), strings(&["a", "g"])],
+            vec![Role::Alice, Role::Bob],
+            JoinTree::chain(2),
+            strings(&["g"]),
+        );
+        let q2 = query.clone();
+        let (_, _, stats) = run_protocol(
+            move |ch| {
+                let mut sess =
+                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 3);
+                secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None], Role::Alice)
+            },
+            move |ch| {
+                let mut sess =
+                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 4);
+                secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2)], Role::Alice)
+            },
+        );
+        rounds.push(stats.rounds);
+    }
+    assert_eq!(rounds[0], rounds[1], "rounds grew with data size");
+}
