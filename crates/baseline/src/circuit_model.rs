@@ -121,7 +121,7 @@ mod tests {
         // regime the paper reports.
         assert!(c.combinations > 1_000_000_000_000_000u128);
         assert!(c.table_bytes > 1u128 << 60); // more than an exabyte/8
-        // At an (optimistic) 10^7 AND/s this is centuries.
+                                              // At an (optimistic) 10^7 AND/s this is centuries.
         assert!(c.seconds_at(1e7) > 100.0 * 365.0 * 86_400.0);
     }
 

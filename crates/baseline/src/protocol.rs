@@ -47,7 +47,8 @@ fn build_circuit(sizes: &[usize], owners: &[Role], key_bits: usize, ell: usize) 
             }
         }
     }
-    let rels: Vec<Vec<(Word, Word, Word)>> = rels.into_iter().map(|r| r.expect("declared")).collect();
+    let rels: Vec<Vec<(Word, Word, Word)>> =
+        rels.into_iter().map(|r| r.expect("declared")).collect();
     // Enumerate all combinations with an odometer.
     let k = sizes.len();
     let mut idx = vec![0usize; k];
@@ -136,16 +137,8 @@ pub fn naive_gc_garbler<R: Rng + ?Sized>(
 ) -> u64 {
     let circuit = build_circuit(sizes, owners, key_bits, ell);
     let bits = pack_bits(sizes, owners, Role::Alice, my_rows, key_bits, ell);
-    let out = garble_circuit(
-        ch,
-        &circuit,
-        &bits,
-        ot,
-        hasher,
-        rng,
-        OutputMode::RevealBoth,
-    )
-    .expect("reveal-both returns to garbler");
+    let out = garble_circuit(ch, &circuit, &bits, ot, hasher, rng, OutputMode::RevealBoth)
+        .expect("reveal-both returns to garbler");
     bits_to_u64(&out)
 }
 
@@ -181,6 +174,9 @@ mod tests {
     use rand::SeedableRng;
     use secyan_transport::run_protocol;
 
+    /// The one hasher choice shared by OT setup and garbling in these tests.
+    const HASHER: TweakHasher = TweakHasher::Aes;
+
     fn run_naive(
         sizes: Vec<usize>,
         owners: Vec<Role>,
@@ -191,7 +187,7 @@ mod tests {
         let (a, b, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(61);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtSender::setup(ch, &mut rng, HASHER);
                 naive_gc_garbler(
                     ch,
                     &sizes,
@@ -200,23 +196,14 @@ mod tests {
                     16,
                     16,
                     &mut ot,
-                    TweakHasher::Sha256,
+                    HASHER,
                     &mut rng,
                 )
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(62);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-                naive_gc_evaluator(
-                    ch,
-                    &s2,
-                    &o2,
-                    &bob_rows,
-                    16,
-                    16,
-                    &mut ot,
-                    TweakHasher::Sha256,
-                )
+                let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
+                naive_gc_evaluator(ch, &s2, &o2, &bob_rows, 16, 16, &mut ot, HASHER)
             },
         );
         assert_eq!(a, b, "both parties decode the same aggregate");

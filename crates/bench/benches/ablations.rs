@@ -42,14 +42,17 @@ fn bench_agg_plain_vs_shared(c: &mut Criterion) {
     g.sample_size(10);
     let rel = test_relation(200);
     for force_shared in [false, true] {
-        let label = if force_shared { "shared" } else { "plain(§6.5)" };
+        let label = if force_shared {
+            "shared"
+        } else {
+            "plain(§6.5)"
+        };
         g.bench_function(BenchmarkId::new("project_agg", label), |b| {
             b.iter(|| {
                 let r1 = rel.clone();
                 run_protocol(
                     move |ch| {
-                        let mut sess =
-                            Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 11);
+                        let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 11);
                         let mut r = SecureRelation::load(
                             &mut sess,
                             Role::Alice,
@@ -59,12 +62,10 @@ fn bench_agg_plain_vs_shared(c: &mut Criterion) {
                         if force_shared {
                             r.ensure_shared(&mut sess);
                         }
-                        oblivious_project_agg(&mut sess, &r, &["g".to_string()], AggKind::Sum)
-                            .size
+                        oblivious_project_agg(&mut sess, &r, &["g".to_string()], AggKind::Sum).size
                     },
                     move |ch| {
-                        let mut sess =
-                            Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 12);
+                        let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 12);
                         let mut r = SecureRelation::load(
                             &mut sess,
                             Role::Alice,
@@ -74,8 +75,7 @@ fn bench_agg_plain_vs_shared(c: &mut Criterion) {
                         if force_shared {
                             r.ensure_shared(&mut sess);
                         }
-                        oblivious_project_agg(&mut sess, &r, &["g".to_string()], AggKind::Sum)
-                            .size
+                        oblivious_project_agg(&mut sess, &r, &["g".to_string()], AggKind::Sum).size
                     },
                 )
             });

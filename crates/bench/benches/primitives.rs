@@ -46,21 +46,27 @@ fn bench_garbling(c: &mut Criterion) {
     b.output_word(&p);
     let circuit = b.finish();
     let ands = circuit.and_count();
-    for hasher in [TweakHasher::Fast, TweakHasher::Sha256] {
+    for hasher in [TweakHasher::Fast, TweakHasher::Aes, TweakHasher::Sha256] {
         g.throughput(Throughput::Elements(ands));
-        g.bench_function(BenchmarkId::new("mul32_garble", format!("{hasher:?}")), |bch| {
-            let mut rng = StdRng::seed_from_u64(3);
-            bch.iter(|| garble(&circuit, hasher, &mut rng));
-        });
-        g.bench_function(BenchmarkId::new("mul32_eval", format!("{hasher:?}")), |bch| {
-            let mut rng = StdRng::seed_from_u64(4);
-            let gb = garble(&circuit, hasher, &mut rng);
-            let labels: Vec<Block> = (0..64).map(|i| gb.input_label(i, false)).collect();
-            let tables = EvalTables {
-                tables: gb.tables.clone(),
-            };
-            bch.iter(|| eval(&circuit, &tables, &labels, hasher));
-        });
+        g.bench_function(
+            BenchmarkId::new("mul32_garble", format!("{hasher:?}")),
+            |bch| {
+                let mut rng = StdRng::seed_from_u64(3);
+                bch.iter(|| garble(&circuit, hasher, &mut rng));
+            },
+        );
+        g.bench_function(
+            BenchmarkId::new("mul32_eval", format!("{hasher:?}")),
+            |bch| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let gb = garble(&circuit, hasher, &mut rng);
+                let labels: Vec<Block> = (0..64).map(|i| gb.input_label(i, false)).collect();
+                let tables = EvalTables {
+                    tables: gb.tables.clone(),
+                };
+                bch.iter(|| eval(&circuit, &tables, &labels, hasher));
+            },
+        );
     }
     g.finish();
 }

@@ -57,7 +57,11 @@ fn bench_secure_queries(c: &mut Criterion) {
 fn bench_plaintext_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("plaintext_queries");
     let ring = secyan_relation::NaturalRing::paper_default();
-    for (q, mb) in [(PaperQuery::Q3, 1.0), (PaperQuery::Q10, 1.0), (PaperQuery::Q9, 0.3)] {
+    for (q, mb) in [
+        (PaperQuery::Q3, 1.0),
+        (PaperQuery::Q10, 1.0),
+        (PaperQuery::Q9, 0.3),
+    ] {
         let spec = build_spec(q, mb, 42);
         g.bench_function(BenchmarkId::new("plain", q.name()), |b| {
             b.iter(|| run_plaintext_instance(&spec, ring));

@@ -2,21 +2,20 @@
 //! secure Yannakakis vs. the naive garbled circuit vs. plaintext).
 //!
 //! Usage:
-//!   figures [--figure N] [--scales a,b,c] [--full] [--sha] [--gc-anchor]
+//!   figures [--figure N] [--scales a,b,c] [--full] [--sha] [--fast] [--gc-anchor]
 //!
-//! * `--figure N`   only figure N (2..=6); default: all five.
-//! * `--scales`     comma-separated dataset sizes in MB (overrides the
-//!                  scaled-down defaults).
-//! * `--full`       the paper's scales 1,3,10,33,100 MB (slow: the
-//!                  garbling hash is software, not AES-NI).
-//! * `--sha`        use SHA-256 garbling instead of the fast benchmark
-//!                  hash (matches the security configuration, ~10× slower).
-//! * `--gc-anchor`  additionally run the §8.2 anchor experiment: measure
-//!                  the runnable naive-GC instance used for calibration.
+//! * `--figure N` — only figure N (2..=6); default: all five.
+//! * `--scales` — comma-separated dataset sizes in MB (overrides the
+//!   scaled-down defaults).
+//! * `--full` — the paper's scales 1,3,10,33,100 MB.
+//! * `--sha` — use SHA-256 garbling instead of the default fixed-key
+//!   AES (cross-check configuration, ~10× slower).
+//! * `--fast` — use the non-cryptographic benchmark hash (cost-shape
+//!   runs only; insecure).
+//! * `--gc-anchor` — additionally run the §8.2 anchor experiment: measure
+//!   the runnable naive-GC instance used for calibration.
 
-use secyan_bench::{
-    calibrate_gc_rate, default_scales, fmt_bytes, fmt_secs, measure_point,
-};
+use secyan_bench::{calibrate_gc_rate, default_scales, fmt_bytes, fmt_secs, measure_point};
 use secyan_crypto::TweakHasher;
 use secyan_tpch::queries::PaperQuery;
 
@@ -25,7 +24,7 @@ fn main() {
     let mut figure: Option<u32> = None;
     let mut scales_override: Option<Vec<f64>> = None;
     let mut full = false;
-    let mut hasher = TweakHasher::Fast;
+    let mut hasher = TweakHasher::default();
     let mut gc_anchor = false;
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +44,7 @@ fn main() {
             }
             "--full" => full = true,
             "--sha" => hasher = TweakHasher::Sha256,
+            "--fast" => hasher = TweakHasher::Fast,
             "--gc-anchor" => gc_anchor = true,
             other => {
                 eprintln!("unknown argument: {other}");
@@ -82,8 +82,17 @@ fn main() {
         );
         println!(
             "{:>9} {:>9} {:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>12} {:>12} | {:>6} {:>6}",
-            "scale", "eff.size", "tuples", "SY time", "SY comm", "GC time*", "GC comm*",
-            "plain time", "plain comm", "rows", "match"
+            "scale",
+            "eff.size",
+            "tuples",
+            "SY time",
+            "SY comm",
+            "GC time*",
+            "GC comm*",
+            "plain time",
+            "plain comm",
+            "rows",
+            "match"
         );
         for &mb in &scales {
             let p = measure_point(q, mb, hasher, gc_rate, 42);

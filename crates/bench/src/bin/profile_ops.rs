@@ -1,15 +1,21 @@
 //! Ad-hoc operator timing used to find protocol hot spots (dev tool).
+//!
+//! Also emits `BENCH_hashers.json`: machine-readable per-block timings of
+//! the three tweakable hashers, so successive PRs can track the perf
+//! trajectory of the garbling/OT hot path.
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_crypto::{Block, RingCtx, TweakHasher};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_transport::run_protocol;
 use std::time::Instant;
 
 fn main() {
+    profile_hashers();
+
     let ring = RingCtx::new(32);
-    let hasher = TweakHasher::Fast;
+    let hasher = TweakHasher::default();
     // 1. session-ish setup
     let t = Instant::now();
     run_protocol(
@@ -17,15 +23,15 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(1);
             let _s = OtSender::setup(ch, &mut rng, hasher);
             let _r = OtReceiver::setup(ch, &mut rng, hasher);
-            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng);
-            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
+            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
+            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
         },
         |ch| {
             let mut rng = StdRng::seed_from_u64(2);
             let _r = OtReceiver::setup(ch, &mut rng, hasher);
             let _s = OtSender::setup(ch, &mut rng, hasher);
-            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
-            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng);
+            let _kr = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
+            let _ks = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
         },
     );
     println!("session setup: {:?}", t.elapsed());
@@ -92,17 +98,21 @@ fn main() {
     run_protocol(
         |ch| {
             let mut rng = StdRng::seed_from_u64(1);
-            let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
+            let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
             let mut otr = OtReceiver::setup(ch, &mut rng, hasher);
             let x: Vec<u64> = (0..75).collect();
-            secyan_psi::psi_receiver(ch, &x, 300, ring, &mut kkrt, &mut otr, hasher).ind_shares.len()
+            secyan_psi::psi_receiver(ch, &x, 300, ring, &mut kkrt, &mut otr, hasher)
+                .ind_shares
+                .len()
         },
         |ch| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng);
+            let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
             let mut ots = OtSender::setup(ch, &mut rng, hasher);
             let y: Vec<(u64, u64)> = (0..300u64).map(|i| (i, i)).collect();
-            secyan_psi::psi_sender(ch, &y, 75, ring, &mut kkrt, &mut ots, hasher, &mut rng).ind_shares.len()
+            secyan_psi::psi_sender(ch, &y, 75, ring, &mut kkrt, &mut ots, hasher, &mut rng)
+                .ind_shares
+                .len()
         },
     );
     println!("plain PSI 75x300: {:?}", t.elapsed());
@@ -126,7 +136,73 @@ fn main() {
         outs.push(z);
         outs
     });
-    println!("merge circuit build 300: {:?} ({} ANDs)", t.elapsed(), _c.and_count());
+    println!(
+        "merge circuit build 300: {:?} ({} ANDs)",
+        t.elapsed(),
+        _c.and_count()
+    );
     let _ = u64_to_bits(0, 1);
     let _ = Builder::new();
+}
+
+/// Time the tweakable hashers (scalar vs batched, plus 512-bit row
+/// compression) and write `BENCH_hashers.json`.
+fn profile_hashers() {
+    const N: usize = 1 << 16;
+    const ROWS: usize = 1 << 12;
+    let blocks: Vec<Block> = (0..N as u128)
+        .map(|i| Block(i.wrapping_mul(0x9e37_79b9)))
+        .collect();
+    let rows: Vec<[u8; 64]> = (0..ROWS).map(|i| [i as u8; 64]).collect();
+    let hashers = [TweakHasher::Sha256, TweakHasher::Aes, TweakHasher::Fast];
+
+    let mut entries = Vec::new();
+    let mut sha_scalar = 0.0f64;
+    for h in hashers {
+        // Scalar: one dispatch per block.
+        let t = Instant::now();
+        let mut acc = Block::ZERO;
+        for (j, &b) in blocks.iter().enumerate() {
+            acc ^= h.hash(b, j as u64);
+        }
+        let scalar_ns = t.elapsed().as_nanos() as f64 / N as f64;
+        std::hint::black_box(acc);
+
+        // Batched: the hot-loop API.
+        let t = Instant::now();
+        let out = h.hash_batch(&blocks, 0);
+        let batch_ns = t.elapsed().as_nanos() as f64 / N as f64;
+        std::hint::black_box(out);
+
+        // 512-bit KKRT row compression.
+        let t = Instant::now();
+        let out = h.hash_row_batch(0, &rows);
+        let row_ns = t.elapsed().as_nanos() as f64 / ROWS as f64;
+        std::hint::black_box(out);
+
+        if matches!(h, TweakHasher::Sha256) {
+            sha_scalar = scalar_ns;
+        }
+        println!(
+            "hasher {h:?}: scalar {scalar_ns:.1} ns/block, batch {batch_ns:.1} ns/block, \
+             row512 {row_ns:.1} ns/row"
+        );
+        entries.push((h, scalar_ns, batch_ns, row_ns));
+    }
+
+    let mut json = String::from("{\n  \"blocks\": ");
+    json.push_str(&N.to_string());
+    json.push_str(",\n  \"hashers\": {\n");
+    for (i, (h, scalar_ns, batch_ns, row_ns)) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{h:?}\": {{\"scalar_ns_per_block\": {scalar_ns:.2}, \
+\"batch_ns_per_block\": {batch_ns:.2}, \"row512_ns_per_row\": {row_ns:.2}, \
+\"batch_speedup_vs_sha256\": {:.2}}}{}\n",
+            sha_scalar / batch_ns,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_hashers.json", &json).expect("write BENCH_hashers.json");
+    println!("wrote BENCH_hashers.json");
 }

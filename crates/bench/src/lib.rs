@@ -65,8 +65,7 @@ pub fn measure_point(
     let t0 = Instant::now();
     let (sy_rows, _, stats) = run_protocol(
         move |ch| {
-            let mut sess =
-                secyan_core::Session::new(ch, RingCtx::new(32), hasher, seed ^ 0xa11ce);
+            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), hasher, seed ^ 0xa11ce);
             run_secure_instance(&mut sess, &spec_a)
         },
         move |ch| {
@@ -139,7 +138,16 @@ pub fn calibrate_gc_rate(hasher: TweakHasher) -> f64 {
         move |ch| {
             let mut rng = StdRng::seed_from_u64(78);
             let mut ot = OtReceiver::setup(ch, &mut rng, hasher);
-            naive_gc_evaluator(ch, &s2, &o2, &[None, Some(r2b), None], 32, 32, &mut ot, hasher)
+            naive_gc_evaluator(
+                ch,
+                &s2,
+                &o2,
+                &[None, Some(r2b), None],
+                32,
+                32,
+                &mut ot,
+                hasher,
+            )
         },
     );
     let secs = t0.elapsed().as_secs_f64();

@@ -169,7 +169,10 @@ impl Builder {
                 let pb = self.plain(wb);
                 let out = self.fresh_wire();
                 self.gates.push(Gate::And { a: pa, b: pb, out });
-                BitRef::Wire { id: out, inv: false }
+                BitRef::Wire {
+                    id: out,
+                    inv: false,
+                }
             }
         }
     }

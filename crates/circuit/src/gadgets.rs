@@ -309,7 +309,14 @@ mod tests {
 
     #[test]
     fn div_matches_integer_division() {
-        for (x, y) in [(100u64, 7u64), (0, 5), (13, 13), (12, 13), (0xffff, 1), (7, 100)] {
+        for (x, y) in [
+            (100u64, 7u64),
+            (0, 5),
+            (13, 13),
+            (12, 13),
+            (0xffff, 1),
+            (7, 100),
+        ] {
             let got = run_binop(16, x, y, |b, a, c| b.div_words(a, c));
             assert_eq!(got, x / y, "{x} / {y}");
         }
@@ -317,10 +324,7 @@ mod tests {
 
     #[test]
     fn div_by_zero_saturates() {
-        assert_eq!(
-            run_binop(8, 42, 0, |b, a, c| b.div_words(a, c)),
-            0xff
-        );
+        assert_eq!(run_binop(8, 42, 0, |b, a, c| b.div_words(a, c)), 0xff);
     }
 
     #[test]

@@ -117,9 +117,7 @@ pub fn oblivious_project_agg(
         // own singleton group.
         let mut order: Vec<usize> = (0..n).collect();
         let proj = |i: usize| -> Vec<u64> { pos.iter().map(|&p| tuples[i][p]).collect() };
-        order.sort_by(|&i, &j| {
-            (dummies[i], proj(i)).cmp(&(dummies[j], proj(j)))
-        });
+        order.sort_by(|&i, &j| (dummies[i], proj(i)).cmp(&(dummies[j], proj(j))));
         // Shared OEP: permute the annotation shares into sorted order.
         let my_sorted = shared_oep_perm_holder(
             sess.ch,
@@ -368,8 +366,9 @@ mod tests {
                 AggKind::Sum,
                 force_shared,
             );
-            let want: HashMap<Vec<u64>, u64> =
-                [(vec![1], 16), (vec![2], 8), (vec![3], 9)].into_iter().collect();
+            let want: HashMap<Vec<u64>, u64> = [(vec![1], 16), (vec![2], 8), (vec![3], 9)]
+                .into_iter()
+                .collect();
             assert_eq!(got, want, "force_shared={force_shared}");
         }
     }

@@ -304,8 +304,7 @@ mod tests {
         let mean = sum as f64 / n as f64;
         assert!(mean.abs() < 0.2, "mean {mean} too far from 0");
         // And it actually produces nonzero noise.
-        let any_nonzero =
-            (0..100).any(|_| sample_discrete_laplace(&mut rng, 1.0, 0.5) != 0);
+        let any_nonzero = (0..100).any(|_| sample_discrete_laplace(&mut rng, 1.0, 0.5) != 0);
         assert!(any_nonzero);
     }
 }

@@ -222,11 +222,8 @@ pub fn oblivious_join(
             if ri == 0 {
                 for (idx, row) in rows.iter().enumerate() {
                     if let Some(t) = row {
-                        let vals: HashMap<String, u64> = rel_schema
-                            .iter()
-                            .cloned()
-                            .zip(t.iter().copied())
-                            .collect();
+                        let vals: HashMap<String, u64> =
+                            rel_schema.iter().cloned().zip(t.iter().copied()).collect();
                         acc.push((vals, vec![idx]));
                     }
                 }
@@ -235,7 +232,7 @@ pub fn oblivious_join(
             // Hash the new relation on the shared attributes.
             let common: Vec<String> = rel_schema
                 .iter()
-                .filter(|a| acc.first().map_or(false, |(m, _)| m.contains_key(*a)))
+                .filter(|a| acc.first().is_some_and(|(m, _)| m.contains_key(*a)))
                 .cloned()
                 .collect();
             let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();

@@ -218,11 +218,7 @@ fn fold_order(query: &SecureQuery, survivors: &[usize]) -> Vec<usize> {
 
 /// Reveal a single relation's real rows (tuples + aggregate values) to the
 /// receiver — the fast path when the reduce phase ends with one node.
-fn reveal_result(
-    sess: &mut Session,
-    rel: &mut SecureRelation,
-    receiver: Role,
-) -> QueryResult {
+fn reveal_result(sess: &mut Session, rel: &mut SecureRelation, receiver: Role) -> QueryResult {
     rel.ensure_shared(sess);
     let n = rel.size;
     let ell = sess.ring.bits() as usize;
@@ -255,9 +251,7 @@ fn reveal_result(
             }
             let tuple = if owner_is_garbler {
                 (0..attrs)
-                    .map(|a| {
-                        bits_to_u64(&out[base + ell + a * 64..base + ell + (a + 1) * 64])
-                    })
+                    .map(|a| bits_to_u64(&out[base + ell + a * 64..base + ell + (a + 1) * 64]))
                     .collect()
             } else {
                 rel.tuples.as_ref().expect("receiver owns tuples")[i].clone()
@@ -482,7 +476,12 @@ mod tests {
         let r1 = Relation::from_rows(
             ring,
             strings(&["a", "b"]),
-            vec![(vec![1, 5], 1), (vec![2, 5], 2), (vec![3, 6], 3), (vec![4, 7], 4)],
+            vec![
+                (vec![1, 5], 1),
+                (vec![2, 5], 2),
+                (vec![3, 6], 3),
+                (vec![4, 7], 4),
+            ],
         );
         let r2 = Relation::from_rows(
             ring,
@@ -498,7 +497,11 @@ mod tests {
         // Rooted at R2(b,c) so both output attributes' TOPs sit at the
         // root, witnessing free-connexity.
         let query = SecureQuery::new(
-            vec![strings(&["a", "b"]), strings(&["b", "c"]), strings(&["c", "d"])],
+            vec![
+                strings(&["a", "b"]),
+                strings(&["b", "c"]),
+                strings(&["c", "d"]),
+            ],
             vec![Role::Alice, Role::Bob, Role::Alice],
             JoinTree::new(vec![Some(1), None, Some(1)]),
             out.clone(),
@@ -524,7 +527,12 @@ mod tests {
         let r2 = Relation::from_rows(
             ring,
             strings(&["a", "b"]),
-            vec![(vec![1, 1], 1), (vec![1, 2], 1), (vec![3, 1], 1), (vec![4, 4], 1)],
+            vec![
+                (vec![1, 1], 1),
+                (vec![1, 2], 1),
+                (vec![3, 1], 1),
+                (vec![4, 4], 1),
+            ],
         );
         let out: Vec<String> = vec![];
         let query = SecureQuery::new(
@@ -562,12 +570,7 @@ mod tests {
         let (_, res, _) = run_protocol(
             move |ch| {
                 let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 103);
-                secure_yannakakis(
-                    &mut sess,
-                    &query,
-                    &[Some(r1.clone()), None],
-                    Role::Bob,
-                )
+                secure_yannakakis(&mut sess, &query, &[Some(r1.clone()), None], Role::Bob)
             },
             move |ch| {
                 let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 104);

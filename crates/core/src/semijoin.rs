@@ -22,7 +22,9 @@ use crate::srel::{dummy_key, SecureRelation};
 use secyan_circuit::{u64_to_bits, Circuit, Word};
 use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
-use secyan_psi::{psi_receiver, psi_sender, shared_payload_psi_receiver, shared_payload_psi_sender};
+use secyan_psi::{
+    psi_receiver, psi_sender, shared_payload_psi_receiver, shared_payload_psi_sender,
+};
 use std::collections::HashMap;
 
 /// The product circuit: out_i = v_i ⊗ z_i as fresh shares. When
@@ -141,8 +143,8 @@ pub fn oblivious_reduce_join(
             let g_dummy = rg.dummy.as_ref().expect("owner side");
             let mut index: HashMap<u64, usize> = HashMap::new();
             let nonce = sess.random_u64();
-            for j in 0..rg.size {
-                if !g_dummy[j] {
+            for (j, dummy) in g_dummy.iter().enumerate().take(rg.size) {
+                if !dummy {
                     let k = rg.join_key(j, &pos_g, nonce);
                     assert!(
                         index.insert(k, j).is_none(),
@@ -461,8 +463,7 @@ mod tests {
                     crate::session::Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 83);
                 let mut rf =
                     SecureRelation::load(&mut sess, Role::Alice, strings(&["k"]), Some(&f_rel));
-                let mut rg =
-                    SecureRelation::load(&mut sess, Role::Bob, strings(&["k", "y"]), None);
+                let mut rg = SecureRelation::load(&mut sess, Role::Bob, strings(&["k", "y"]), None);
                 rf.ensure_shared(&mut sess);
                 rg.ensure_shared(&mut sess);
                 oblivious_semijoin(&mut sess, &mut rf, &mut rg).annot_shares
@@ -471,12 +472,8 @@ mod tests {
                 let mut sess =
                     crate::session::Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 84);
                 let mut rf = SecureRelation::load(&mut sess, Role::Alice, strings(&["k"]), None);
-                let mut rg = SecureRelation::load(
-                    &mut sess,
-                    Role::Bob,
-                    strings(&["k", "y"]),
-                    Some(&g_rel),
-                );
+                let mut rg =
+                    SecureRelation::load(&mut sess, Role::Bob, strings(&["k", "y"]), Some(&g_rel));
                 rf.ensure_shared(&mut sess);
                 rg.ensure_shared(&mut sess);
                 oblivious_semijoin(&mut sess, &mut rf, &mut rg).annot_shares

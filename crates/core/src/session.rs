@@ -36,15 +36,15 @@ impl<'a> Session<'a> {
             Role::Alice => {
                 let s = OtSender::setup(ch, &mut rng, hasher);
                 let r = OtReceiver::setup(ch, &mut rng, hasher);
-                let ks = KkrtSender::setup(ch, &mut rng);
-                let kr = KkrtReceiver::setup(ch, &mut rng);
+                let ks = KkrtSender::setup(ch, &mut rng, hasher);
+                let kr = KkrtReceiver::setup(ch, &mut rng, hasher);
                 (s, r, ks, kr)
             }
             Role::Bob => {
                 let r = OtReceiver::setup(ch, &mut rng, hasher);
                 let s = OtSender::setup(ch, &mut rng, hasher);
-                let kr = KkrtReceiver::setup(ch, &mut rng);
-                let ks = KkrtSender::setup(ch, &mut rng);
+                let kr = KkrtReceiver::setup(ch, &mut rng, hasher);
+                let ks = KkrtSender::setup(ch, &mut rng, hasher);
                 (s, r, ks, kr)
             }
         };
@@ -87,11 +87,11 @@ mod tests {
         // the channel clean for subsequent traffic.
         let (a, b, _) = run_protocol(
             |ch| {
-                let s = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 1);
+                let s = Session::new(ch, RingCtx::new(32), TweakHasher::default(), 1);
                 s.role()
             },
             |ch| {
-                let s = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 2);
+                let s = Session::new(ch, RingCtx::new(32), TweakHasher::default(), 2);
                 s.role()
             },
         );

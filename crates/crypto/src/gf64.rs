@@ -17,6 +17,9 @@ pub struct Gf64(pub u64);
 /// Low 64 bits of the reduction polynomial x^64 + x^4 + x^3 + x + 1.
 const POLY: u64 = 0x1b;
 
+// Inherent add/mul keep field arithmetic explicit at call sites; no
+// operator-trait imports needed.
+#[allow(clippy::should_implement_trait)]
 impl Gf64 {
     /// Additive identity.
     pub const ZERO: Gf64 = Gf64(0);

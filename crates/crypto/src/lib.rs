@@ -15,9 +15,13 @@
 //!   used by the OPPRF hint encoding in circuit PSI.
 //! * [`transpose`] — bit-matrix transposition for IKNP OT extension.
 //! * [`share`] — additive secret sharing over Z_{2^ℓ} (§5.1 of the paper).
-//! * [`hashers`] — the tweakable hash used by garbling/OT, with a fast
-//!   insecure variant for large-scale benchmarking.
+//! * [`aes`] — a from-scratch fixed-key AES-128 kernel (FIPS-197), the
+//!   permutation behind the default tweakable hash.
+//! * [`hashers`] — the tweakable hash used by garbling/OT: fixed-key AES
+//!   in the MMO construction by default, SHA-256 for cross-checking, and
+//!   a fast insecure variant for large-scale benchmarking.
 
+pub mod aes;
 pub mod block;
 pub mod gf64;
 pub mod hashers;

@@ -16,6 +16,9 @@ pub const P: u128 = (1u128 << 127) - 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fp(u128);
 
+// Inherent add/sub/mul keep field arithmetic explicit at call sites; no
+// operator-trait imports needed.
+#[allow(clippy::should_implement_trait)]
 impl Fp {
     /// Zero.
     pub const ZERO: Fp = Fp(0);

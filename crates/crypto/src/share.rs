@@ -20,7 +20,11 @@ impl RingCtx {
     /// The ring Z_{2^ℓ}. `ell` must be in 1..=64.
     pub fn new(ell: u32) -> RingCtx {
         assert!((1..=64).contains(&ell), "ell must be in 1..=64");
-        let mask = if ell == 64 { u64::MAX } else { (1u64 << ell) - 1 };
+        let mask = if ell == 64 {
+            u64::MAX
+        } else {
+            (1u64 << ell) - 1
+        };
         RingCtx { ell, mask }
     }
 

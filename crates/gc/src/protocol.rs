@@ -69,13 +69,7 @@ pub fn garble_circuit<R: Rng + ?Sized>(
     if matches!(mode, OutputMode::RevealToGarbler | OutputMode::RevealBoth) {
         let colors = ch.recv_bool_vec(circuit.outputs.len());
         let decode = g.decode_bits();
-        Some(
-            colors
-                .iter()
-                .zip(&decode)
-                .map(|(&c, &d)| c ^ d)
-                .collect(),
-        )
+        Some(colors.iter().zip(&decode).map(|(&c, &d)| c ^ d).collect())
     } else {
         None
     }
@@ -144,7 +138,15 @@ mod tests {
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(100);
                 let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
-                garble_circuit(ch, &ca, &a_bits, &mut ot, TweakHasher::Sha256, &mut rng, mode)
+                garble_circuit(
+                    ch,
+                    &ca,
+                    &a_bits,
+                    &mut ot,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                    mode,
+                )
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(101);
@@ -248,7 +250,12 @@ mod tests {
         let s = b.add_words(&x, &one);
         b.output_word(&s);
         let c = b.finish();
-        let (_, rb) = run_gc(&c, u64_to_bits(41, 8), vec![], OutputMode::RevealToEvaluator);
+        let (_, rb) = run_gc(
+            &c,
+            u64_to_bits(41, 8),
+            vec![],
+            OutputMode::RevealToEvaluator,
+        );
         assert_eq!(bits_to_u64(&rb.unwrap()), 42);
     }
 }

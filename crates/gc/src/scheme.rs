@@ -119,9 +119,10 @@ fn garble_and(
     let pb = wb0.lsb();
     let j_g = 2 * and_idx;
     let j_e = 2 * and_idx + 1;
+    // All four hashes of the gate in one kernel dispatch.
+    let [h_a0, h_a1, h_b0, h_b1] =
+        hasher.hash4([wa0, wa0 ^ delta, wb0, wb0 ^ delta], [j_g, j_g, j_e, j_e]);
     // Generator half-gate.
-    let h_a0 = hasher.hash(wa0, j_g);
-    let h_a1 = hasher.hash(wa0 ^ delta, j_g);
     let mut t_g = h_a0 ^ h_a1;
     if pb {
         t_g ^= delta;
@@ -131,8 +132,6 @@ fn garble_and(
         w_g ^= t_g;
     }
     // Evaluator half-gate.
-    let h_b0 = hasher.hash(wb0, j_e);
-    let h_b1 = hasher.hash(wb0 ^ delta, j_e);
     let t_e = h_b0 ^ h_b1 ^ wa0;
     let mut w_e = h_b0;
     if pb {
@@ -165,11 +164,13 @@ pub fn eval(
                 let (wa, wb) = (wires[a], wires[b]);
                 let j_g = 2 * and_idx;
                 let j_e = 2 * and_idx + 1;
-                let mut w_g = hasher.hash(wa, j_g);
+                // Both hashes of the gate in one kernel dispatch.
+                let (h_g, h_e) = hasher.hash_pair(wa, j_g, wb, j_e);
+                let mut w_g = h_g;
                 if wa.lsb() {
                     w_g ^= t_g;
                 }
-                let mut w_e = hasher.hash(wb, j_e);
+                let mut w_e = h_e;
                 if wb.lsb() {
                     w_e ^= t_e ^ wa;
                 }
@@ -214,7 +215,7 @@ mod tests {
 
     #[test]
     fn single_gates_exhaustive() {
-        for hasher in [TweakHasher::Sha256, TweakHasher::Fast] {
+        for hasher in [TweakHasher::Sha256, TweakHasher::Aes, TweakHasher::Fast] {
             for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
                 for op in 0..4 {
                     let mut b = Builder::new();
@@ -246,7 +247,13 @@ mod tests {
         b.output_word(&s);
         let circ = b.finish();
         for (x, y) in [(3u64, 5u64), (0xffff_ffff, 1), (123456, 654321)] {
-            check(&circ, &u64_to_bits(x, 32), &u64_to_bits(y, 32), TweakHasher::Sha256, 7);
+            check(
+                &circ,
+                &u64_to_bits(x, 32),
+                &u64_to_bits(y, 32),
+                TweakHasher::Sha256,
+                7,
+            );
         }
     }
 
@@ -258,13 +265,15 @@ mod tests {
         let s = b.mul_words(&x, &y);
         b.output_word(&s);
         let circ = b.finish();
-        check(
-            &circ,
-            &u64_to_bits(1234, 16),
-            &u64_to_bits(4321, 16),
-            TweakHasher::Sha256,
-            8,
-        );
+        for hasher in [TweakHasher::Sha256, TweakHasher::Aes] {
+            check(
+                &circ,
+                &u64_to_bits(1234, 16),
+                &u64_to_bits(4321, 16),
+                hasher,
+                8,
+            );
+        }
     }
 
     #[test]
@@ -286,7 +295,9 @@ mod tests {
             .collect();
         let outs = eval(
             &circ,
-            &EvalTables { tables: g.tables.clone() },
+            &EvalTables {
+                tables: g.tables.clone(),
+            },
             &labels,
             TweakHasher::Sha256,
         );
@@ -322,7 +333,7 @@ mod tests {
             b.output(eqb);
             b.output(lt);
             let circ = b.finish();
-            check(&circ, &u64_to_bits(x, 16), &u64_to_bits(y, 16), TweakHasher::Sha256, seed);
+            check(&circ, &u64_to_bits(x, 16), &u64_to_bits(y, 16), TweakHasher::Aes, seed);
         }
     }
 }

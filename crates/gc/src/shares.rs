@@ -82,7 +82,10 @@ impl SharedOutputSpec {
 /// (widths must match `spec`). This helper prepends one garbler mask word
 /// per output and appends the mask adders, so the *same* function produces
 /// the identical circuit on both sides.
-pub fn with_shared_outputs(spec: &SharedOutputSpec, f: impl FnOnce(&mut Builder) -> Vec<Word>) -> Circuit {
+pub fn with_shared_outputs(
+    spec: &SharedOutputSpec,
+    f: impl FnOnce(&mut Builder) -> Vec<Word>,
+) -> Circuit {
     let mut b = Builder::new();
     let masks: Vec<Word> = spec.widths.iter().map(|&w| b.alice_word(w)).collect();
     let words = f(&mut b);
@@ -140,8 +143,15 @@ pub fn evaluate_shared(
     ot: &mut OtReceiver,
     hasher: TweakHasher,
 ) -> Vec<u64> {
-    let bits = evaluate_circuit(ch, circuit, my_inputs, ot, hasher, OutputMode::RevealToEvaluator)
-        .expect("shared-output circuits reveal to the evaluator");
+    let bits = evaluate_circuit(
+        ch,
+        circuit,
+        my_inputs,
+        ot,
+        hasher,
+        OutputMode::RevealToEvaluator,
+    )
+    .expect("shared-output circuits reveal to the evaluator");
     let mut shares = Vec::with_capacity(spec.widths.len());
     let mut pos = 0;
     for &w in &spec.widths {
@@ -189,12 +199,27 @@ mod tests {
                 let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
                 let mut inputs = u64_to_bits(factor, bits);
                 inputs.extend(u64_to_bits(sa, bits));
-                garble_shared(ch, &c, &spec, &inputs, &mut ot, TweakHasher::Sha256, &mut rng)
+                garble_shared(
+                    ch,
+                    &c,
+                    &spec,
+                    &inputs,
+                    &mut ot,
+                    TweakHasher::Sha256,
+                    &mut rng,
+                )
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(2);
                 let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-                evaluate_shared(ch, &c2, &spec2, &u64_to_bits(sb, bits), &mut ot, TweakHasher::Sha256)
+                evaluate_shared(
+                    ch,
+                    &c2,
+                    &spec2,
+                    &u64_to_bits(sb, bits),
+                    &mut ot,
+                    TweakHasher::Sha256,
+                )
             },
         );
         assert_eq!(ring.reconstruct(ga[0], gb[0]), ring.mul(secret, factor));
@@ -235,7 +260,14 @@ mod tests {
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(4);
                 let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-                evaluate_shared(ch, &c2, &spec2, &u64_to_bits(77, 8), &mut ot, TweakHasher::Sha256)
+                evaluate_shared(
+                    ch,
+                    &c2,
+                    &spec2,
+                    &u64_to_bits(77, 8),
+                    &mut ot,
+                    TweakHasher::Sha256,
+                )
             },
         );
         let r16 = RingCtx::new(16);

@@ -23,6 +23,4 @@ pub mod osn;
 pub mod protocol;
 
 pub use network::{EpNetwork, PermNetwork};
-pub use protocol::{
-    oep_perm_holder, oep_value_holder, shared_oep_other, shared_oep_perm_holder,
-};
+pub use protocol::{oep_perm_holder, oep_value_holder, shared_oep_other, shared_oep_perm_holder};

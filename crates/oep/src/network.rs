@@ -141,7 +141,7 @@ fn route_benes(perm: &[usize], bits: &mut Vec<bool>) {
             let o2 = inv[partner]; // this output comes via LOWER
             let j = o2 / 2;
             // Lower reaches output 2j+1 when straight; cross iff o2 even.
-            let need = o2 % 2 == 0;
+            let need = o2.is_multiple_of(2);
             if let Some(existing) = out_bits[j] {
                 debug_assert_eq!(existing, need, "routing conflict");
                 break;

@@ -115,20 +115,32 @@ pub fn osn_perm_holder(
     for (&(i, j), &b) in net.p1.switches().iter().zip(&routing.p1_bits) {
         let (c1, c2) = dec_pair(&corrections[idx]);
         idx += 1;
-        let (src1, src2) = if b { (vals[j], vals[i]) } else { (vals[i], vals[j]) };
+        let (src1, src2) = if b {
+            (vals[j], vals[i])
+        } else {
+            (vals[i], vals[j])
+        };
         vals[i] = ring.add(src1, c1);
         vals[j] = ring.add(src2, c2);
     }
     for t in 1..width {
         let (c1, _) = dec_pair(&corrections[idx]);
         idx += 1;
-        let src = if routing.dup_bits[t] { vals[t - 1] } else { vals[t] };
+        let src = if routing.dup_bits[t] {
+            vals[t - 1]
+        } else {
+            vals[t]
+        };
         vals[t] = ring.add(src, c1);
     }
     for (&(i, j), &b) in net.p2.switches().iter().zip(&routing.p2_bits) {
         let (c1, c2) = dec_pair(&corrections[idx]);
         idx += 1;
-        let (src1, src2) = if b { (vals[j], vals[i]) } else { (vals[i], vals[j]) };
+        let (src1, src2) = if b {
+            (vals[j], vals[i])
+        } else {
+            (vals[i], vals[j])
+        };
         vals[i] = ring.add(src1, c1);
         vals[j] = ring.add(src2, c2);
     }
@@ -145,6 +157,9 @@ mod tests {
     use secyan_crypto::TweakHasher;
     use secyan_transport::run_protocol;
 
+    /// The one hasher choice shared by every OT setup in these tests.
+    const HASHER: TweakHasher = TweakHasher::Aes;
+
     fn run_osn(values: Vec<u64>, xi: Vec<usize>, ell: u32) -> Vec<u64> {
         let ring = RingCtx::new(ell);
         let net = EpNetwork::new(values.len(), xi.len());
@@ -154,12 +169,12 @@ mod tests {
                 // Bob-as-Alice-thread naming aside: this closure is the
                 // value holder.
                 let mut rng = StdRng::seed_from_u64(7);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtSender::setup(ch, &mut rng, HASHER);
                 osn_value_holder(ch, &net, &values, ring, &mut ot, &mut rng)
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(8);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
                 let routing = net2.route(&xi);
                 osn_perm_holder(ch, &net2, &routing, ring, &mut ot)
             },

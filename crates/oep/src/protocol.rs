@@ -86,6 +86,9 @@ mod tests {
     use secyan_crypto::TweakHasher;
     use secyan_transport::run_protocol;
 
+    /// The one hasher choice shared by every OT setup in these tests.
+    const HASHER: TweakHasher = TweakHasher::Aes;
+
     #[test]
     fn shared_oep_permutes_the_secret() {
         let ring = RingCtx::new(32);
@@ -97,12 +100,12 @@ mod tests {
         let (a_out, b_out, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(2);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
                 shared_oep_perm_holder(ch, &xi, &alice_in, ring, &mut ot)
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(3);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtSender::setup(ch, &mut rng, HASHER);
                 shared_oep_other(ch, &bob_in, 8, ring, &mut ot, &mut rng)
             },
         );
@@ -124,12 +127,12 @@ mod tests {
         let (a_out, b_out, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(5);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
                 shared_oep_perm_holder(ch, &[0, 1, 2], &alice_in, ring, &mut ot)
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(6);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtSender::setup(ch, &mut rng, HASHER);
                 shared_oep_other(ch, &bob_in, 3, ring, &mut ot, &mut rng)
             },
         );
@@ -148,12 +151,12 @@ mod tests {
         let (a_out, b_out, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(7);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
                 oep_perm_holder(ch, &xi, 3, ring, &mut ot)
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(8);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot = OtSender::setup(ch, &mut rng, HASHER);
                 oep_value_holder(ch, &v2, 5, ring, &mut ot, &mut rng)
             },
         );

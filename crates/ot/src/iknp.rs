@@ -78,19 +78,19 @@ impl OtSender {
             q.row_mut(i).copy_from_slice(&col);
         }
         let rows = q.transpose(); // m rows of κ bits
-        let mut out = Vec::with_capacity(m);
-        for j in 0..m {
-            let qj = Block(u128::from_le_bytes(
-                rows.row(j).try_into().expect("κ/8 = 16 bytes"),
-            ));
-            let tweak = self.ctr + j as u64;
-            out.push((
-                self.hasher.hash(qj, tweak),
-                self.hasher.hash(qj ^ Block(self.s), tweak),
-            ));
-        }
+        let qjs: Vec<Block> = (0..m)
+            .map(|j| {
+                Block(u128::from_le_bytes(
+                    rows.row(j).try_into().expect("κ/8 = 16 bytes"),
+                ))
+            })
+            .collect();
+        let qjs_s: Vec<Block> = qjs.iter().map(|&qj| qj ^ Block(self.s)).collect();
+        // Both correlated branches hashed in batched kernel dispatches.
+        let h0 = self.hasher.hash_batch(&qjs, self.ctr);
+        let h1 = self.hasher.hash_batch(&qjs_s, self.ctr);
         self.ctr += m as u64;
-        out
+        h0.into_iter().zip(h1).collect()
     }
 
     /// Chosen-message OT on 128-bit messages.
@@ -164,14 +164,14 @@ impl OtReceiver {
             t.row_mut(i).copy_from_slice(&t0);
         }
         let rows = t.transpose();
-        let out = (0..m)
+        let tjs: Vec<Block> = (0..m)
             .map(|j| {
-                let tj = Block(u128::from_le_bytes(
+                Block(u128::from_le_bytes(
                     rows.row(j).try_into().expect("16 bytes"),
-                ));
-                self.hasher.hash(tj, self.ctr + j as u64)
+                ))
             })
             .collect();
+        let out = self.hasher.hash_batch(&tjs, self.ctr);
         self.ctr += m as u64;
         out
     }
@@ -222,11 +222,19 @@ mod tests {
         let c2 = choices.clone();
         let (pairs, got, _) = run_protocol(
             move |ch| {
-                let mut s = OtSender::setup(ch, &mut StdRng::seed_from_u64(seed + 1), TweakHasher::Sha256);
+                let mut s = OtSender::setup(
+                    ch,
+                    &mut StdRng::seed_from_u64(seed + 1),
+                    TweakHasher::Sha256,
+                );
                 s.random(ch, m)
             },
             move |ch| {
-                let mut r = OtReceiver::setup(ch, &mut StdRng::seed_from_u64(seed + 2), TweakHasher::Sha256);
+                let mut r = OtReceiver::setup(
+                    ch,
+                    &mut StdRng::seed_from_u64(seed + 2),
+                    TweakHasher::Sha256,
+                );
                 r.random(ch, &c2)
             },
         );
@@ -302,7 +310,9 @@ mod tests {
 
     #[test]
     fn chosen_bytes_transfer() {
-        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20u8).map(|i| (vec![i; 33], vec![i + 100; 33])).collect();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..20u8)
+            .map(|i| (vec![i; 33], vec![i + 100; 33]))
+            .collect();
         let p2 = pairs.clone();
         let choices: Vec<bool> = (0..20).map(|i| i % 2 == 1).collect();
         let c2 = choices.clone();
@@ -325,20 +335,21 @@ mod tests {
     }
 
     #[test]
-    fn fast_hasher_also_works() {
-        let (pairs, got, _) = run_protocol(
-            |ch| {
-                let mut s = OtSender::setup(ch, &mut StdRng::seed_from_u64(60), TweakHasher::Fast);
-                s.random(ch, 16)
-            },
-            |ch| {
-                let mut r =
-                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(61), TweakHasher::Fast);
-                r.random(ch, &[true; 16])
-            },
-        );
-        for j in 0..16 {
-            assert_eq!(got[j], pairs[j].1);
+    fn other_hashers_also_work() {
+        for hasher in [TweakHasher::Aes, TweakHasher::Fast] {
+            let (pairs, got, _) = run_protocol(
+                move |ch| {
+                    let mut s = OtSender::setup(ch, &mut StdRng::seed_from_u64(60), hasher);
+                    s.random(ch, 16)
+                },
+                move |ch| {
+                    let mut r = OtReceiver::setup(ch, &mut StdRng::seed_from_u64(61), hasher);
+                    r.random(ch, &[true; 16])
+                },
+            );
+            for j in 0..16 {
+                assert_eq!(got[j], pairs[j].1, "{hasher:?} instance {j}");
+            }
         }
     }
 }

@@ -13,9 +13,9 @@
 //! sizes used here.
 
 use rand::Rng;
-use secyan_crypto::sha256::{digest_to_u64, Sha256};
+use secyan_crypto::sha256::Sha256;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::Prg;
+use secyan_crypto::{Prg, TweakHasher};
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
 /// Matrix width w: the pseudorandom-code length in bits.
@@ -35,26 +35,19 @@ fn code(x: &[u8]) -> [u8; WIDTH_BYTES] {
     out
 }
 
-/// The output hash: H(j, row) truncated to 64 bits.
-fn out_hash(tweak: u64, row: &[u8; WIDTH_BYTES]) -> u64 {
-    let mut h = Sha256::new();
-    h.update(b"kkrt-out");
-    h.update(&tweak.to_le_bytes());
-    h.update(row);
-    digest_to_u64(&h.finalize())
-}
-
 /// OPRF sender (key holder). Holds the base-OT state; each
 /// [`KkrtSender::key_batch`] call produces a key for one batch.
 pub struct KkrtSender {
     s: [u8; WIDTH_BYTES],
     prgs: Vec<Prg>,
+    hasher: TweakHasher,
     ctr: u64,
 }
 
 /// OPRF receiver (input holder).
 pub struct KkrtReceiver {
     prgs: Vec<(Prg, Prg)>,
+    hasher: TweakHasher,
     ctr: u64,
 }
 
@@ -63,12 +56,15 @@ pub struct KkrtReceiver {
 pub struct KkrtSenderKey {
     q_rows: Vec<[u8; WIDTH_BYTES]>,
     s: [u8; WIDTH_BYTES],
+    hasher: TweakHasher,
     base: u64,
 }
 
 impl KkrtSender {
     /// Bootstrap: run w base OTs as base-OT receiver with secret choices s.
-    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R) -> KkrtSender {
+    /// `hasher` is the output hash masking the OPRF rows; both parties must
+    /// pass the same choice.
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> KkrtSender {
         let mut s = [0u8; WIDTH_BYTES];
         rng.fill(&mut s[..]);
         let choices: Vec<bool> = (0..WIDTH).map(|i| s[i / 8] >> (i % 8) & 1 == 1).collect();
@@ -77,7 +73,12 @@ impl KkrtSender {
             .into_iter()
             .map(|k| Prg::from_seed(b"kkrt-col", k))
             .collect();
-        KkrtSender { s, prgs, ctr: 0 }
+        KkrtSender {
+            s,
+            prgs,
+            hasher,
+            ctr: 0,
+        }
     }
 
     /// Run one batch of size `m`, obtaining the evaluation key.
@@ -88,6 +89,7 @@ impl KkrtSender {
             return KkrtSenderKey {
                 q_rows: Vec::new(),
                 s: self.s,
+                hasher: self.hasher,
                 base,
             };
         }
@@ -115,6 +117,7 @@ impl KkrtSender {
         KkrtSenderKey {
             q_rows,
             s: self.s,
+            hasher: self.hasher,
             base,
         }
     }
@@ -138,13 +141,14 @@ impl KkrtSenderKey {
         for k in 0..WIDTH_BYTES {
             row[k] ^= c[k] & self.s[k];
         }
-        out_hash(self.base + j as u64, &row)
+        self.hasher.hash_row(self.base + j as u64, &row)
     }
 }
 
 impl KkrtReceiver {
-    /// Bootstrap: run w base OTs as base-OT sender.
-    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R) -> KkrtReceiver {
+    /// Bootstrap: run w base OTs as base-OT sender. `hasher` must match the
+    /// sender's choice.
+    pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> KkrtReceiver {
         let pairs = crate::base::send(ch, WIDTH, rng);
         let prgs = pairs
             .into_iter()
@@ -155,7 +159,11 @@ impl KkrtReceiver {
                 )
             })
             .collect();
-        KkrtReceiver { prgs, ctr: 0 }
+        KkrtReceiver {
+            prgs,
+            hasher,
+            ctr: 0,
+        }
     }
 
     /// Run one batch on `inputs`, learning F(j, inputs[j]) per instance.
@@ -189,13 +197,14 @@ impl KkrtReceiver {
             t.row_mut(i).copy_from_slice(&t0);
         }
         let rows = t.transpose();
-        (0..m)
+        let t_rows: Vec<[u8; WIDTH_BYTES]> = (0..m)
             .map(|j| {
                 let mut r = [0u8; WIDTH_BYTES];
                 r.copy_from_slice(rows.row(j));
-                out_hash(base + j as u64, &r)
+                r
             })
-            .collect()
+            .collect();
+        self.hasher.hash_row_batch(base, &t_rows)
     }
 }
 
@@ -206,15 +215,15 @@ mod tests {
     use rand::SeedableRng;
     use secyan_transport::run_protocol;
 
-    fn run_batch(inputs: Vec<Vec<u8>>) -> (KkrtSenderKey, Vec<u64>) {
+    fn run_batch_with(inputs: Vec<Vec<u8>>, hasher: TweakHasher) -> (KkrtSenderKey, Vec<u64>) {
         let (key, got, _) = run_protocol(
-            |ch| {
-                let mut s = KkrtSender::setup(ch, &mut StdRng::seed_from_u64(1));
+            move |ch| {
+                let mut s = KkrtSender::setup(ch, &mut StdRng::seed_from_u64(1), hasher);
                 let m = { ch.recv_u64() as usize };
                 s.key_batch(ch, m)
             },
             move |ch| {
-                let mut r = KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(2));
+                let mut r = KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(2), hasher);
                 ch.send_u64(inputs.len() as u64);
                 let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
                 r.eval_batch(ch, &refs)
@@ -223,12 +232,18 @@ mod tests {
         (key, got)
     }
 
+    fn run_batch(inputs: Vec<Vec<u8>>) -> (KkrtSenderKey, Vec<u64>) {
+        run_batch_with(inputs, TweakHasher::default())
+    }
+
     #[test]
     fn receiver_output_matches_sender_eval() {
-        let inputs: Vec<Vec<u8>> = (0..40u64).map(|i| i.to_le_bytes().to_vec()).collect();
-        let (key, got) = run_batch(inputs.clone());
-        for (j, x) in inputs.iter().enumerate() {
-            assert_eq!(got[j], key.eval(j, x), "instance {j}");
+        for hasher in [TweakHasher::Sha256, TweakHasher::Aes, TweakHasher::Fast] {
+            let inputs: Vec<Vec<u8>> = (0..40u64).map(|i| i.to_le_bytes().to_vec()).collect();
+            let (key, got) = run_batch_with(inputs.clone(), hasher);
+            for (j, x) in inputs.iter().enumerate() {
+                assert_eq!(got[j], key.eval(j, x), "{hasher:?} instance {j}");
+            }
         }
     }
 
@@ -237,23 +252,28 @@ mod tests {
         let inputs: Vec<Vec<u8>> = (0..10u64).map(|i| i.to_le_bytes().to_vec()).collect();
         let (key, got) = run_batch(inputs);
         // Evaluating at a different point gives a different value.
-        for j in 0..10 {
-            let other = 999u64.to_le_bytes().to_vec();
-            assert_ne!(got[j], key.eval(j, &other));
+        let other = 999u64.to_le_bytes().to_vec();
+        for (j, g) in got.iter().enumerate() {
+            assert_ne!(*g, key.eval(j, &other));
         }
         // Same input under different instance indices differs.
-        assert_ne!(key.eval(0, &0u64.to_le_bytes()), key.eval(1, &0u64.to_le_bytes()));
+        assert_ne!(
+            key.eval(0, &0u64.to_le_bytes()),
+            key.eval(1, &0u64.to_le_bytes())
+        );
     }
 
     #[test]
     fn multiple_batches_are_independent() {
         let (keys, gots, _) = run_protocol(
             |ch| {
-                let mut s = KkrtSender::setup(ch, &mut StdRng::seed_from_u64(3));
+                let mut s =
+                    KkrtSender::setup(ch, &mut StdRng::seed_from_u64(3), TweakHasher::default());
                 (s.key_batch(ch, 5), s.key_batch(ch, 5))
             },
             |ch| {
-                let mut r = KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(4));
+                let mut r =
+                    KkrtReceiver::setup(ch, &mut StdRng::seed_from_u64(4), TweakHasher::default());
                 let ins: Vec<Vec<u8>> = (0..5u64).map(|i| i.to_le_bytes().to_vec()).collect();
                 let refs: Vec<&[u8]> = ins.iter().map(|v| v.as_slice()).collect();
                 (r.eval_batch(ch, &refs), r.eval_batch(ch, &refs))

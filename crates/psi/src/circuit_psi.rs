@@ -167,6 +167,7 @@ pub fn psi_receiver(
 /// Sender side of circuit PSI. `items` are distinct `(element, payload)`
 /// pairs with payloads already reduced into `ring`; `receiver_size` is the
 /// public size of the receiver's set.
+#[allow(clippy::too_many_arguments)]
 pub fn psi_sender<R: Rng + ?Sized>(
     ch: &mut Channel,
     items: &[(u64, u64)],
@@ -179,7 +180,11 @@ pub fn psi_sender<R: Rng + ?Sized>(
 ) -> PsiOutput {
     let params = psi_params(receiver_size, items.len());
     let payload_of: HashMap<u64, u64> = items.iter().copied().collect();
-    assert_eq!(payload_of.len(), items.len(), "sender elements must be distinct");
+    assert_eq!(
+        payload_of.len(),
+        items.len(),
+        "sender elements must be distinct"
+    );
     let elements: Vec<u64> = items.iter().map(|&(e, _)| e).collect();
     let simple = negotiate_simple(ch, &elements, &params);
     // Membership OPPRF: every element of bin b targets the same random s_b.
@@ -197,11 +202,7 @@ pub fn psi_sender<R: Rng + ?Sized>(
         .bins
         .iter()
         .enumerate()
-        .map(|(b, ys)| {
-            ys.iter()
-                .map(|&y| (y, payload_of[&y] ^ w[b]))
-                .collect()
-        })
+        .map(|(b, ys)| ys.iter().map(|&y| (y, payload_of[&y] ^ w[b])).collect())
         .collect();
     opprf_program(ch, kkrt, &payload_prog, params.degree, rng);
     // The matching circuit: this party garbles.
@@ -228,30 +229,23 @@ mod tests {
     use secyan_transport::run_protocol;
 
     fn run_psi(x: Vec<u64>, y: Vec<(u64, u64)>) -> (PsiOutput, PsiOutput, RingCtx) {
+        // One hasher choice drives OT, OPRF, and garbling on both sides.
+        let hasher = TweakHasher::default();
         let ring = RingCtx::new(32);
         let x_len = x.len();
         let y_len = y.len();
         let (r, s, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(21);
-                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
-                let mut ot = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-                psi_receiver(ch, &x, y_len, ring, &mut kkrt, &mut ot, TweakHasher::Sha256)
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng, hasher);
+                let mut ot = OtReceiver::setup(ch, &mut rng, hasher);
+                psi_receiver(ch, &x, y_len, ring, &mut kkrt, &mut ot, hasher)
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(22);
-                let mut kkrt = KkrtSender::setup(ch, &mut rng);
-                let mut ot = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
-                psi_sender(
-                    ch,
-                    &y,
-                    x_len,
-                    ring,
-                    &mut kkrt,
-                    &mut ot,
-                    TweakHasher::Sha256,
-                    &mut rng,
-                )
+                let mut kkrt = KkrtSender::setup(ch, &mut rng, hasher);
+                let mut ot = OtSender::setup(ch, &mut rng, hasher);
+                psi_sender(ch, &y, x_len, ring, &mut kkrt, &mut ot, hasher, &mut rng)
             },
         );
         (r, s, ring)

@@ -34,7 +34,9 @@ pub fn max_bin_size(balls: usize, bins: usize) -> usize {
     }
     let mu = (NUM_HASHES * balls) as f64 / bins as f64;
     let slack = 6.0 * (mu * (bins as f64).ln()).sqrt() + 24.0;
-    ((mu + slack).ceil() as usize).min(balls * NUM_HASHES).max(1)
+    ((mu + slack).ceil() as usize)
+        .min(balls * NUM_HASHES)
+        .max(1)
 }
 
 /// Hash an element to its `idx`-th candidate bin under `seed`.
@@ -104,10 +106,7 @@ impl CuckooTable {
                 }
             }
         }
-        Some(CuckooTable {
-            bins: table,
-            seed,
-        })
+        Some(CuckooTable { bins: table, seed })
     }
 
     /// Number of bins.

@@ -78,8 +78,10 @@ pub fn opprf_program<R: Rng + ?Sized>(
             let mut all: Vec<Vec<Gf64>> = Vec::with_capacity(bins);
             let mut ok = true;
             for prog in programs {
-                let mut xs: Vec<Gf64> =
-                    prog.iter().map(|&(y, _)| x_coord(salt, PsiItem::Real(y))).collect();
+                let mut xs: Vec<Gf64> = prog
+                    .iter()
+                    .map(|&(y, _)| x_coord(salt, PsiItem::Real(y)))
+                    .collect();
                 let before = xs.len();
                 xs.sort_by_key(|g| g.0);
                 xs.dedup();
@@ -157,22 +159,19 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use secyan_crypto::TweakHasher;
     use secyan_transport::run_protocol;
 
-    fn run_opprf(
-        programs: Vec<Vec<(u64, u64)>>,
-        queries: Vec<PsiItem>,
-        degree: usize,
-    ) -> Vec<u64> {
+    fn run_opprf(programs: Vec<Vec<(u64, u64)>>, queries: Vec<PsiItem>, degree: usize) -> Vec<u64> {
         let (_, out, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(11);
-                let mut kkrt = KkrtSender::setup(ch, &mut rng);
+                let mut kkrt = KkrtSender::setup(ch, &mut rng, TweakHasher::default());
                 opprf_program(ch, &mut kkrt, &programs, degree, &mut rng);
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(12);
-                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng, TweakHasher::default());
                 opprf_evaluate(ch, &mut kkrt, &queries, degree)
             },
         );
@@ -212,11 +211,7 @@ mod tests {
     fn same_element_in_different_bins() {
         // The per-bin KKRT instance separates identical inputs across bins.
         let programs = vec![vec![(7, 1)], vec![(7, 2)]];
-        let out = run_opprf(
-            programs,
-            vec![PsiItem::Real(7), PsiItem::Real(7)],
-            1,
-        );
+        let out = run_opprf(programs, vec![PsiItem::Real(7), PsiItem::Real(7)], 1);
         assert_eq!(out, vec![1, 2]);
     }
 }

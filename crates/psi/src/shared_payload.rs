@@ -151,11 +151,7 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
 ) -> PsiOutput {
     let n = elements.len();
     assert_eq!(my_payload_shares.len(), n);
-    let index_of: HashMap<u64, usize> = elements
-        .iter()
-        .enumerate()
-        .map(|(j, &e)| (e, j))
-        .collect();
+    let index_of: HashMap<u64, usize> = elements.iter().enumerate().map(|(j, &e)| (e, j)).collect();
     assert_eq!(index_of.len(), n, "sender elements must be distinct");
     let params = psi_params(receiver_size, n);
     let bins = params.bins;
@@ -231,11 +227,9 @@ mod tests {
     use rand::SeedableRng;
     use secyan_transport::run_protocol;
 
-    fn run(
-        x: Vec<u64>,
-        y: Vec<u64>,
-        payloads: Vec<u64>,
-    ) -> (PsiOutput, PsiOutput, RingCtx) {
+    fn run(x: Vec<u64>, y: Vec<u64>, payloads: Vec<u64>) -> (PsiOutput, PsiOutput, RingCtx) {
+        // One hasher choice drives OT, OPRF, and garbling on both sides.
+        let hasher = TweakHasher::default();
         let ring = RingCtx::new(32);
         let mut setup = StdRng::seed_from_u64(31);
         let (recv_sh, send_sh) = ring.share_vec(&payloads, &mut setup);
@@ -243,38 +237,22 @@ mod tests {
         let (r, s, _) = run_protocol(
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(32);
-                let mut kkrt = KkrtReceiver::setup(ch, &mut rng);
-                let mut ot_r = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-                let mut ot_s = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut kkrt = KkrtReceiver::setup(ch, &mut rng, hasher);
+                let mut ot_r = OtReceiver::setup(ch, &mut rng, hasher);
+                let mut ot_s = OtSender::setup(ch, &mut rng, hasher);
                 shared_payload_psi_receiver(
-                    ch,
-                    &x,
-                    &recv_sh,
-                    ring,
-                    &mut kkrt,
-                    &mut ot_r,
-                    &mut ot_s,
-                    TweakHasher::Sha256,
-                    &mut rng,
+                    ch, &x, &recv_sh, ring, &mut kkrt, &mut ot_r, &mut ot_s, hasher, &mut rng,
                 )
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(33);
-                let mut kkrt = KkrtSender::setup(ch, &mut rng);
+                let mut kkrt = KkrtSender::setup(ch, &mut rng, hasher);
                 // Setup order must complement the receiver's: their
                 // OtReceiver pairs with our OtSender and vice versa.
-                let mut ot_s = OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
-                let mut ot_r = OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
+                let mut ot_s = OtSender::setup(ch, &mut rng, hasher);
+                let mut ot_r = OtReceiver::setup(ch, &mut rng, hasher);
                 shared_payload_psi_sender(
-                    ch,
-                    &y,
-                    x_len,
-                    &send_sh,
-                    ring,
-                    &mut kkrt,
-                    &mut ot_s,
-                    &mut ot_r,
-                    TweakHasher::Sha256,
+                    ch, &y, x_len, &send_sh, ring, &mut kkrt, &mut ot_s, &mut ot_r, hasher,
                     &mut rng,
                 )
             },

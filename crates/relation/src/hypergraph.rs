@@ -120,7 +120,7 @@ fn top_node(h: &Hypergraph, tree: &JoinTree, attr: &str) -> Option<usize> {
                 depth += 1;
                 cur = p;
             }
-            if best.map_or(true, |(d, _)| depth < d) {
+            if best.is_none_or(|(d, _)| depth < d) {
                 best = Some((depth, i));
             }
         }

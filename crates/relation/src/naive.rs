@@ -39,11 +39,7 @@ mod tests {
         let r2 = Relation::from_rows(
             ring,
             vec!["person".into(), "disease".into()],
-            vec![
-                (vec![1, 10], 1000),
-                (vec![1, 11], 500),
-                (vec![2, 10], 2000),
-            ],
+            vec![(vec![1, 10], 1000), (vec![1, 11], 500), (vec![2, 10], 2000)],
         );
         // R3(disease, class) — annotation 1.
         let r3 = Relation::from_rows(
@@ -53,9 +49,6 @@ mod tests {
         );
         let out = naive_join_aggregate(&[r1, r2, r3], &["class".into()]);
         // class 7: 80·1000 + 50·2000 = 180000; class 8: 80·500 = 40000.
-        assert_eq!(
-            out.canonical(),
-            vec![(vec![7], 180_000), (vec![8], 40_000)]
-        );
+        assert_eq!(out.canonical(), vec![(vec![7], 180_000), (vec![8], 40_000)]);
     }
 }

@@ -245,7 +245,10 @@ mod tests {
     #[test]
     fn join_multiplies_annotations() {
         let r = rel(&["a", "b"], &[(&[1, 10], 2), (&[2, 20], 3)]);
-        let s = rel(&["b", "c"], &[(&[10, 100], 5), (&[10, 200], 7), (&[99, 1], 1)]);
+        let s = rel(
+            &["b", "c"],
+            &[(&[10, 100], 5), (&[10, 200], 7), (&[99, 1], 1)],
+        );
         let j = r.join(&s);
         assert_eq!(j.schema, vec!["a", "b", "c"]);
         assert_eq!(
@@ -260,10 +263,7 @@ mod tests {
         let s = rel(&["b"], &[(&[7], 5)]);
         let j = r.join(&s);
         assert_eq!(j.len(), 2);
-        assert_eq!(
-            j.canonical(),
-            vec![(vec![1, 7], 10), (vec![2, 7], 15)]
-        );
+        assert_eq!(j.canonical(), vec![(vec![1, 7], 10), (vec![2, 7], 15)]);
     }
 
     #[test]
@@ -278,11 +278,7 @@ mod tests {
     #[test]
     fn bool_semiring_join_behaves_like_sql() {
         let b = BoolSemiring;
-        let r = Relation::from_rows(
-            b,
-            vec!["x".into()],
-            vec![(vec![1], true), (vec![2], true)],
-        );
+        let r = Relation::from_rows(b, vec!["x".into()], vec![(vec![1], true), (vec![2], true)]);
         let s = Relation::from_rows(b, vec!["x".into()], vec![(vec![2], true)]);
         let j = r.join(&s);
         assert_eq!(j.canonical(), vec![(vec![2], true)]);
@@ -291,11 +287,7 @@ mod tests {
     #[test]
     fn count_semiring_counts_join_sizes() {
         let c = CountSemiring;
-        let r = Relation::from_rows(
-            c,
-            vec!["x".into()],
-            vec![(vec![1], 1), (vec![1], 1)],
-        );
+        let r = Relation::from_rows(c, vec!["x".into()], vec![(vec![1], 1), (vec![1], 1)]);
         let s = Relation::from_rows(c, vec!["x".into()], vec![(vec![1], 1)]);
         let total = r.join(&s).project_agg(&[]);
         assert_eq!(total.annots[0], 2);

@@ -135,10 +135,7 @@ mod tests {
                     assert_eq!(s.add(&s.add(a, b), c), s.add(a, &s.add(b, c)));
                     assert_eq!(s.mul(&s.mul(a, b), c), s.mul(a, &s.mul(b, c)));
                     // Distributivity.
-                    assert_eq!(
-                        s.mul(a, &s.add(b, c)),
-                        s.add(&s.mul(a, b), &s.mul(a, c))
-                    );
+                    assert_eq!(s.mul(a, &s.add(b, c)), s.add(&s.mul(a, b), &s.mul(a, c)));
                 }
             }
         }

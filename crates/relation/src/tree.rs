@@ -31,7 +31,11 @@ impl JoinTree {
     /// paper's Example 1.1 tree R1 − R2 − R3 rooted at R3).
     pub fn chain(n: usize) -> JoinTree {
         assert!(n >= 1);
-        JoinTree::new((0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect())
+        JoinTree::new(
+            (0..n)
+                .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+                .collect(),
+        )
     }
 
     /// Number of nodes.

@@ -137,7 +137,13 @@ impl Database {
         let max_day = day(1998, 8, 2);
         let orders = Table {
             name: "orders",
-            columns: vec!["orderkey", "custkey", "o_orderdate", "o_shippriority", "o_totalprice"],
+            columns: vec![
+                "orderkey",
+                "custkey",
+                "o_orderdate",
+                "o_shippriority",
+                "o_totalprice",
+            ],
             rows: (1..=n_ord as u64)
                 .map(|k| {
                     vec![

@@ -118,7 +118,10 @@ pub enum Post {
     Ratio { scale: u64, domain: Vec<Vec<u64>> },
     /// Pairs of subqueries, one pair per label: reveal (sum1 − sum2) per
     /// public-domain group, labelled.
-    GroupedDifference { domain: Vec<Vec<u64>>, labels: Vec<u64> },
+    GroupedDifference {
+        domain: Vec<Vec<u64>>,
+        labels: Vec<u64>,
+    },
 }
 
 /// A fully instantiated paper query: subqueries + post-processing.

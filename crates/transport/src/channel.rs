@@ -73,18 +73,22 @@ impl CommStats {
     }
 }
 
+/// Shared transcript buffer: `(sender, byte length)` per message.
+type Transcript = Arc<Mutex<Vec<(Role, usize)>>>;
+
 /// One endpoint of the metered duplex channel.
 ///
 /// Protocol code takes `&mut Channel` and is written from the perspective of
-/// one party; [`Channel::role`] says which. Messages are owned byte vectors;
-/// the transcript of per-direction lengths is recorded for obliviousness
-/// tests.
+/// one party; [`Channel::role`] says which. Messages are owned byte vectors.
+/// A transcript of per-direction message lengths can be recorded for
+/// obliviousness tests via [`channel_pair_with_transcript`]; the default
+/// [`channel_pair`] skips the per-message lock entirely.
 pub struct Channel {
     role: Role,
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
     meter: Arc<Meter>,
-    transcript: Arc<Mutex<Vec<(Role, usize)>>>,
+    transcript: Option<Transcript>,
     /// Buffer holding the remainder of a partially consumed incoming message.
     pending: Vec<u8>,
     pending_pos: usize,
@@ -96,18 +100,29 @@ impl std::fmt::Debug for Channel {
     }
 }
 
-/// Create a connected pair of endpoints: `(alice, bob)`.
+/// Create a connected pair of endpoints: `(alice, bob)`. No transcript is
+/// recorded — the hot path takes no lock per message.
 pub fn channel_pair() -> (Channel, Channel) {
+    make_pair(None)
+}
+
+/// Create a connected pair that records the transcript of `(sender, length)`
+/// pairs, for obliviousness tests. Every send takes a shared lock; use
+/// [`channel_pair`] everywhere else.
+pub fn channel_pair_with_transcript() -> (Channel, Channel) {
+    make_pair(Some(Arc::new(Mutex::new(Vec::new()))))
+}
+
+fn make_pair(transcript: Option<Transcript>) -> (Channel, Channel) {
     let (a2b_tx, a2b_rx) = mpsc::channel();
     let (b2a_tx, b2a_rx) = mpsc::channel();
     let meter = Arc::new(Meter::default());
-    let transcript = Arc::new(Mutex::new(Vec::new()));
     let alice = Channel {
         role: Role::Alice,
         tx: a2b_tx,
         rx: b2a_rx,
         meter: Arc::clone(&meter),
-        transcript: Arc::clone(&transcript),
+        transcript: transcript.clone(),
         pending: Vec::new(),
         pending_pos: 0,
     };
@@ -150,10 +165,12 @@ impl Channel {
         if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
             self.meter.rounds.fetch_add(1, Ordering::Relaxed);
         }
-        self.transcript
-            .lock()
-            .expect("transcript lock poisoned")
-            .push((self.role, data.len()));
+        if let Some(transcript) = &self.transcript {
+            transcript
+                .lock()
+                .expect("transcript lock poisoned")
+                .push((self.role, data.len()));
+        }
         self.tx.send(data).expect("peer hung up during send");
     }
 
@@ -198,12 +215,22 @@ impl Channel {
         }
     }
 
+    /// True if this endpoint records a transcript (built by
+    /// [`channel_pair_with_transcript`]).
+    pub fn records_transcript(&self) -> bool {
+        self.transcript.is_some()
+    }
+
     /// The transcript of `(sender, message length)` pairs so far, in wire
     /// order. Obliviousness tests compare this across different inputs of
     /// the same public size: an oblivious protocol yields identical
     /// transcripts.
+    ///
+    /// Panics unless the pair came from [`channel_pair_with_transcript`].
     pub fn transcript_lengths(&self) -> Vec<(Role, usize)> {
         self.transcript
+            .as_ref()
+            .expect("transcript recording is opt-in: use channel_pair_with_transcript()")
             .lock()
             .expect("transcript lock poisoned")
             .clone()
@@ -269,7 +296,7 @@ mod tests {
 
     #[test]
     fn transcript_records_lengths_in_order() {
-        let (mut a, mut b) = channel_pair();
+        let (mut a, mut b) = channel_pair_with_transcript();
         let h = thread::spawn(move || {
             b.recv();
             b.send(vec![7; 7]);
@@ -281,5 +308,23 @@ mod tests {
             a.transcript_lengths(),
             vec![(Role::Alice, 4), (Role::Bob, 7)]
         );
+    }
+
+    #[test]
+    fn default_pair_skips_transcript() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            b.recv();
+        });
+        a.send(vec![1; 4]);
+        h.join().unwrap();
+        assert!(!a.records_transcript());
+    }
+
+    #[test]
+    #[should_panic(expected = "opt-in")]
+    fn transcript_read_panics_when_disabled() {
+        let (a, _b) = channel_pair();
+        let _ = a.transcript_lengths();
     }
 }

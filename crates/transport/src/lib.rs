@@ -21,6 +21,6 @@ mod channel;
 mod runner;
 mod wire;
 
-pub use channel::{channel_pair, Channel, CommStats, Role};
-pub use runner::run_protocol;
+pub use channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats, Role};
+pub use runner::{run_protocol, run_protocol_recorded};
 pub use wire::{ReadExt, WriteExt};

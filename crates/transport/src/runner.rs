@@ -1,6 +1,6 @@
 //! Run a two-party protocol: both parties as real threads.
 
-use crate::channel::{channel_pair, Channel, CommStats};
+use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats};
 use std::thread;
 
 /// Execute a two-party protocol and return `(alice_output, bob_output, stats)`.
@@ -16,7 +16,30 @@ where
     RA: Send,
     RB: Send,
 {
-    let (mut ca, mut cb) = channel_pair();
+    run_on(channel_pair(), alice, bob)
+}
+
+/// Like [`run_protocol`], but on a transcript-recording channel pair
+/// (see [`channel_pair_with_transcript`]) so obliviousness tests can read
+/// `ch.transcript_lengths()` inside the party closures.
+pub fn run_protocol_recorded<FA, FB, RA, RB>(alice: FA, bob: FB) -> (RA, RB, CommStats)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    run_on(channel_pair_with_transcript(), alice, bob)
+}
+
+fn run_on<FA, FB, RA, RB>(pair: (Channel, Channel), alice: FA, bob: FB) -> (RA, RB, CommStats)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (mut ca, mut cb) = pair;
     let (ra, rb, stats) = thread::scope(|s| {
         let hb = s.spawn(move || {
             let out = bob(&mut cb);

@@ -152,7 +152,7 @@ mod tests {
     fn bool_packing_is_compact() {
         let (mut a, mut b) = channel_pair();
         let h = thread::spawn(move || b.recv_bool_vec(17));
-        a.send_bool_slice(&vec![true; 17]);
+        a.send_bool_slice(&[true; 17]);
         assert_eq!(h.join().unwrap(), vec![true; 17]);
         // 17 bools travel in 3 bytes.
         assert_eq!(a.stats().bytes_alice_to_bob, 3);

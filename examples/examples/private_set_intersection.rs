@@ -17,34 +17,23 @@ use secyan_psi::{psi_receiver, psi_sender};
 use secyan_transport::{run_protocol, ReadExt, WriteExt};
 
 fn main() {
+    // One hasher choice drives OT, OPRF, and garbling on both sides.
+    let hasher = TweakHasher::default();
     let ring = RingCtx::new(32);
     // Alice's customer ids.
     let alice_ids: Vec<u64> = vec![11, 23, 42, 57, 64, 99, 100, 123];
     // Bob's customers with their annual spend.
-    let bob_items: Vec<(u64, u64)> = vec![
-        (23, 1_500),
-        (42, 800),
-        (77, 9_999),
-        (100, 2_700),
-        (200, 50),
-    ];
+    let bob_items: Vec<(u64, u64)> =
+        vec![(23, 1_500), (42, 800), (77, 9_999), (100, 2_700), (200, 50)];
     let (a_len, b_len) = (alice_ids.len(), bob_items.len());
     let expected_total = 1_500 + 800 + 2_700;
 
     let (alice_total, bob_view, stats) = run_protocol(
         move |ch| {
             let mut rng = StdRng::seed_from_u64(1);
-            let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng);
-            let mut ot = secyan_ot::OtReceiver::setup(ch, &mut rng, TweakHasher::Sha256);
-            let out = psi_receiver(
-                ch,
-                &alice_ids,
-                b_len,
-                ring,
-                &mut kkrt,
-                &mut ot,
-                TweakHasher::Sha256,
-            );
+            let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
+            let mut ot = secyan_ot::OtReceiver::setup(ch, &mut rng, hasher);
+            let out = psi_receiver(ch, &alice_ids, b_len, ring, &mut kkrt, &mut ot, hasher);
             // Sum the payload shares locally: a share of the intersection
             // total. Opening just this one scalar reveals the total only.
             let my_sum = out
@@ -56,17 +45,10 @@ fn main() {
         },
         move |ch| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng);
-            let mut ot = secyan_ot::OtSender::setup(ch, &mut rng, TweakHasher::Sha256);
+            let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
+            let mut ot = secyan_ot::OtSender::setup(ch, &mut rng, hasher);
             let out = psi_sender(
-                ch,
-                &bob_items,
-                a_len,
-                ring,
-                &mut kkrt,
-                &mut ot,
-                TweakHasher::Sha256,
-                &mut rng,
+                ch, &bob_items, a_len, ring, &mut kkrt, &mut ot, hasher, &mut rng,
             );
             let my_sum = out
                 .payload_shares

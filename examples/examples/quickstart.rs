@@ -81,12 +81,7 @@ fn main() {
     let (alice_result, _, stats) = run_protocol(
         move |ch| {
             let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 1);
-            secure_yannakakis(
-                &mut sess,
-                &query,
-                &[Some(r1), None, Some(r3)],
-                Role::Alice,
-            )
+            secure_yannakakis(&mut sess, &query, &[Some(r1), None, Some(r3)], Role::Alice)
         },
         move |ch| {
             let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, 2);
@@ -97,7 +92,12 @@ fn main() {
 
     println!("Alice's query results (class, expected payout ×100):");
     for (t, v) in alice_result.tuples.iter().zip(&alice_result.values) {
-        println!("  class {:>3}: {:>10} (= {:.2} currency units)", t[0], v, *v as f64 / 100.0);
+        println!(
+            "  class {:>3}: {:>10} (= {:.2} currency units)",
+            t[0],
+            v,
+            *v as f64 / 100.0
+        );
     }
     println!(
         "\nProtocol traffic: {} bytes in {} messages over {} rounds.",

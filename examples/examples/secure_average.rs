@@ -18,8 +18,6 @@ use secyan_relation::{JoinTree, NaturalRing, Relation};
 use secyan_transport::{run_protocol, Role};
 
 fn main() {
-    let ring = NaturalRing::paper_default();
-
     // Bob's hospital records: R2(person, disease | cost).
     let r2_rows = vec![
         (vec![1u64, 1u64], 1000u64),
@@ -53,7 +51,12 @@ fn main() {
         let r3_rows = r3_rows.clone();
         let class_domain = class_domain.clone();
         move |ch: &mut secyan_transport::Channel| {
-            let mut sess = Session::new(ch, RingCtx::new(32), TweakHasher::Sha256, role.is_alice() as u64);
+            let mut sess = Session::new(
+                ch,
+                RingCtx::new(32),
+                TweakHasher::Sha256,
+                role.is_alice() as u64,
+            );
             let mut aligned = Vec::new();
             for count_mode in [false, true] {
                 // Bob's relation: disease with cost (or 1 for COUNT).
@@ -74,7 +77,8 @@ fn main() {
                     Role::Alice => vec![None, Some(r3)],
                     Role::Bob => vec![Some(r2), None],
                 };
-                let res = secure_yannakakis_shared(&mut sess, &build_query(), &my_rels, Role::Alice);
+                let res =
+                    secure_yannakakis_shared(&mut sess, &build_query(), &my_rels, Role::Alice);
                 aligned.push(align_shared_groups(
                     &mut sess,
                     &res.tuples,

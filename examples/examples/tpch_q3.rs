@@ -11,9 +11,7 @@
 
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_relation::NaturalRing;
-use secyan_tpch::queries::{
-    canonical, run_plaintext_instance, run_secure_instance, PaperQuery,
-};
+use secyan_tpch::queries::{canonical, run_plaintext_instance, run_secure_instance, PaperQuery};
 use secyan_tpch::{Database, Scale};
 use secyan_transport::run_protocol;
 use std::time::Instant;

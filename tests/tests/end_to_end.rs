@@ -4,9 +4,7 @@
 
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_relation::{naive::naive_join_aggregate, JoinTree, NaturalRing, Relation};
-use secyan_tpch::queries::{
-    canonical, run_plaintext_instance, run_secure_instance, PaperQuery,
-};
+use secyan_tpch::queries::{canonical, run_plaintext_instance, run_secure_instance, PaperQuery};
 use secyan_tpch::{Database, Scale};
 use secyan_transport::{run_protocol, Role};
 
@@ -22,11 +20,13 @@ fn run_paper_query(q: PaperQuery, mb: f64, seed: u64) {
     let (sa, sb) = (spec.clone(), spec.clone());
     let (got, _, _) = run_protocol(
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 1);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 1);
             run_secure_instance(&mut sess, &sa)
         },
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 2);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 2);
             run_secure_instance(&mut sess, &sb)
         },
     );
@@ -83,24 +83,17 @@ fn single_owner_query() {
     let q2 = query.clone();
     let (res, _, _) = run_protocol(
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 5);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 5);
             secyan_core::secure_yannakakis(&mut sess, &query, &[None, None], Role::Alice)
         },
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 6);
-            secyan_core::secure_yannakakis(
-                &mut sess,
-                &q2,
-                &[Some(r1), Some(r2)],
-                Role::Alice,
-            )
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 6);
+            secyan_core::secure_yannakakis(&mut sess, &q2, &[Some(r1), Some(r2)], Role::Alice)
         },
     );
-    let mut got: Vec<(Vec<u64>, u64)> = res
-        .tuples
-        .into_iter()
-        .zip(res.values)
-        .collect();
+    let mut got: Vec<(Vec<u64>, u64)> = res.tuples.into_iter().zip(res.values).collect();
     got.sort();
     assert_eq!(got, want.canonical());
 }
@@ -124,11 +117,13 @@ fn disjoint_relations_empty_result() {
     let q2 = query.clone();
     let (res, _, _) = run_protocol(
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 7);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 7);
             secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None], Role::Alice)
         },
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 8);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 8);
             secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2)], Role::Alice)
         },
     );
@@ -156,11 +151,13 @@ fn skewed_multiplicity_query() {
     let q2 = query.clone();
     let (res, _, _) = run_protocol(
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 9);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 9);
             secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None], Role::Alice)
         },
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 10);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 10);
             secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2)], Role::Alice)
         },
     );

@@ -7,7 +7,7 @@
 
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_relation::{JoinTree, NaturalRing, Relation};
-use secyan_transport::{run_protocol, Role};
+use secyan_transport::{run_protocol, run_protocol_recorded, Role};
 
 fn strings(v: &[&str]) -> Vec<String> {
     v.iter().map(|s| s.to_string()).collect()
@@ -35,14 +35,22 @@ fn transcript_of(
         strings(&["class"]),
     );
     let q2 = query.clone();
-    let (transcript, _, _) = run_protocol(
+    // Transcript recording is opt-in; the default channel doesn't have it.
+    let (transcript, _, _) = run_protocol_recorded(
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 1);
-            secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None, Some(r3)], Role::Alice);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 1);
+            secyan_core::secure_yannakakis(
+                &mut sess,
+                &query,
+                &[Some(r1), None, Some(r3)],
+                Role::Alice,
+            );
             sess.ch.transcript_lengths()
         },
         move |ch| {
-            let mut sess = secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 2);
+            let mut sess =
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 2);
             secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2), None], Role::Alice);
         },
     );
@@ -57,7 +65,12 @@ fn transcript_depends_only_on_public_sizes() {
     // Database A: everything joins, 2 classes.
     let t_a = transcript_of(
         vec![(vec![1], 10), (vec![2], 20), (vec![3], 30)],
-        vec![(vec![1, 1], 5), (vec![2, 1], 6), (vec![3, 2], 7), (vec![1, 2], 8)],
+        vec![
+            (vec![1, 1], 5),
+            (vec![2, 1], 6),
+            (vec![3, 2], 7),
+            (vec![1, 2], 8),
+        ],
         vec![(vec![1, 100], 1), (vec![2, 200], 1)],
     );
     // Database B: same sizes; nothing joins at all, different values.
@@ -80,7 +93,11 @@ fn transcript_depends_only_on_public_sizes() {
     );
     for (i, (ma, mb)) in t_a.iter().zip(&t_b).enumerate() {
         assert_eq!(ma.0, mb.0, "message {i} direction differs");
-        assert_eq!(ma.1, mb.1, "message {i} length differs ({:?} vs {:?})", ma, mb);
+        assert_eq!(
+            ma.1, mb.1,
+            "message {i} length differs ({:?} vs {:?})",
+            ma, mb
+        );
     }
 }
 
@@ -132,12 +149,12 @@ fn round_count_is_data_size_independent() {
         let (_, _, stats) = run_protocol(
             move |ch| {
                 let mut sess =
-                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 3);
+                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 3);
                 secyan_core::secure_yannakakis(&mut sess, &query, &[Some(r1), None], Role::Alice)
             },
             move |ch| {
                 let mut sess =
-                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, 4);
+                    secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 4);
                 secyan_core::secure_yannakakis(&mut sess, &q2, &[None, Some(r2)], Role::Alice)
             },
         );

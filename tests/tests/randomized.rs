@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secyan_crypto::{RingCtx, TweakHasher};
-use secyan_relation::{naive::naive_join_aggregate, JoinTree, NaturalRing, Relation};
+use secyan_relation::{naive::naive_join_aggregate, NaturalRing, Relation};
 use secyan_transport::{run_protocol, Role};
 use std::collections::HashMap;
 
@@ -57,7 +57,8 @@ fn random_trial(seed: u64) {
     let owners: Vec<Role> = (0..3)
         .map(|_| if rng.gen() { Role::Alice } else { Role::Bob })
         .collect();
-    let query = secyan_core::SecureQuery::new(schemas.to_vec(), owners.clone(), tree, output.clone());
+    let query =
+        secyan_core::SecureQuery::new(schemas.to_vec(), owners.clone(), tree, output.clone());
 
     let want: HashMap<Vec<u64>, u64> = {
         let res = naive_join_aggregate(&rels, &output);
@@ -82,12 +83,12 @@ fn random_trial(seed: u64) {
     let (res, _, _) = run_protocol(
         move |ch| {
             let mut sess =
-                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, seed);
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), seed);
             secyan_core::secure_yannakakis(&mut sess, &query, &alice_rels, Role::Alice)
         },
         move |ch| {
             let mut sess =
-                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::Fast, seed + 1);
+                secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), seed + 1);
             secyan_core::secure_yannakakis(&mut sess, &q2, &bob_rels, Role::Alice)
         },
     );
@@ -108,9 +109,11 @@ fn random_trial(seed: u64) {
     }
     // The naive result may contain zero-annotated groups that the secure
     // protocol (correctly) cannot distinguish from dummies.
-    let want: HashMap<Vec<u64>, u64> =
-        want.into_iter().filter(|(_, v)| *v != 0).collect();
-    assert_eq!(got, want, "trial seed {seed} output {output:?} owners {owners:?}");
+    let want: HashMap<Vec<u64>, u64> = want.into_iter().filter(|(_, v)| *v != 0).collect();
+    assert_eq!(
+        got, want,
+        "trial seed {seed} output {output:?} owners {owners:?}"
+    );
 }
 
 #[test]
