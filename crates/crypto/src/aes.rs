@@ -283,62 +283,85 @@ mod ni {
     }
 
     #[inline]
-    unsafe fn load_keys(rk: &[[u8; 16]; ROUND_KEYS]) -> [__m128i; ROUND_KEYS] {
-        let mut k = [_mm_setzero_si128(); ROUND_KEYS];
-        for (dst, src) in k.iter_mut().zip(rk) {
-            *dst = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+    fn load_keys(rk: &[[u8; 16]; ROUND_KEYS]) -> [__m128i; ROUND_KEYS] {
+        // SAFETY: sse2 is baseline on x86_64, and each unaligned load reads
+        // 16 bytes from a valid `[u8; 16]` borrowed for the call.
+        unsafe {
+            let mut k = [_mm_setzero_si128(); ROUND_KEYS];
+            for (dst, src) in k.iter_mut().zip(rk) {
+                *dst = _mm_loadu_si128(src.as_ptr() as *const __m128i);
+            }
+            k
         }
-        k
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified the `aes` target feature is available
+    /// (check [`available`]).
     #[target_feature(enable = "aes")]
     pub unsafe fn encrypt1(rk: &[[u8; 16]; ROUND_KEYS], block: [u8; 16]) -> [u8; 16] {
         let k = load_keys(rk);
-        let mut b = _mm_loadu_si128(block.as_ptr() as *const __m128i);
-        b = _mm_xor_si128(b, k[0]);
-        for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
-            b = _mm_aesenc_si128(b, *key);
-        }
-        b = _mm_aesenclast_si128(b, k[ROUND_KEYS - 1]);
-        let mut out = [0u8; 16];
-        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, b);
-        out
-    }
-
-    /// Encrypt a slice of blocks, 8 at a time so independent AESENC chains
-    /// fill the execution ports.
-    #[target_feature(enable = "aes")]
-    pub unsafe fn encrypt_many(rk: &[[u8; 16]; ROUND_KEYS], xs: &mut [u128]) {
-        let k = load_keys(rk);
-        let mut chunks = xs.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            let mut b = [_mm_setzero_si128(); 8];
-            for (dst, src) in b.iter_mut().zip(chunk.iter()) {
-                *dst = _mm_loadu_si128(src as *const u128 as *const __m128i);
-            }
-            for lane in b.iter_mut() {
-                *lane = _mm_xor_si128(*lane, k[0]);
-            }
-            for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
-                for lane in b.iter_mut() {
-                    *lane = _mm_aesenc_si128(*lane, *key);
-                }
-            }
-            for lane in b.iter_mut() {
-                *lane = _mm_aesenclast_si128(*lane, k[ROUND_KEYS - 1]);
-            }
-            for (dst, src) in chunk.iter_mut().zip(b.iter()) {
-                _mm_storeu_si128(dst as *mut u128 as *mut __m128i, *src);
-            }
-        }
-        for x in chunks.into_remainder() {
-            let mut b = _mm_loadu_si128(x as *const u128 as *const __m128i);
+        // SAFETY: the enclosing fn's contract guarantees the `aes` feature;
+        // all loads/stores are 16-byte accesses into locals valid for the
+        // whole call.
+        unsafe {
+            let mut b = _mm_loadu_si128(block.as_ptr() as *const __m128i);
             b = _mm_xor_si128(b, k[0]);
             for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
                 b = _mm_aesenc_si128(b, *key);
             }
             b = _mm_aesenclast_si128(b, k[ROUND_KEYS - 1]);
-            _mm_storeu_si128(x as *mut u128 as *mut __m128i, b);
+            let mut out = [0u8; 16];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, b);
+            out
+        }
+    }
+
+    /// Encrypt a slice of blocks, 8 at a time so independent AESENC chains
+    /// fill the execution ports.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified the `aes` target feature is available
+    /// (check [`available`]).
+    #[target_feature(enable = "aes")]
+    pub unsafe fn encrypt_many(rk: &[[u8; 16]; ROUND_KEYS], xs: &mut [u128]) {
+        let k = load_keys(rk);
+        // SAFETY: the enclosing fn's contract guarantees the `aes` feature;
+        // every load/store dereferences a `&u128`/`&mut u128` from the
+        // slice, which is valid and exclusive for the iteration.
+        unsafe {
+            let mut chunks = xs.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                let mut b = [_mm_setzero_si128(); 8];
+                for (dst, src) in b.iter_mut().zip(chunk.iter()) {
+                    *dst = _mm_loadu_si128(src as *const u128 as *const __m128i);
+                }
+                for lane in b.iter_mut() {
+                    *lane = _mm_xor_si128(*lane, k[0]);
+                }
+                for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
+                    for lane in b.iter_mut() {
+                        *lane = _mm_aesenc_si128(*lane, *key);
+                    }
+                }
+                for lane in b.iter_mut() {
+                    *lane = _mm_aesenclast_si128(*lane, k[ROUND_KEYS - 1]);
+                }
+                for (dst, src) in chunk.iter_mut().zip(b.iter()) {
+                    _mm_storeu_si128(dst as *mut u128 as *mut __m128i, *src);
+                }
+            }
+            for x in chunks.into_remainder() {
+                let mut b = _mm_loadu_si128(x as *const u128 as *const __m128i);
+                b = _mm_xor_si128(b, k[0]);
+                for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
+                    b = _mm_aesenc_si128(b, *key);
+                }
+                b = _mm_aesenclast_si128(b, k[ROUND_KEYS - 1]);
+                _mm_storeu_si128(x as *mut u128 as *mut __m128i, b);
+            }
         }
     }
 }
@@ -351,10 +374,20 @@ mod ni {
         false
     }
 
+    /// # Safety
+    ///
+    /// Never callable: [`available`] returns false on this target, so the
+    /// dispatcher cannot select this path. (Signature mirrors the x86_64
+    /// variant.)
     pub unsafe fn encrypt1(_rk: &[[u8; 16]; ROUND_KEYS], _block: [u8; 16]) -> [u8; 16] {
         unreachable!("AES-NI path selected on a non-x86_64 target")
     }
 
+    /// # Safety
+    ///
+    /// Never callable: [`available`] returns false on this target, so the
+    /// dispatcher cannot select this path. (Signature mirrors the x86_64
+    /// variant.)
     pub unsafe fn encrypt_many(_rk: &[[u8; 16]; ROUND_KEYS], _xs: &mut [u128]) {
         unreachable!("AES-NI path selected on a non-x86_64 target")
     }

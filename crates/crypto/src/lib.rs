@@ -20,6 +20,9 @@
 //! * [`hashers`] — the tweakable hash used by garbling/OT: fixed-key AES
 //!   in the MMO construction by default, SHA-256 for cross-checking, and
 //!   a fast insecure variant for large-scale benchmarking.
+//! * [`secret`] — typed secrets ([`Secret`], [`SecretBlock`]) with
+//!   zeroize-on-drop and no `Debug`, plus branchless [`CtEq`]/[`CtSelect`]
+//!   primitives; enforced across the workspace by `cargo xtask ct-lint`.
 
 pub mod aes;
 pub mod block;
@@ -27,6 +30,7 @@ pub mod gf64;
 pub mod hashers;
 pub mod mersenne;
 pub mod prg;
+pub mod secret;
 pub mod sha256;
 pub mod share;
 pub mod transpose;
@@ -34,4 +38,5 @@ pub mod transpose;
 pub use block::Block;
 pub use hashers::TweakHasher;
 pub use prg::Prg;
+pub use secret::{ct_select_bytes, CtChoice, CtEq, CtSelect, Secret, SecretBlock, Zeroize};
 pub use share::RingCtx;

@@ -7,6 +7,7 @@
 //! so call sites read like the protocol descriptions ("expand seed k_i").
 
 use crate::block::Block;
+use crate::secret::{SecretBlock, Zeroize};
 use crate::sha256::tagged_hash;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -20,12 +21,21 @@ impl Prg {
     /// Derive a PRG from a 128-bit seed and a domain-separation tag.
     ///
     /// The tag prevents two protocol layers that happen to share a seed from
-    /// producing correlated streams.
+    /// producing correlated streams. The derived expansion key is zeroized
+    /// before this function returns; prefer [`Prg::from_secret`] when the
+    /// seed itself is secret-typed.
     pub fn from_seed(tag: &[u8], seed: Block) -> Prg {
-        let key = tagged_hash(tag, &seed.to_bytes());
-        Prg {
-            rng: StdRng::from_seed(key),
-        }
+        let mut key = tagged_hash(tag, &seed.to_bytes());
+        let rng = StdRng::from_seed(key);
+        key.zeroize();
+        Prg { rng }
+    }
+
+    /// Derive a PRG from a secret-typed seed (base-OT keys, OT pads). The
+    /// seed stays inside its [`SecretBlock`] wrapper — this is the one
+    /// declassification point between the seed and the key schedule.
+    pub fn from_secret(tag: &[u8], seed: &SecretBlock) -> Prg {
+        Prg::from_seed(tag, seed.expose_block())
     }
 
     /// Next pseudorandom block.

@@ -7,47 +7,58 @@
 
 use rand::Rng;
 use secyan_circuit::{Circuit, Gate};
-use secyan_crypto::{Block, TweakHasher};
+use secyan_crypto::{Block, CtChoice, CtEq, Secret, TweakHasher, Zeroize};
 
 /// Garbler-side result of garbling a circuit.
+///
+/// Δ and the zero-labels are the scheme's key material: anyone holding a
+/// wire label *and* Δ can flip the encoded bit, and the input zero-labels
+/// decode every garbler input. They live in [`Secret`] wrappers — no
+/// `Debug`, zeroized on drop — and leave only through the explicit label
+/// accessors below. The tables are ciphertexts and stay public.
 pub struct Garbling {
     /// The global free-XOR offset Δ (lsb forced to 1 for point-and-permute).
-    pub delta: Block,
+    pub delta: Secret<Block>,
     /// Zero-label of every input wire, in wire order (Alice inputs first).
-    pub input_zero_labels: Vec<Block>,
+    pub input_zero_labels: Secret<Vec<Block>>,
     /// Zero-label of every output wire, in output order.
-    pub output_zero_labels: Vec<Block>,
+    pub output_zero_labels: Secret<Vec<Block>>,
     /// Two ciphertexts per AND gate, in gate order.
     pub tables: Vec<(Block, Block)>,
 }
 
 impl Garbling {
-    /// The label encoding bit `b` on input wire `i`.
+    /// The label encoding bit `b` on input wire `i`, selected branchlessly
+    /// (the bit is a party's private input).
     pub fn input_label(&self, i: usize, b: bool) -> Block {
-        if b {
-            self.input_zero_labels[i] ^ self.delta
-        } else {
-            self.input_zero_labels[i]
-        }
+        let delta = self.delta.expose_block().ct_masked(CtChoice::from_bool(b));
+        self.input_zero_labels.expose()[i] ^ delta
     }
 
     /// Decode bits: lsb of each output zero-label. The evaluator XORs these
     /// with the color bits of its output labels to learn the outputs.
     pub fn decode_bits(&self) -> Vec<bool> {
-        self.output_zero_labels.iter().map(|l| l.lsb()).collect()
+        self.output_zero_labels
+            .expose()
+            .iter()
+            .map(|l| l.lsb())
+            .collect()
     }
 
     /// Decode an output label the evaluator computed back to a cleartext
     /// bit (garbler-side check; panics on a label that matches neither).
+    /// Both candidates are compared with [`CtEq`] — no short-circuit on key
+    /// material.
     pub fn decode_output(&self, idx: usize, label: Block) -> bool {
-        let zero = self.output_zero_labels[idx];
-        if label == zero {
-            false
-        } else if label == zero ^ self.delta {
-            true
-        } else {
-            panic!("output label matches neither candidate")
-        }
+        let zero = self.output_zero_labels.expose()[idx];
+        let one = zero ^ self.delta.expose_block();
+        let is_zero = label.ct_eq(&zero);
+        let is_one = label.ct_eq(&one);
+        assert!(
+            is_zero.or(is_one).to_bool(),
+            "output label matches neither candidate"
+        );
+        is_one.to_bool()
     }
 }
 
@@ -98,16 +109,26 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, hasher: TweakHasher, rng: &mut
             }
         }
     }
+    let input_zero_labels = Secret::new(zero[..n_in].to_vec());
+    let output_zero_labels = Secret::new(circuit.outputs.iter().map(|&o| zero[o]).collect());
+    // The full wire-label buffer holds every intermediate label — key
+    // material. Scrub it before the allocation is released.
+    zero.zeroize();
     Garbling {
-        delta,
-        input_zero_labels: zero[..n_in].to_vec(),
-        output_zero_labels: circuit.outputs.iter().map(|&o| zero[o]).collect(),
+        delta: Secret::new(delta),
+        input_zero_labels,
+        output_zero_labels,
         tables,
     }
 }
 
 /// Half-gates garbling of one AND gate. Returns the two halves of the
 /// output zero-label and the two table ciphertexts.
+///
+/// The permute bits p_a, p_b are secret (they encode the label↔bit map), so
+/// the conditional XORs of the half-gates construction are done with
+/// [`Block::ct_masked`] rather than `if` — the gate garbles in the same
+/// instruction sequence whatever the permute bits are.
 fn garble_and(
     wa0: Block,
     wb0: Block,
@@ -115,28 +136,19 @@ fn garble_and(
     hasher: TweakHasher,
     and_idx: u64,
 ) -> (Block, Block, Block, Block) {
-    let pa = wa0.lsb();
-    let pb = wb0.lsb();
+    let pa = CtChoice::from_bool(wa0.lsb());
+    let pb = CtChoice::from_bool(wb0.lsb());
     let j_g = 2 * and_idx;
     let j_e = 2 * and_idx + 1;
     // All four hashes of the gate in one kernel dispatch.
     let [h_a0, h_a1, h_b0, h_b1] =
         hasher.hash4([wa0, wa0 ^ delta, wb0, wb0 ^ delta], [j_g, j_g, j_e, j_e]);
     // Generator half-gate.
-    let mut t_g = h_a0 ^ h_a1;
-    if pb {
-        t_g ^= delta;
-    }
-    let mut w_g = h_a0;
-    if pa {
-        w_g ^= t_g;
-    }
+    let t_g = h_a0 ^ h_a1 ^ delta.ct_masked(pb);
+    let w_g = h_a0 ^ t_g.ct_masked(pa);
     // Evaluator half-gate.
     let t_e = h_b0 ^ h_b1 ^ wa0;
-    let mut w_e = h_b0;
-    if pb {
-        w_e ^= t_e ^ wa0;
-    }
+    let w_e = h_b0 ^ (t_e ^ wa0).ct_masked(pb);
     (w_g, w_e, t_g, t_e)
 }
 
@@ -164,22 +176,23 @@ pub fn eval(
                 let (wa, wb) = (wires[a], wires[b]);
                 let j_g = 2 * and_idx;
                 let j_e = 2 * and_idx + 1;
-                // Both hashes of the gate in one kernel dispatch.
+                // Both hashes of the gate in one kernel dispatch. The color
+                // bits gate the table ciphertexts through ct_masked — the
+                // labels are correlated with the cleartext wire values, so
+                // no control flow may depend on them.
                 let (h_g, h_e) = hasher.hash_pair(wa, j_g, wb, j_e);
-                let mut w_g = h_g;
-                if wa.lsb() {
-                    w_g ^= t_g;
-                }
-                let mut w_e = h_e;
-                if wb.lsb() {
-                    w_e ^= t_e ^ wa;
-                }
+                let w_g = h_g ^ t_g.ct_masked(CtChoice::from_bool(wa.lsb()));
+                let w_e = h_e ^ (t_e ^ wa).ct_masked(CtChoice::from_bool(wb.lsb()));
                 wires[out] = w_g ^ w_e;
                 and_idx += 1;
             }
         }
     }
-    circuit.outputs.iter().map(|&o| wires[o]).collect()
+    let outs = circuit.outputs.iter().map(|&o| wires[o]).collect();
+    // Intermediate labels are correlated with cleartext wire values; scrub
+    // the evaluation buffer before it is released.
+    wires.zeroize();
+    outs
 }
 
 #[cfg(test)]

@@ -9,20 +9,21 @@
 use rand::Rng;
 use secyan_crypto::mersenne::Fp;
 use secyan_crypto::sha256::{digest_to_u128, Sha256};
-use secyan_crypto::Block;
+use secyan_crypto::{Block, CtChoice, CtSelect, Secret, SecretBlock};
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
-/// Derive a key from a group element with index domain separation.
-fn derive_key(i: usize, e: Fp) -> Block {
+/// Derive a key from a group element with index domain separation. The key
+/// seeds OT extension; it is secret-typed from birth.
+fn derive_key(i: usize, e: Fp) -> SecretBlock {
     let mut h = Sha256::new();
     h.update(b"secyan-base-ot");
     h.update(&(i as u64).to_le_bytes());
     h.update(&e.value().to_le_bytes());
-    Block(digest_to_u128(&h.finalize()))
+    Secret::new(Block(digest_to_u128(&h.finalize())))
 }
 
-/// Sender side: returns `n` key pairs.
-pub fn send<R: Rng>(ch: &mut Channel, n: usize, rng: &mut R) -> Vec<(Block, Block)> {
+/// Sender side: returns `n` key pairs (zeroized on drop).
+pub fn send<R: Rng>(ch: &mut Channel, n: usize, rng: &mut R) -> Vec<(SecretBlock, SecretBlock)> {
     // a ← Z, A = g^a.
     let a: u128 = rng.gen::<u128>() >> 1;
     let big_a = Fp::G.pow(a);
@@ -40,8 +41,12 @@ pub fn send<R: Rng>(ch: &mut Channel, n: usize, rng: &mut R) -> Vec<(Block, Bloc
         .collect()
 }
 
-/// Receiver side: returns `k_{c_i}` for each choice bit.
-pub fn receive<R: Rng>(ch: &mut Channel, choices: &[bool], rng: &mut R) -> Vec<Block> {
+/// Receiver side: returns `k_{c_i}` for each choice bit (zeroized on drop).
+///
+/// The B = g^b · A^c blinding is computed branchlessly: both candidates are
+/// evaluated and the choice bit only drives a [`CtSelect`] on the canonical
+/// representatives, so no control flow or memory access depends on `c`.
+pub fn receive<R: Rng>(ch: &mut Channel, choices: &[bool], rng: &mut R) -> Vec<SecretBlock> {
     let mut raw = [0u8; 16];
     ch.recv_into(&mut raw);
     let big_a = Fp::new(u128::from_le_bytes(raw));
@@ -50,8 +55,9 @@ pub fn receive<R: Rng>(ch: &mut Channel, choices: &[bool], rng: &mut R) -> Vec<B
     for (i, &c) in choices.iter().enumerate() {
         let b: u128 = rng.gen::<u128>() >> 1;
         let g_b = Fp::G.pow(b);
-        let big_b = if c { g_b.mul(big_a) } else { g_b };
-        bs.push(big_b.value());
+        let blinded = g_b.mul(big_a);
+        let big_b = u128::ct_select(CtChoice::from_bool(c), blinded.value(), g_b.value());
+        bs.push(big_b);
         keys.push(derive_key(i, big_a.pow(b)));
     }
     ch.send_u128_slice(&bs);
@@ -75,11 +81,11 @@ mod tests {
         );
         assert_eq!(pairs.len(), 5);
         for (i, &c) in choices.iter().enumerate() {
-            let (k0, k1) = pairs[i];
+            let (k0, k1) = (pairs[i].0.expose_block(), pairs[i].1.expose_block());
             assert_ne!(k0, k1);
-            assert_eq!(got[i], if c { k1 } else { k0 }, "ot {i}");
+            assert_eq!(got[i].expose_block(), if c { k1 } else { k0 }, "ot {i}");
             // And the receiver's key differs from the unchosen one.
-            assert_ne!(got[i], if c { k0 } else { k1 });
+            assert_ne!(got[i].expose_block(), if c { k0 } else { k1 });
         }
     }
 
@@ -89,7 +95,10 @@ mod tests {
             |ch| send(ch, 8, &mut StdRng::seed_from_u64(3)),
             |ch| receive(ch, &[false; 8], &mut StdRng::seed_from_u64(4)),
         );
-        let mut all: Vec<Block> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut all: Vec<Block> = pairs
+            .iter()
+            .flat_map(|(a, b)| [a.expose_block(), b.expose_block()])
+            .collect();
         all.sort();
         all.dedup();
         assert_eq!(all.len(), 16);

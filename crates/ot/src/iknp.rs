@@ -13,7 +13,7 @@
 
 use rand::Rng;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::{Block, Prg, TweakHasher};
+use secyan_crypto::{ct_select_bytes, Block, CtChoice, CtSelect, Prg, Secret, TweakHasher};
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
 /// Security parameter κ: number of base OTs / width of the extension
@@ -22,8 +22,9 @@ pub const KAPPA: usize = 128;
 
 /// Extension sender: after setup, produces message pairs.
 pub struct OtSender {
-    /// The κ secret choice bits used in the reversed base OTs.
-    s: u128,
+    /// The κ secret choice bits used in the reversed base OTs. Secret-typed:
+    /// leaking s breaks every OT derived from this setup.
+    s: Secret<u128>,
     /// One PRG per column, seeded with the base-OT key `k_{s_i}`.
     prgs: Vec<Prg>,
     hasher: TweakHasher,
@@ -42,14 +43,17 @@ impl OtSender {
     /// Bootstrap via base OTs (this side plays base-OT *receiver*).
     pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> OtSender {
         let s: u128 = rng.gen();
+        // ct-ok: branchless bit extraction — `& 1 == 1` compiles to a mask
+        // test, and the resulting bools feed the branchless base-OT receive.
         let choices: Vec<bool> = (0..KAPPA).map(|i| s >> i & 1 == 1).collect();
+        // The base-OT seeds are zeroized as each PRG consumes its seed.
         let seeds = crate::base::receive(ch, &choices, rng);
         let prgs = seeds
-            .into_iter()
-            .map(|k| Prg::from_seed(b"iknp-col", k))
+            .iter()
+            .map(|k| Prg::from_secret(b"iknp-col", k))
             .collect();
         OtSender {
-            s,
+            s: Secret::new(s),
             prgs,
             hasher,
             ctr: 0,
@@ -64,16 +68,17 @@ impl OtSender {
             return Vec::new();
         }
         let row_bytes = m.div_ceil(8);
-        // Column i of Q: G(k_{s_i}) ⊕ s_i · u_i.
+        // Column i of Q: G(k_{s_i}) ⊕ s_i · u_i. The s_i correlation is
+        // applied branchlessly: every column does the same XOR loop against
+        // u masked by an all-ones/all-zeros byte derived from s_i.
         let mut q = BitMatrix::zero(KAPPA, m);
         for i in 0..KAPPA {
             let mut col = vec![0u8; row_bytes];
             self.prgs[i].fill(&mut col);
             let u = ch.recv_bytes(row_bytes);
-            if self.s >> i & 1 == 1 {
-                for (c, &ub) in col.iter_mut().zip(&u) {
-                    *c ^= ub;
-                }
+            let s_i = CtChoice::from_lsb((self.s.expose() >> i) as u8).mask_u8();
+            for (c, &ub) in col.iter_mut().zip(&u) {
+                *c ^= ub & s_i;
             }
             q.row_mut(i).copy_from_slice(&col);
         }
@@ -85,7 +90,7 @@ impl OtSender {
                 ))
             })
             .collect();
-        let qjs_s: Vec<Block> = qjs.iter().map(|&qj| qj ^ Block(self.s)).collect();
+        let qjs_s: Vec<Block> = qjs.iter().map(|&qj| qj ^ Block(*self.s.expose())).collect();
         // Both correlated branches hashed in batched kernel dispatches.
         let h0 = self.hasher.hash_batch(&qjs, self.ctr);
         let h1 = self.hasher.hash_batch(&qjs_s, self.ctr);
@@ -120,13 +125,14 @@ impl OtSender {
 impl OtReceiver {
     /// Bootstrap via base OTs (this side plays base-OT *sender*).
     pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> OtReceiver {
+        // Seed pairs are zeroized on drop as each PRG consumes its seed.
         let pairs = crate::base::send(ch, KAPPA, rng);
         let prgs = pairs
-            .into_iter()
+            .iter()
             .map(|(k0, k1)| {
                 (
-                    Prg::from_seed(b"iknp-col", k0),
-                    Prg::from_seed(b"iknp-col", k1),
+                    Prg::from_secret(b"iknp-col", k0),
+                    Prg::from_secret(b"iknp-col", k1),
                 )
             })
             .collect();
@@ -144,11 +150,10 @@ impl OtReceiver {
             return Vec::new();
         }
         let row_bytes = m.div_ceil(8);
+        // Pack the choice bits without branching on them.
         let mut r_packed = vec![0u8; row_bytes];
         for (j, &c) in choices.iter().enumerate() {
-            if c {
-                r_packed[j / 8] |= 1 << (j % 8);
-            }
+            r_packed[j / 8] |= (c as u8) << (j % 8);
         }
         let mut t = BitMatrix::zero(KAPPA, m);
         for i in 0..KAPPA {
@@ -176,18 +181,26 @@ impl OtReceiver {
         out
     }
 
-    /// Receive chosen 128-bit messages.
+    /// Receive chosen 128-bit messages. The unchosen branch is read too and
+    /// discarded via [`CtSelect`], so memory access does not index on the
+    /// choice bit.
     pub fn recv_blocks(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
         let pads = self.random(ch, choices);
         let masked = ch.recv_u128_vec(choices.len() * 2);
         choices
             .iter()
             .enumerate()
-            .map(|(j, &c)| Block(masked[2 * j + c as usize]) ^ pads[j])
+            .map(|(j, &c)| {
+                let picked =
+                    u128::ct_select(CtChoice::from_bool(c), masked[2 * j + 1], masked[2 * j]);
+                Block(picked) ^ pads[j]
+            })
             .collect()
     }
 
-    /// Receive chosen byte-string messages of known length `len`.
+    /// Receive chosen byte-string messages of known length `len`. Both
+    /// candidate strings are unmasked and the result selected bytewise, so
+    /// neither control flow nor access pattern depends on the choice bits.
     pub fn recv_bytes(&mut self, ch: &mut Channel, choices: &[bool], len: usize) -> Vec<Vec<u8>> {
         let pads = self.random(ch, choices);
         let raw = ch.recv_bytes(choices.len() * 2 * len);
@@ -195,8 +208,10 @@ impl OtReceiver {
             .iter()
             .enumerate()
             .map(|(j, &c)| {
-                let start = (2 * j + c as usize) * len;
-                mask_bytes(&raw[start..start + len], pads[j])
+                let m0 = &raw[2 * j * len..(2 * j + 1) * len];
+                let m1 = &raw[(2 * j + 1) * len..(2 * j + 2) * len];
+                let picked = ct_select_bytes(CtChoice::from_bool(c), m1, m0);
+                mask_bytes(&picked, pads[j])
             })
             .collect()
     }

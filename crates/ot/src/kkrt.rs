@@ -15,7 +15,7 @@
 use rand::Rng;
 use secyan_crypto::sha256::Sha256;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::{Prg, TweakHasher};
+use secyan_crypto::{CtChoice, Prg, Secret, TweakHasher};
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
 /// Matrix width w: the pseudorandom-code length in bits.
@@ -38,7 +38,8 @@ fn code(x: &[u8]) -> [u8; WIDTH_BYTES] {
 /// OPRF sender (key holder). Holds the base-OT state; each
 /// [`KkrtSender::key_batch`] call produces a key for one batch.
 pub struct KkrtSender {
-    s: [u8; WIDTH_BYTES],
+    /// The w secret correlation bits; leaking them voids every OPRF batch.
+    s: Secret<[u8; WIDTH_BYTES]>,
     prgs: Vec<Prg>,
     hasher: TweakHasher,
     ctr: u64,
@@ -55,7 +56,7 @@ pub struct KkrtReceiver {
 /// batch.
 pub struct KkrtSenderKey {
     q_rows: Vec<[u8; WIDTH_BYTES]>,
-    s: [u8; WIDTH_BYTES],
+    s: Secret<[u8; WIDTH_BYTES]>,
     hasher: TweakHasher,
     base: u64,
 }
@@ -67,14 +68,17 @@ impl KkrtSender {
     pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> KkrtSender {
         let mut s = [0u8; WIDTH_BYTES];
         rng.fill(&mut s[..]);
+        // ct-ok: branchless bit extraction — `& 1 == 1` compiles to a mask
+        // test, and the resulting bools feed the branchless base-OT receive.
         let choices: Vec<bool> = (0..WIDTH).map(|i| s[i / 8] >> (i % 8) & 1 == 1).collect();
+        // Base-OT seeds are zeroized as each PRG consumes its seed.
         let seeds = crate::base::receive(ch, &choices, rng);
         let prgs = seeds
-            .into_iter()
-            .map(|k| Prg::from_seed(b"kkrt-col", k))
+            .iter()
+            .map(|k| Prg::from_secret(b"kkrt-col", k))
             .collect();
         KkrtSender {
-            s,
+            s: Secret::new(s),
             prgs,
             hasher,
             ctr: 0,
@@ -88,7 +92,7 @@ impl KkrtSender {
         if m == 0 {
             return KkrtSenderKey {
                 q_rows: Vec::new(),
-                s: self.s,
+                s: self.s.clone(),
                 hasher: self.hasher,
                 base,
             };
@@ -99,10 +103,11 @@ impl KkrtSender {
             let mut col = vec![0u8; row_bytes];
             self.prgs[i].fill(&mut col);
             let u = ch.recv_bytes(row_bytes);
-            if self.s[i / 8] >> (i % 8) & 1 == 1 {
-                for (c, &ub) in col.iter_mut().zip(&u) {
-                    *c ^= ub;
-                }
+            // Branchless s_i correlation, as in IKNP: mask u with
+            // all-ones/all-zeros derived from the secret bit.
+            let s_i = CtChoice::from_lsb(self.s.expose()[i / 8] >> (i % 8)).mask_u8();
+            for (c, &ub) in col.iter_mut().zip(&u) {
+                *c ^= ub & s_i;
             }
             q.row_mut(i).copy_from_slice(&col);
         }
@@ -116,7 +121,7 @@ impl KkrtSender {
             .collect();
         KkrtSenderKey {
             q_rows,
-            s: self.s,
+            s: self.s.clone(),
             hasher: self.hasher,
             base,
         }
@@ -134,12 +139,14 @@ impl KkrtSenderKey {
         self.q_rows.is_empty()
     }
 
-    /// Evaluate F(j, y) for arbitrary y.
+    /// Evaluate F(j, y) for arbitrary y. Already branchless: the code bits
+    /// gate s bytewise through `&`, never through control flow.
     pub fn eval(&self, j: usize, y: &[u8]) -> u64 {
         let c = code(y);
+        let s = self.s.expose();
         let mut row = self.q_rows[j];
         for k in 0..WIDTH_BYTES {
-            row[k] ^= c[k] & self.s[k];
+            row[k] ^= c[k] & s[k];
         }
         self.hasher.hash_row(self.base + j as u64, &row)
     }
@@ -149,13 +156,14 @@ impl KkrtReceiver {
     /// Bootstrap: run w base OTs as base-OT sender. `hasher` must match the
     /// sender's choice.
     pub fn setup<R: Rng>(ch: &mut Channel, rng: &mut R, hasher: TweakHasher) -> KkrtReceiver {
+        // Seed pairs are zeroized on drop as each PRG consumes its seed.
         let pairs = crate::base::send(ch, WIDTH, rng);
         let prgs = pairs
-            .into_iter()
+            .iter()
             .map(|(k0, k1)| {
                 (
-                    Prg::from_seed(b"kkrt-col", k0),
-                    Prg::from_seed(b"kkrt-col", k1),
+                    Prg::from_secret(b"kkrt-col", k0),
+                    Prg::from_secret(b"kkrt-col", k1),
                 )
             })
             .collect();
@@ -184,11 +192,11 @@ impl KkrtReceiver {
             prg0.fill(&mut t0);
             let mut u = vec![0u8; row_bytes];
             prg1.fill(&mut u);
-            // u = t0 ⊕ t1 ⊕ c_i (column i of the code matrix).
+            // u = t0 ⊕ t1 ⊕ c_i (column i of the code matrix). The code bits
+            // derive from the receiver's private inputs, so fold them in
+            // without branching on them.
             for (j, cj) in codes.iter().enumerate() {
-                if cj[i / 8] >> (i % 8) & 1 == 1 {
-                    u[j / 8] ^= 1 << (j % 8);
-                }
+                u[j / 8] ^= (cj[i / 8] >> (i % 8) & 1) << (j % 8);
             }
             for k in 0..row_bytes {
                 u[k] ^= t0[k];

@@ -66,6 +66,8 @@ impl CuckooTable {
         assert!(bins >= elements.len(), "need at least one bin per element");
         let mut seed = seed0;
         loop {
+            // ct-ok: the cuckoo hash seed is public — it is sent to the
+            // other party so both sides derive the same bin mapping.
             if let Some(t) = Self::try_build(elements, bins, seed) {
                 return t;
             }
@@ -95,6 +97,8 @@ impl CuckooTable {
                         // one it occupied (deterministic rotation keeps the
                         // walk reproducible across retries).
                         let occ_idx = (0..NUM_HASHES)
+                            // ct-ok: same public cuckoo seed; bin placement
+                            // is revealed to both parties by construction.
                             .find(|&i| bin_of(occupant, i, seed, bins) == b)
                             .expect("occupant was placed in a candidate bin");
                         hash_idx = (occ_idx + 1) % NUM_HASHES;

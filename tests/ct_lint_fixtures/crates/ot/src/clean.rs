@@ -1,0 +1,58 @@
+//! Clean code in the secret scope: none of this may be flagged. Each item
+//! is the hygienic twin of a seeded violation.
+
+/// Constant-time comparison: no `==` on the secret, no branch.
+pub fn key_compare_ct(key: u128, other: u128) -> u8 {
+    let x = key ^ other;
+    let folded = (x | x.wrapping_neg()) >> 127;
+    1u8 ^ (folded as u8)
+}
+
+/// Branchless select: arithmetic masking instead of `if choice`.
+pub fn select_ct(choice_mask: u128, a: u128, b: u128) -> u128 {
+    b ^ (choice_mask & (a ^ b))
+}
+
+/// Public sizes of secret collections are fine.
+pub fn count_ok(labels: &[u128], seeds: &[u128]) -> bool {
+    labels.len() == seeds.len() && !labels.is_empty()
+}
+
+/// Branching on public values is fine, even next to secret names.
+pub fn public_branch(n: usize, pads: &[u128]) -> u128 {
+    let mut acc = 0u128;
+    if n > 16 {
+        for p in pads {
+            acc ^= p;
+        }
+    }
+    acc
+}
+
+/// `unsafe` with a SAFETY justification passes.
+pub fn justified(p: *const u8) -> u8 {
+    // SAFETY: the caller hands us a pointer derived from a live reference
+    // in the fixture harness; reads of one byte are in bounds.
+    unsafe { *p }
+}
+
+/// Secret words inside strings or comments must not trip the ident rules
+/// (the label of a key seed share choice is discussed here freely).
+pub fn strings_ok(x: u64) -> bool {
+    let tag = "key label seed == delta";
+    tag.len() as u64 == x
+}
+
+#[cfg(test)]
+mod tests {
+    /// Inside tests everything is allowed: compare, print, branch.
+    #[test]
+    fn test_freedom() {
+        let key = 3u128;
+        let choice = true;
+        assert!(key == 3);
+        if choice {
+            println!("key = {:?}", key);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Outside the secret scope (crates/relation is plaintext query planning):
+//! the secret-value rules do not apply; only R-UNSAFE does.
+
+/// `key` here is a join key — public table data. Not flagged.
+pub fn join_key_eq(key: u64, other: u64) -> bool {
+    key == other
+}
+
+/// Branching on join keys is the whole point of a query engine.
+pub fn partition(keys: &[u64]) -> usize {
+    let mut n = 0;
+    for &key in keys {
+        if key % 2 == 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// But unjustified unsafe is still flagged everywhere.
+pub fn still_checked(p: *const u64) -> u64 {
+    // ct-expect: R-UNSAFE
+    unsafe { *p }
+}

@@ -1,0 +1,138 @@
+//! Workspace automation entry point: `cargo xtask <command>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{
+    check_fixtures, diff_baseline, find_workspace_root, lint_workspace, parse_baseline,
+    render_baseline,
+};
+
+const USAGE: &str = "\
+Usage: cargo xtask ct-lint [options]
+
+Secret-hygiene static analysis over the workspace sources.
+
+Options:
+  --update-baseline   rewrite ct-lint.allow from the current findings
+  --fixtures          self-test against tests/ct_lint_fixtures annotations
+  --root <dir>        workspace root (default: auto-detected)
+
+Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/IO error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "ct-lint" {
+        eprintln!("unknown command `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut update = false;
+    let mut fixtures = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--update-baseline" => update = true,
+            "--fixtures" => fixtures = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root_arg.or_else(|| {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        find_workspace_root(here.parent().unwrap_or(&here))
+    });
+    let Some(root) = root else {
+        eprintln!("ct-lint: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+
+    if fixtures {
+        let dir = root.join("tests/ct_lint_fixtures");
+        return match check_fixtures(&dir) {
+            Ok(problems) if problems.is_empty() => {
+                println!("ct-lint fixtures: all seeded violations caught, no false positives");
+                ExitCode::SUCCESS
+            }
+            Ok(problems) => {
+                for p in &problems {
+                    eprintln!("ct-lint fixtures: {p}");
+                }
+                eprintln!("ct-lint fixtures: {} problem(s)", problems.len());
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("ct-lint fixtures: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ct-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = root.join("ct-lint.allow");
+    if update {
+        let body = render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, body) {
+            eprintln!("ct-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ct-lint: wrote {} entries to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => {
+            eprintln!("ct-lint: reading {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diff = diff_baseline(findings, &baseline);
+    for k in &diff.stale {
+        eprintln!("ct-lint: stale baseline entry (prune it): {k}");
+    }
+    if diff.new.is_empty() {
+        println!(
+            "ct-lint: clean ({} baselined exception(s))",
+            baseline.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for f in &diff.new {
+        eprintln!("{} {}:{}: {}", f.rule, f.path, f.line, f.snippet);
+    }
+    eprintln!(
+        "ct-lint: {} new finding(s). Fix with the ct_eq/ct_select/Secret APIs in \
+         secyan-crypto::secret, suppress a reviewed exception with an inline \
+         `// ct-ok: <reason>`, or (for bulk legacy code) re-run with \
+         --update-baseline and justify the diff in review.",
+        diff.new.len()
+    );
+    ExitCode::from(1)
+}

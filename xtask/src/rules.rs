@@ -1,0 +1,528 @@
+//! The ct-lint rule passes.
+//!
+//! Five rules, each a line-local pattern over the scanned channels of a
+//! source file (see [`crate::lexer`]):
+//!
+//! - **R-EQ** — `==` / `!=` (or a derived `PartialEq`) touching a
+//!   secret-bearing identifier. Variable-time equality on key material is
+//!   the classic comparison side channel; use `CtEq::ct_eq`.
+//! - **R-BRANCH** — `if` / `while` / `match` whose condition mentions a
+//!   secret-bearing identifier. Control flow on secrets leaks through the
+//!   branch predictor and instruction cache; use `CtChoice` masks or
+//!   `CtSelect::ct_select`.
+//! - **R-DEBUG** — `{:?}` formatting, `dbg!`, or a derived `Debug` reaching
+//!   a secret-bearing identifier or type. Key material must never hit logs.
+//! - **R-INDEX** — array/table access with a data-dependent index inside
+//!   `crates/crypto` (cache-timing channel; flags the table-based software
+//!   AES fallback explicitly) or a secret-marker index anywhere in the
+//!   crypto stack.
+//! - **R-UNSAFE** — `unsafe` without a `// SAFETY:` (or `# Safety` doc)
+//!   comment within the three preceding lines.
+//!
+//! Rules R-EQ/R-BRANCH/R-DEBUG/R-INDEX skip `#[cfg(test)]` / `#[test]`
+//! regions — tests may compare, print, and branch on anything. R-UNSAFE
+//! applies everywhere, tests included.
+//!
+//! Suppression: a `ct-ok: <reason>` comment on the finding line or the line
+//! above acknowledges a reviewed, justified exception inline. Bulk legacy
+//! exceptions belong in the `ct-lint.allow` baseline instead.
+
+use crate::lexer::{ident_words, identifiers, ScannedFile};
+
+/// Identifier words that mark a value as secret-bearing. An identifier
+/// matches if any of its snake/camel-case words equals a marker (so
+/// `wire_label`, `input_zero_labels`, and `KkrtSenderKey` all match).
+///
+/// Deliberately conservative: single-letter secrets (`s`, `c`) evade the
+/// heuristic — naming secrets descriptively is part of the discipline this
+/// lint enforces (see DESIGN.md).
+pub const SECRET_MARKERS: &[&str] = &[
+    "label", "labels", "seed", "seeds", "delta", "pad", "pads", "share", "shares", "choice",
+    "choices", "secret", "secrets", "key", "keys",
+];
+
+/// Crates whose non-test code is subject to the secret-value rules
+/// (R-EQ, R-BRANCH, R-DEBUG, marker-indexed R-INDEX).
+pub const SECRET_SCOPE: &[&str] = &[
+    "crates/crypto/",
+    "crates/ot/",
+    "crates/gc/",
+    "crates/psi/",
+    "crates/oep/",
+];
+
+/// One lint finding, keyed for baseline matching by (rule, path, snippet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `R-EQ`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number (display only; not part of the baseline key, so
+    /// unrelated edits shifting lines do not invalidate the baseline).
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Baseline key: rule + path + whitespace-normalized snippet.
+    pub fn key(&self) -> String {
+        let normalized: String = self
+            .snippet
+            .split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("{}\t{}\t{}", self.rule, self.path, normalized)
+    }
+}
+
+/// Does `path` (workspace-relative, `/`-separated) fall in the secret scope?
+fn in_secret_scope(path: &str) -> bool {
+    SECRET_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Identifiers on a code line that carry a secret marker word, excluding
+/// identifiers only used for their public size (`x.len()`, `x.is_empty()`,
+/// `x.capacity()`).
+fn secret_idents(code_line: &str) -> Vec<String> {
+    let ids = identifiers(code_line);
+    let mut out = Vec::new();
+    for (pos, id) in &ids {
+        // ALL-CAPS identifiers are consts — compile-time public parameters
+        // (ROUND_KEYS, KAPPA), never runtime secrets.
+        if id
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        {
+            continue;
+        }
+        if !ident_words(id)
+            .iter()
+            .any(|w| SECRET_MARKERS.contains(&w.as_str()))
+        {
+            continue;
+        }
+        let rest = &code_line[pos + id.len()..];
+        let rest = rest.trim_start();
+        if rest.starts_with(".len(")
+            || rest.starts_with(".is_empty(")
+            || rest.starts_with(".capacity(")
+        {
+            continue;
+        }
+        out.push(id.clone());
+    }
+    out
+}
+
+/// True if a `ct-ok:` suppression comment covers line `i`: on the line
+/// itself, or anywhere in the contiguous run of comment/attribute lines
+/// directly above it (multi-line justifications are encouraged).
+fn suppressed(scan: &ScannedFile, i: usize) -> bool {
+    let hit = |j: usize| scan.comments.get(j).is_some_and(|c| c.contains("ct-ok:"));
+    if hit(i) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let code_above = scan.code[j].trim();
+        if !(code_above.is_empty() || code_above.starts_with("#[")) {
+            return false;
+        }
+        if hit(j) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Find the name of the struct/enum a `#[derive(...)]` on line `i` applies
+/// to, looking at most 4 code lines ahead (other attributes may intervene).
+fn derived_type_name(scan: &ScannedFile, i: usize) -> Option<String> {
+    for line in scan.code.iter().skip(i).take(5) {
+        let ids: Vec<String> = identifiers(line).into_iter().map(|(_, s)| s).collect();
+        for w in ids.windows(2) {
+            if w[0] == "struct" || w[0] == "enum" || w[0] == "union" {
+                return Some(w[1].clone());
+            }
+        }
+    }
+    None
+}
+
+/// Extract a branch condition: text after the keyword up to the opening
+/// brace (or end of line — conditions spanning lines are checked line by
+/// line as each continuation still carries the identifiers).
+fn condition_after(code_line: &str, kw_end: usize) -> &str {
+    let rest = &code_line[kw_end..];
+    match rest.find('{') {
+        Some(b) => &rest[..b],
+        None => rest,
+    }
+}
+
+/// Byte offsets just past each word-boundary occurrence of `kw`.
+fn keyword_ends(code_line: &str, kw: &str) -> Vec<usize> {
+    identifiers(code_line)
+        .into_iter()
+        .filter(|(_, id)| id == kw)
+        .map(|(pos, _)| pos + kw.len())
+        .collect()
+}
+
+/// Byte offsets of `==` / `!=` comparison operators (skipping `<=`, `>=`,
+/// `=>`, and compound assignments, which never match the two-char probes).
+fn comparison_ops(code_line: &str) -> Vec<usize> {
+    let bytes = code_line.as_bytes();
+    (0..bytes.len().saturating_sub(1))
+        .filter(|&i| {
+            (bytes[i] == b'=' || bytes[i] == b'!') && bytes[i + 1] == b'='
+                // `!=` is a comparison; a bare `=` before `==` would be `===`,
+                // which Rust has no lexing for — but guard anyway.
+                && (i == 0 || bytes[i - 1] != b'=')
+                && bytes.get(i + 2) != Some(&b'=')
+        })
+        .collect()
+}
+
+/// Is `s` a plain integer literal (decimal or hex, `_` separators ok)?
+fn is_int_literal(s: &str) -> bool {
+    let t = s.trim();
+    if t.is_empty() {
+        return false;
+    }
+    let t = t
+        .strip_prefix("0x")
+        .or_else(|| t.strip_prefix("0b"))
+        .unwrap_or(t);
+    t.chars().all(|c| c.is_ascii_hexdigit() || c == '_')
+}
+
+/// Run every rule over one scanned file. `raw_lines` are the original
+/// source lines (for snippets).
+pub fn lint_scanned(path: &str, scan: &ScannedFile, raw_lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let secret_scope = in_secret_scope(path);
+    let crypto_crate = path.starts_with("crates/crypto/");
+    let snippet = |i: usize| {
+        raw_lines
+            .get(i)
+            .map_or(String::new(), |l| l.trim().to_string())
+    };
+    let mut push = |rule: &'static str, i: usize| {
+        out.push(Finding {
+            rule,
+            path: path.to_string(),
+            line: i + 1,
+            snippet: snippet(i),
+        });
+    };
+
+    for i in 0..scan.code.len() {
+        let code = &scan.code[i];
+        if code.trim().is_empty() {
+            continue;
+        }
+        let tests = scan.in_test[i];
+        let skip = suppressed(scan, i);
+
+        // R-UNSAFE: applies everywhere, tests included. A justification
+        // counts if `SAFETY`/`Safety` appears in this line's comment or in
+        // the contiguous run of comment/attribute lines directly above
+        // (covering both `// SAFETY:` blocks and `/// # Safety` doc
+        // sections ahead of an `unsafe fn`).
+        if !skip && identifiers(code).iter().any(|(_, id)| id == "unsafe") {
+            let has_marker = |j: usize| {
+                scan.comments
+                    .get(j)
+                    .is_some_and(|c| c.contains("SAFETY") || c.contains("Safety"))
+            };
+            let mut justified = has_marker(i);
+            let mut j = i;
+            while !justified && j > 0 {
+                j -= 1;
+                let code_above = scan.code[j].trim();
+                let is_annotation = code_above.is_empty() || code_above.starts_with("#[");
+                if !is_annotation {
+                    break;
+                }
+                justified = has_marker(j);
+            }
+            if !justified {
+                push("R-UNSAFE", i);
+            }
+        }
+
+        if tests || skip || !secret_scope {
+            continue;
+        }
+
+        let secrets = secret_idents(code);
+
+        // R-EQ: comparison operators touching secret identifiers. Each
+        // operator is checked against its own statement segment (bounded by
+        // `;`/`{`/`}`) so identifiers elsewhere on the line — e.g. a fn
+        // signature sharing the line with its body — don't contaminate it.
+        for op in comparison_ops(code) {
+            let start = code[..op].rfind(['{', '}', ';']).map_or(0, |p| p + 1);
+            let end = code[op..]
+                .find(['{', '}', ';'])
+                .map_or(code.len(), |p| op + p);
+            if !secret_idents(&code[start..end]).is_empty() {
+                push("R-EQ", i);
+                break;
+            }
+        }
+        // R-EQ: derived PartialEq on a secret-named type.
+        if code.contains("derive") && code.contains("PartialEq") {
+            if let Some(name) = derived_type_name(scan, i) {
+                if ident_words(&name)
+                    .iter()
+                    .any(|w| SECRET_MARKERS.contains(&w.as_str()))
+                {
+                    push("R-EQ", i);
+                }
+            }
+        }
+
+        // R-BRANCH: control flow conditioned on secret identifiers.
+        for kw in ["if", "while", "match"] {
+            let mut hit = false;
+            for end in keyword_ends(code, kw) {
+                let cond = condition_after(code, end);
+                if !secret_idents(cond).is_empty() {
+                    hit = true;
+                }
+            }
+            if hit {
+                push("R-BRANCH", i);
+                break;
+            }
+        }
+
+        // R-DEBUG: Debug formatting of secret identifiers or types.
+        let debug_fmt = scan.strings[i].contains("{:?}")
+            || scan.strings[i].contains("{:#?}")
+            || scan.strings[i].contains(":?}")
+            || code.contains("dbg!");
+        if debug_fmt && !secrets.is_empty() {
+            push("R-DEBUG", i);
+        }
+        if code.contains("derive") && code.contains("Debug") {
+            if let Some(name) = derived_type_name(scan, i) {
+                if ident_words(&name)
+                    .iter()
+                    .any(|w| SECRET_MARKERS.contains(&w.as_str()))
+                {
+                    push("R-DEBUG", i);
+                }
+            }
+        }
+
+        // R-INDEX: data-dependent table lookups.
+        //  (a) in crates/crypto, any ALL-CAPS const table indexed by a
+        //      non-literal — the software AES S-box/T-tables land here;
+        //  (b) anywhere in the secret scope, an index expression that
+        //      itself mentions a secret identifier.
+        for (pos, id) in identifiers(code) {
+            let after = code[pos + id.len()..].trim_start();
+            if !after.starts_with('[') {
+                continue;
+            }
+            let idx_body = &after[1..after.find(']').unwrap_or(after.len())];
+            let const_table = id.len() >= 2
+                && id.chars().any(|c| c.is_ascii_uppercase())
+                && id
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+            if crypto_crate
+                && const_table
+                && !is_int_literal(idx_body)
+                && !idx_body.trim().is_empty()
+            {
+                push("R-INDEX", i);
+                break;
+            }
+            if !secret_idents(idx_body).is_empty() {
+                push("R-INDEX", i);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::ScannedFile;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        let scan = ScannedFile::scan(src);
+        let raw: Vec<&str> = src.lines().collect();
+        lint_scanned(path, &scan, &raw)
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn eq_on_secret_flagged() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "fn f(a_label: u64, b: u64) -> bool { a_label == b }",
+        );
+        assert_eq!(rules_of(&f), ["R-EQ"]);
+    }
+
+    #[test]
+    fn eq_outside_scope_not_flagged() {
+        let f = lint(
+            "crates/relation/src/x.rs",
+            "fn f(key: u64, b: u64) -> bool { key == b }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn eq_in_tests_not_flagged() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn f(seed: u64) { assert!(seed == 3); }\n}\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn len_is_public() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "fn f(keys: &[u8]) { assert!(keys.len() == 4); }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn branch_on_secret_flagged() {
+        let f = lint(
+            "crates/gc/src/x.rs",
+            "fn f(choice: bool) { if choice { g(); } }",
+        );
+        assert_eq!(rules_of(&f), ["R-BRANCH"]);
+    }
+
+    #[test]
+    fn branch_on_public_not_flagged() {
+        let f = lint(
+            "crates/gc/src/x.rs",
+            "fn f(n: usize) { if n == 0 { g(); } }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn derive_on_secret_type_flagged() {
+        let f = lint(
+            "crates/crypto/src/x.rs",
+            "#[derive(Debug, Clone, PartialEq)]\npub struct WireLabel(u128);\n",
+        );
+        let mut r = rules_of(&f);
+        r.sort();
+        assert_eq!(r, ["R-DEBUG", "R-EQ"]);
+    }
+
+    #[test]
+    fn debug_format_of_secret_flagged() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "fn f(pad: u128) { println!(\"pad = {:?}\", pad); }",
+        );
+        assert_eq!(rules_of(&f), ["R-DEBUG"]);
+    }
+
+    #[test]
+    fn const_table_index_flagged_in_crypto() {
+        let f = lint(
+            "crates/crypto/src/x.rs",
+            "fn f(x: u8) -> u8 { SBOX[x as usize] }",
+        );
+        assert_eq!(rules_of(&f), ["R-INDEX"]);
+    }
+
+    #[test]
+    fn const_table_literal_index_ok() {
+        let f = lint("crates/crypto/src/x.rs", "fn f() -> u32 { RCON[0] }");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn secret_index_flagged_in_scope() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "fn f(v: &[u8], choice: usize) -> u8 { v[choice] }",
+        );
+        assert_eq!(rules_of(&f), ["R-INDEX"]);
+    }
+
+    #[test]
+    fn unsafe_without_safety_flagged() {
+        let f = lint("crates/core/src/x.rs", "fn f() { unsafe { g() } }");
+        assert_eq!(rules_of(&f), ["R-UNSAFE"]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_ok() {
+        let f = lint(
+            "crates/core/src/x.rs",
+            "// SAFETY: g has no preconditions.\nfn f() { unsafe { g() } }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_even_in_tests() {
+        let f = lint(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn f() { unsafe { g() } }\n}\n",
+        );
+        assert_eq!(rules_of(&f), ["R-UNSAFE"]);
+    }
+
+    #[test]
+    fn ct_ok_suppresses() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "// ct-ok: public protocol seed, sent on the wire anyway.\nfn f(seed: u64) { if seed > 0 { g(); } }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn string_contents_do_not_fake_idents() {
+        let f = lint(
+            "crates/ot/src/x.rs",
+            "fn f(x: u64) { h.update(b\"key-label\"); let y = x == 3; }",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn finding_key_is_line_independent() {
+        let a = Finding {
+            rule: "R-EQ",
+            path: "p.rs".into(),
+            line: 3,
+            snippet: "a ==  b".into(),
+        };
+        let b = Finding {
+            rule: "R-EQ",
+            path: "p.rs".into(),
+            line: 9,
+            snippet: "a == b".into(),
+        };
+        assert_eq!(a.key(), b.key());
+    }
+}
