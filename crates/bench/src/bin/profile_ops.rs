@@ -13,6 +13,7 @@ use std::time::Instant;
 
 fn main() {
     profile_hashers();
+    profile_parallel();
 
     let ring = RingCtx::new(32);
     let hasher = TweakHasher::default();
@@ -143,6 +144,133 @@ fn main() {
     );
     let _ = u64_to_bits(0, 1);
     let _ = Builder::new();
+}
+
+/// Time the worker-pool hot paths (IKNP extension, OPPRF hint
+/// interpolation, half-gates garbling) at 1/2/4/8 threads and write
+/// `BENCH_parallel.json`. The thread count is forced programmatically via
+/// `secyan_par::set_threads`, overriding `SECYAN_THREADS`; the `cpus`
+/// field records how many hardware threads the numbers were measured on.
+fn profile_parallel() {
+    use secyan_circuit::Builder;
+    use secyan_par as par;
+    use secyan_psi::opprf::{opprf_evaluate, opprf_program, PsiItem};
+
+    const OT_M: usize = 1 << 16;
+    const BINS: usize = 2048;
+    const DEGREE: usize = 24;
+    let hasher = TweakHasher::default();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let iknp_ms = |threads: usize| -> f64 {
+        par::set_threads(threads);
+        let (elapsed, _, _) = run_protocol(
+            |ch| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut ot = OtSender::setup(ch, &mut rng, hasher);
+                let t = Instant::now();
+                let pairs = ot.random(ch, OT_M);
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                std::hint::black_box(pairs);
+                ms
+            },
+            |ch| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut ot = OtReceiver::setup(ch, &mut rng, hasher);
+                let choices: Vec<bool> = (0..OT_M).map(|i| i % 3 == 0).collect();
+                std::hint::black_box(ot.random(ch, &choices));
+            },
+        );
+        par::set_threads(0);
+        elapsed
+    };
+
+    let opprf_ms = |threads: usize| -> f64 {
+        par::set_threads(threads);
+        let programs: Vec<Vec<(u64, u64)>> = (0..BINS as u64)
+            .map(|b| (0..8).map(|i| (b * 100 + i, b ^ i)).collect())
+            .collect();
+        let queries: Vec<PsiItem> = (0..BINS as u64).map(|b| PsiItem::Real(b * 100)).collect();
+        let (elapsed, _, _) = run_protocol(
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
+                let t = Instant::now();
+                opprf_program(ch, &mut kkrt, &programs, DEGREE, &mut rng);
+                t.elapsed().as_secs_f64() * 1e3
+            },
+            move |ch| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
+                std::hint::black_box(opprf_evaluate(ch, &mut kkrt, &queries, DEGREE));
+            },
+        );
+        par::set_threads(0);
+        elapsed
+    };
+
+    // Wide circuit: independent word multiplies, so most AND gates share a
+    // level and the levelized garbler can fan out.
+    let mut b = Builder::new();
+    let xs: Vec<_> = (0..16).map(|_| b.alice_word(32)).collect();
+    let ys: Vec<_> = (0..16).map(|_| b.bob_word(32)).collect();
+    let words: Vec<_> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| b.mul_words(x, y))
+        .collect();
+    for w in &words {
+        b.output_word(w);
+    }
+    let circ = b.finish();
+    let garble_ms = |threads: usize| -> f64 {
+        par::set_threads(threads);
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Instant::now();
+        let g = secyan_gc::scheme::garble(&circ, hasher, &mut rng);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(g.tables.len());
+        par::set_threads(0);
+        ms
+    };
+
+    let thread_counts = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    for &t in &thread_counts {
+        let iknp = iknp_ms(t);
+        let opprf = opprf_ms(t);
+        let gc = garble_ms(t);
+        println!(
+            "parallel t={t}: iknp {iknp:.1} ms, opprf hints {opprf:.1} ms, garbling {gc:.1} ms"
+        );
+        rows.push((t, iknp, opprf, gc));
+    }
+
+    let base = rows[0];
+    let mut json = String::from("{\n  \"cpus\": ");
+    json.push_str(&cpus.to_string());
+    json.push_str(&format!(
+        ",\n  \"iknp_extension_ots\": {OT_M},\n  \"opprf_bins\": {BINS},\n  \
+\"garbling_ands\": {},\n  \"threads\": {{\n",
+        circ.and_count()
+    ));
+    for (i, (t, iknp, opprf, gc)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{t}\": {{\"iknp_extension_ms\": {iknp:.2}, \"opprf_hints_ms\": {opprf:.2}, \
+\"garbling_ms\": {gc:.2}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let at4 = rows.iter().find(|r| r.0 == 4).unwrap_or(&base);
+    json.push_str(&format!(
+        "  }},\n  \"speedup_at_4_threads\": {{\"iknp_extension\": {:.2}, \"opprf_hints\": {:.2}, \
+\"garbling\": {:.2}}}\n}}\n",
+        base.1 / at4.1,
+        base.2 / at4.2,
+        base.3 / at4.3
+    ));
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }
 
 /// Time the tweakable hashers (scalar vs batched, plus 512-bit row

@@ -1,0 +1,235 @@
+//! Topological levelization of a circuit for data-parallel garbling.
+//!
+//! Half-gates garbling is sequential only through wire dependencies: an
+//! AND gate's table depends on nothing but its two input labels and its
+//! own (position-derived) tweak. Partitioning the gate list into
+//! *levels* — where every gate in level k reads only wires settled in
+//! levels < k — lets all AND gates of a level garble/evaluate in
+//! parallel while the canonical gate order (and thus the garbled tables'
+//! wire layout) stays fixed.
+//!
+//! Free gates (XOR/INV) cost no cryptography, so the schedule keeps them
+//! serial: each [`Level`] carries the free gates that become ready with
+//! it (run in original gate order) followed by the level's AND gates
+//! (run in parallel, results written back in gate order). Splitting this
+//! way keeps the parallel closure free of cross-gate writes.
+
+use crate::ir::{Circuit, Gate};
+
+/// One AND gate scheduled in a level: wire indices plus its position in
+/// the circuit's AND-gate sequence (the table/tweak index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AndRef {
+    /// Left input wire.
+    pub a: usize,
+    /// Right input wire.
+    pub b: usize,
+    /// Output wire.
+    pub out: usize,
+    /// Index in the circuit's AND-gate order (garbled-table slot).
+    pub and_idx: usize,
+}
+
+/// One parallel step of the schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Level {
+    /// Free gates (XOR/INV) that settle in this level, in circuit order.
+    /// Indices refer to `Circuit::gates`.
+    pub free: Vec<usize>,
+    /// AND gates whose inputs settle strictly before this level's ANDs
+    /// run; mutually independent, safe to process in any order.
+    pub ands: Vec<AndRef>,
+}
+
+/// A level-partitioned view of a circuit. Construction is pure and
+/// public-data only (the circuit topology), so both parties derive the
+/// identical schedule.
+#[derive(Debug, Clone, Default)]
+pub struct LevelSchedule {
+    /// Levels in execution order.
+    pub levels: Vec<Level>,
+}
+
+impl LevelSchedule {
+    /// Partition `c.gates` into levels.
+    ///
+    /// Wire w settles at depth d(w): inputs at 0; a free gate settles at
+    /// its input depth (XOR at the max of its two); an AND gate at
+    /// input depth + 1 (it must wait for a parallel step). Level k then
+    /// holds the free gates with depth k and the AND gates with depth
+    /// k + 1, which by construction read only wires of depth ≤ k.
+    pub fn build(c: &Circuit) -> LevelSchedule {
+        let mut depth = vec![0usize; c.num_wires];
+        let mut levels: Vec<Level> = Vec::new();
+        let ensure = |levels: &mut Vec<Level>, k: usize| {
+            if levels.len() <= k {
+                levels.resize_with(k + 1, Level::default);
+            }
+        };
+        let mut and_idx = 0usize;
+        for (gi, g) in c.gates.iter().enumerate() {
+            match *g {
+                Gate::Xor { a, b, out } => {
+                    let d = depth[a].max(depth[b]);
+                    depth[out] = d;
+                    ensure(&mut levels, d);
+                    levels[d].free.push(gi);
+                }
+                Gate::Inv { a, out } => {
+                    let d = depth[a];
+                    depth[out] = d;
+                    ensure(&mut levels, d);
+                    levels[d].free.push(gi);
+                }
+                Gate::And { a, b, out } => {
+                    let d = depth[a].max(depth[b]);
+                    depth[out] = d + 1;
+                    ensure(&mut levels, d);
+                    levels[d].ands.push(AndRef {
+                        a,
+                        b,
+                        out,
+                        and_idx,
+                    });
+                    and_idx += 1;
+                }
+            }
+        }
+        LevelSchedule { levels }
+    }
+
+    /// Total AND gates across all levels.
+    pub fn and_count(&self) -> usize {
+        self.levels.iter().map(|l| l.ands.len()).sum()
+    }
+
+    /// The widest level's AND count — the available parallelism.
+    pub fn max_width(&self) -> usize {
+        self.levels.iter().map(|l| l.ands.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_circuit() -> Circuit {
+        // in0 & in1 -> w2; w2 & in1 -> w3; w3 ^ in0 -> w4
+        Circuit {
+            num_wires: 5,
+            alice_inputs: 1,
+            bob_inputs: 1,
+            gates: vec![
+                Gate::And { a: 0, b: 1, out: 2 },
+                Gate::And { a: 2, b: 1, out: 3 },
+                Gate::Xor { a: 3, b: 0, out: 4 },
+            ],
+            outputs: vec![4],
+        }
+    }
+
+    fn wide_circuit(n: usize) -> Circuit {
+        // n independent ANDs over the same two inputs' copies, then a
+        // XOR-reduce chain.
+        let mut gates = Vec::new();
+        let mut w = 2 * n;
+        for i in 0..n {
+            gates.push(Gate::And {
+                a: 2 * i,
+                b: 2 * i + 1,
+                out: w + i,
+            });
+        }
+        let mut acc = w;
+        for i in 1..n {
+            gates.push(Gate::Xor {
+                a: acc,
+                b: w + i,
+                out: w + n + i - 1,
+            });
+            acc = w + n + i - 1;
+        }
+        w += 2 * n - 1;
+        Circuit {
+            num_wires: w + 1,
+            alice_inputs: n,
+            bob_inputs: n,
+            gates,
+            outputs: vec![acc],
+        }
+    }
+
+    /// The schedule must be a permutation of the gates where every gate's
+    /// inputs settle before it runs: free gates of level k may read same-
+    /// level free outputs listed earlier plus level <k AND outputs; AND
+    /// gates of level k read only wires settled by end of level k's frees.
+    fn assert_valid_schedule(c: &Circuit) {
+        let sched = LevelSchedule::build(c);
+        let n_in = c.alice_inputs + c.bob_inputs;
+        let mut settled = vec![false; c.num_wires];
+        for s in settled.iter_mut().take(n_in) {
+            *s = true;
+        }
+        let mut seen_gates = 0usize;
+        let mut seen_ands = std::collections::HashSet::new();
+        for level in &sched.levels {
+            for &gi in &level.free {
+                match c.gates[gi] {
+                    Gate::Xor { a, b, out } => {
+                        assert!(settled[a] && settled[b], "xor inputs unsettled");
+                        settled[out] = true;
+                    }
+                    Gate::Inv { a, out } => {
+                        assert!(settled[a], "inv input unsettled");
+                        settled[out] = true;
+                    }
+                    Gate::And { .. } => panic!("AND listed as free"),
+                }
+                seen_gates += 1;
+            }
+            // ANDs read only wires settled before any same-level AND writes.
+            for and in &level.ands {
+                assert!(settled[and.a] && settled[and.b], "and inputs unsettled");
+                assert!(seen_ands.insert(and.and_idx), "duplicate and_idx");
+            }
+            for and in &level.ands {
+                settled[and.out] = true;
+                seen_gates += 1;
+            }
+        }
+        assert_eq!(seen_gates, c.gates.len(), "schedule drops gates");
+        assert_eq!(sched.and_count() as u64, c.and_count());
+    }
+
+    #[test]
+    fn chain_levels_are_sequential() {
+        let c = chain_circuit();
+        c.validate().expect("valid circuit");
+        let sched = LevelSchedule::build(&c);
+        assert_eq!(sched.max_width(), 1);
+        assert!(sched.levels.len() >= 2);
+        assert_valid_schedule(&c);
+    }
+
+    #[test]
+    fn wide_circuit_is_one_parallel_level() {
+        let c = wide_circuit(64);
+        c.validate().expect("valid circuit");
+        let sched = LevelSchedule::build(&c);
+        assert_eq!(sched.levels[0].ands.len(), 64);
+        assert_eq!(sched.max_width(), 64);
+        assert_valid_schedule(&c);
+    }
+
+    #[test]
+    fn and_indices_follow_circuit_order() {
+        let c = chain_circuit();
+        let sched = LevelSchedule::build(&c);
+        let idxs: Vec<usize> = sched
+            .levels
+            .iter()
+            .flat_map(|l| l.ands.iter().map(|a| a.and_idx))
+            .collect();
+        assert_eq!(idxs, vec![0, 1]);
+    }
+}

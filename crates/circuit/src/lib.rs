@@ -25,7 +25,9 @@ mod builder;
 mod eval;
 mod gadgets;
 mod ir;
+pub mod levels;
 
 pub use builder::{BitRef, Builder, Word};
 pub use eval::{bits_to_u64, evaluate, u64_to_bits};
 pub use ir::{Circuit, CircuitStats, Gate};
+pub use levels::{AndRef, Level, LevelSchedule};

@@ -20,7 +20,17 @@
 
 use crate::aes::fixed_key;
 use crate::block::Block;
+use crate::secret::Zeroize;
 use crate::sha256::{digest_to_u64, Sha256};
+use secyan_par as par;
+
+/// Below this many blocks a batch hash runs serially — the pool dispatch
+/// would cost more than the AES work it spreads.
+const PAR_MIN_BLOCKS: usize = 2048;
+
+/// Below this many wide rows `hash_row_batch` runs serially. Rows carry
+/// N/16 AES calls each, so the bar is lower than for single blocks.
+const PAR_MIN_ROWS: usize = 512;
 
 /// The hash used at each garbled gate / OT row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -125,34 +135,77 @@ impl TweakHasher {
 
     /// Hash a slice of blocks, block `j` under tweak `tweak_base + j` —
     /// the shape of post-transpose IKNP row hashing. One kernel dispatch
-    /// per 8 blocks.
+    /// per 8 blocks; large batches additionally split across the worker
+    /// pool (each element depends only on its own block and index, so the
+    /// chunk boundaries cannot change the output).
     pub fn hash_batch(self, xs: &[Block], tweak_base: u64) -> Vec<Block> {
+        let mut out = vec![Block(0); xs.len()];
+        par::with_pool_if(
+            par::threads() > 1 && xs.len() >= 2 * PAR_MIN_BLOCKS,
+            |pool| {
+                pool.chunks_mut(&mut out, 1, PAR_MIN_BLOCKS, |off, chunk| {
+                    self.hash_batch_into(
+                        &xs[off..off + chunk.len()],
+                        tweak_base.wrapping_add(off as u64),
+                        chunk,
+                    );
+                });
+            },
+        );
+        out
+    }
+
+    /// Serial kernel behind [`TweakHasher::hash_batch`].
+    fn hash_batch_into(self, xs: &[Block], tweak_base: u64, out: &mut [Block]) {
         match self {
             TweakHasher::Aes => {
-                let sig: Vec<u128> = xs.iter().map(|x| sigma(x.0)).collect();
+                let mut sig: Vec<u128> = xs.iter().map(|x| sigma(x.0)).collect();
                 let mut buf: Vec<u128> = sig
                     .iter()
                     .enumerate()
                     .map(|(j, &s)| s ^ tweak_base.wrapping_add(j as u64) as u128)
                     .collect();
                 fixed_key().encrypt_blocks(&mut buf);
-                buf.iter().zip(&sig).map(|(&c, &s)| Block(c ^ s)).collect()
+                for (o, (&c, &s)) in out.iter_mut().zip(buf.iter().zip(&sig)) {
+                    *o = Block(c ^ s);
+                }
+                // The scratch holds σ(label) images — label material.
+                sig.zeroize();
+                buf.zeroize();
             }
-            _ => xs
-                .iter()
-                .enumerate()
-                .map(|(j, &x)| self.hash(x, tweak_base.wrapping_add(j as u64)))
-                .collect(),
+            _ => {
+                for (j, (o, &x)) in out.iter_mut().zip(xs).enumerate() {
+                    *o = self.hash(x, tweak_base.wrapping_add(j as u64));
+                }
+            }
         }
     }
 
     /// Batched [`TweakHasher::hash2`]: element `j` hashes
-    /// `(a[j], b[j])` under tweak `tweak_base + j`.
+    /// `(a[j], b[j])` under tweak `tweak_base + j`. Parallel for large
+    /// batches, same chunk-invariance argument as [`TweakHasher::hash_batch`].
     pub fn hash2_batch(self, a: &[Block], b: &[Block], tweak_base: u64) -> Vec<Block> {
         assert_eq!(a.len(), b.len(), "hash2_batch wants aligned slices");
+        let mut out = vec![Block(0); a.len()];
+        par::with_pool_if(par::threads() > 1 && a.len() >= 2 * PAR_MIN_BLOCKS, |pool| {
+            pool.chunks_mut(&mut out, 1, PAR_MIN_BLOCKS, |off, chunk| {
+                let end = off + chunk.len();
+                self.hash2_batch_into(
+                    &a[off..end],
+                    &b[off..end],
+                    tweak_base.wrapping_add(off as u64),
+                    chunk,
+                );
+            });
+        });
+        out
+    }
+
+    /// Serial kernel behind [`TweakHasher::hash2_batch`].
+    fn hash2_batch_into(self, a: &[Block], b: &[Block], tweak_base: u64, out: &mut [Block]) {
         match self {
             TweakHasher::Aes => {
-                let sig: Vec<u128> = a
+                let mut sig: Vec<u128> = a
                     .iter()
                     .zip(b)
                     .map(|(&x, &y)| sigma(sigma(x.0)) ^ sigma(y.0))
@@ -163,14 +216,17 @@ impl TweakHasher {
                     .map(|(j, &s)| s ^ tweak_base.wrapping_add(j as u64) as u128)
                     .collect();
                 fixed_key().encrypt_blocks(&mut buf);
-                buf.iter().zip(&sig).map(|(&c, &s)| Block(c ^ s)).collect()
+                for (o, (&c, &s)) in out.iter_mut().zip(buf.iter().zip(&sig)) {
+                    *o = Block(c ^ s);
+                }
+                sig.zeroize();
+                buf.zeroize();
             }
-            _ => a
-                .iter()
-                .zip(b)
-                .enumerate()
-                .map(|(j, (&x, &y))| self.hash2(x, y, tweak_base.wrapping_add(j as u64)))
-                .collect(),
+            _ => {
+                for (j, (o, (&x, &y))) in out.iter_mut().zip(a.iter().zip(b)).enumerate() {
+                    *o = self.hash2(x, y, tweak_base.wrapping_add(j as u64));
+                }
+            }
         }
     }
 
@@ -197,17 +253,44 @@ impl TweakHasher {
     /// Batched [`TweakHasher::hash_row`]: row `j` hashes under tweak
     /// `tweak_base + j`. The AES variant advances all chains of a chunk of
     /// 8 rows together, so every kernel dispatch carries 8 independent
-    /// blocks.
+    /// blocks; large batches additionally split rows across the worker
+    /// pool (each row's chain is independent of its neighbours).
     pub fn hash_row_batch<const N: usize>(self, tweak_base: u64, rows: &[[u8; N]]) -> Vec<u64> {
+        let mut out = vec![0u64; rows.len()];
+        par::with_pool_if(
+            par::threads() > 1 && rows.len() >= 2 * PAR_MIN_ROWS,
+            |pool| {
+                pool.chunks_mut(&mut out, 1, PAR_MIN_ROWS, |off, chunk| {
+                    self.hash_row_batch_into(
+                        tweak_base.wrapping_add(off as u64),
+                        &rows[off..off + chunk.len()],
+                        chunk,
+                    );
+                });
+            },
+        );
+        out
+    }
+
+    /// Serial kernel behind [`TweakHasher::hash_row_batch`].
+    fn hash_row_batch_into<const N: usize>(
+        self,
+        tweak_base: u64,
+        rows: &[[u8; N]],
+        out: &mut [u64],
+    ) {
         match self {
             TweakHasher::Aes => {
                 assert_eq!(N % 16, 0, "row length must be a multiple of 16");
-                let mut out = Vec::with_capacity(rows.len());
+                let mut pos = 0;
+                let mut h: Vec<u128> = Vec::with_capacity(8);
+                let mut t = vec![0u128; 8];
                 for (c, chunk) in rows.chunks(8).enumerate() {
-                    let mut h: Vec<u128> = (0..chunk.len())
-                        .map(|j| tweak_base.wrapping_add((c * 8 + j) as u64) as u128)
-                        .collect();
-                    let mut t = vec![0u128; chunk.len()];
+                    h.clear();
+                    h.extend(
+                        (0..chunk.len())
+                            .map(|j| tweak_base.wrapping_add((c * 8 + j) as u64) as u128),
+                    );
                     for k in 0..N / 16 {
                         for (j, row) in chunk.iter().enumerate() {
                             let m = u128::from_le_bytes(
@@ -215,21 +298,26 @@ impl TweakHasher {
                             );
                             t[j] = h[j] ^ m;
                         }
-                        h.copy_from_slice(&t);
+                        h.copy_from_slice(&t[..chunk.len()]);
                         fixed_key().encrypt_blocks(&mut h);
                         for j in 0..chunk.len() {
                             h[j] ^= t[j];
                         }
                     }
-                    out.extend(h.iter().map(|&x| x as u64));
+                    for (o, &x) in out[pos..].iter_mut().zip(h.iter()) {
+                        *o = x as u64;
+                    }
+                    pos += chunk.len();
                 }
-                out
+                // Chain state mixes OPRF row material; scrub it.
+                h.zeroize();
+                t.zeroize();
             }
-            _ => rows
-                .iter()
-                .enumerate()
-                .map(|(j, row)| self.hash_row(tweak_base.wrapping_add(j as u64), row))
-                .collect(),
+            _ => {
+                for (j, (o, row)) in out.iter_mut().zip(rows).enumerate() {
+                    *o = self.hash_row(tweak_base.wrapping_add(j as u64), row);
+                }
+            }
         }
     }
 }
@@ -376,6 +464,33 @@ mod tests {
             }
             assert_ne!(h.hash_row(1, &rows[0]), h.hash_row(2, &rows[0]), "{h:?}");
             assert_ne!(h.hash_row(1, &rows[0]), h.hash_row(1, &rows[1]), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn batch_hashing_is_thread_count_invariant() {
+        // Batches big enough to cross the parallel thresholds must agree
+        // with the serial result exactly, at several thread counts.
+        let xs: Vec<Block> = (0..6000u128).map(|i| Block(i * 0x9e37_79b9 + 7)).collect();
+        let rows: Vec<[u8; 64]> = (0..1500u64)
+            .map(|i| {
+                let mut r = [0u8; 64];
+                r[..8].copy_from_slice(&i.to_le_bytes());
+                r
+            })
+            .collect();
+        for h in ALL {
+            secyan_par::set_threads(1);
+            let want_b = h.hash_batch(&xs, 9);
+            let want_2 = h.hash2_batch(&xs, &xs, 9);
+            let want_r = h.hash_row_batch(9, &rows);
+            for n in [2, 4] {
+                secyan_par::set_threads(n);
+                assert_eq!(h.hash_batch(&xs, 9), want_b, "{h:?} threads={n}");
+                assert_eq!(h.hash2_batch(&xs, &xs, 9), want_2, "{h:?} threads={n}");
+                assert_eq!(h.hash_row_batch(9, &rows), want_r, "{h:?} threads={n}");
+            }
+            secyan_par::set_threads(0);
         }
     }
 

@@ -5,6 +5,12 @@
 //! views with a transpose. Rows are byte-packed, least-significant bit
 //! first, matching the wire encoding in `secyan-transport`.
 
+use secyan_par as par;
+
+/// Don't split a transpose into pieces smaller than this many output bytes:
+/// below it the dispatch overhead beats the win.
+const PAR_MIN_OUT_BYTES: usize = 1 << 12;
+
 /// A byte-packed bit matrix with `rows` rows and `cols` columns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitMatrix {
@@ -86,6 +92,13 @@ impl BitMatrix {
         &self.data
     }
 
+    /// Mutably borrow the flat packed data (row-major). Row `i` occupies
+    /// bytes `i * cols.div_ceil(8) ..`, which is what the parallel
+    /// column-fill paths in OT extension partition over.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
     /// Rebuild from flat packed data.
     pub fn from_bytes(rows: usize, cols: usize, data: Vec<u8>) -> BitMatrix {
         assert_eq!(data.len(), rows * cols.div_ceil(8));
@@ -99,17 +112,34 @@ impl BitMatrix {
     /// asymptotics of the callers are unaffected either way.
     pub fn transpose(&self) -> BitMatrix {
         let mut out = BitMatrix::zero(self.cols, self.rows);
+        if self.rows == 0 || self.cols == 0 {
+            return out;
+        }
         let out_rb = out.row_bytes();
         let in_rb = self.row_bytes();
-        for r in 0..self.rows {
-            let row = &self.data[r * in_rb..(r + 1) * in_rb];
-            let (out_byte_col, out_bit) = (r / 8, r % 8);
-            for c in 0..self.cols {
-                if row[c / 8] >> (c % 8) & 1 == 1 {
-                    out.data[c * out_rb + out_byte_col] |= 1 << out_bit;
-                }
-            }
-        }
+        // Partition over *output rows* (input columns): each worker owns a
+        // contiguous band of the output buffer and re-reads the shared
+        // input, keeping the cache-friendly r-outer scan order within its
+        // column band. Band boundaries depend only on the (public) matrix
+        // shape, so the result is identical at any thread count.
+        let min_rows_per_part = PAR_MIN_OUT_BYTES.div_ceil(out_rb).max(1);
+        par::with_pool_if(
+            par::threads() > 1 && self.cols > min_rows_per_part,
+            |pool| {
+                pool.chunks_mut(&mut out.data, out_rb, min_rows_per_part, |c0, band| {
+                    let c1 = c0 + band.len() / out_rb;
+                    for r in 0..self.rows {
+                        let row = &self.data[r * in_rb..(r + 1) * in_rb];
+                        let (out_byte_col, out_bit) = (r / 8, r % 8);
+                        for c in c0..c1 {
+                            if row[c / 8] >> (c % 8) & 1 == 1 {
+                                band[(c - c0) * out_rb + out_byte_col] |= 1 << out_bit;
+                            }
+                        }
+                    }
+                });
+            },
+        );
         out
     }
 }
@@ -134,6 +164,26 @@ mod tests {
                 }
             }
             assert_eq!(t.transpose(), m);
+        }
+    }
+
+    #[test]
+    fn transpose_parallel_matches_serial() {
+        // Big enough to cross the parallel threshold; compare against the
+        // bit-by-bit definition at several thread counts.
+        let mut rng = StdRng::seed_from_u64(12);
+        let m = BitMatrix::from_fn(4096, 128, |_, _| rng.gen());
+        let want = m.transpose();
+        for n in [1, 2, 4] {
+            par::set_threads(n);
+            let t = m.transpose();
+            par::set_threads(0);
+            assert_eq!(t, want, "threads={n}");
+        }
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(m.get(r, c), want.get(c, r));
+            }
         }
     }
 

@@ -6,8 +6,17 @@
 //! bytes.
 
 use rand::Rng;
-use secyan_circuit::{Circuit, Gate};
+use secyan_circuit::{Circuit, Gate, LevelSchedule};
 use secyan_crypto::{Block, CtChoice, CtEq, Secret, TweakHasher, Zeroize};
+use secyan_par as par;
+
+/// Minimum AND-gate count before garbling/evaluation builds a level
+/// schedule and fans the per-level AND gates out across the worker pool.
+/// Below this the serial gate loop wins.
+const GC_PAR_MIN_ANDS: usize = 512;
+
+/// Minimum AND gates handed to one worker within a level.
+const GC_ANDS_PER_PART: usize = 128;
 
 /// Garbler-side result of garbling a circuit.
 ///
@@ -95,17 +104,22 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, hasher: TweakHasher, rng: &mut
     for z in zero.iter_mut().take(n_in) {
         *z = Block::random(rng);
     }
-    let mut tables = Vec::with_capacity(circuit.and_count() as usize);
-    let mut and_idx = 0u64;
-    for g in &circuit.gates {
-        match *g {
-            Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
-            Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
-            Gate::And { a, b, out } => {
-                let (wg, we, tg, te) = garble_and(zero[a], zero[b], delta, hasher, and_idx);
-                tables.push((tg, te));
-                zero[out] = wg ^ we;
-                and_idx += 1;
+    let n_ands = circuit.and_count() as usize;
+    let mut tables = vec![(Block::ZERO, Block::ZERO); n_ands];
+    if par::threads() > 1 && n_ands >= GC_PAR_MIN_ANDS {
+        garble_levels(circuit, hasher, delta, &mut zero, &mut tables);
+    } else {
+        let mut and_idx = 0u64;
+        for g in &circuit.gates {
+            match *g {
+                Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
+                Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
+                Gate::And { a, b, out } => {
+                    let (wg, we, tg, te) = garble_and(zero[a], zero[b], delta, hasher, and_idx);
+                    tables[and_idx as usize] = (tg, te);
+                    zero[out] = wg ^ we;
+                    and_idx += 1;
+                }
             }
         }
     }
@@ -152,6 +166,55 @@ fn garble_and(
     (w_g, w_e, t_g, t_e)
 }
 
+/// Level-parallel garbling: free gates run serially in circuit order;
+/// each level's AND gates — mutually independent by construction of the
+/// [`LevelSchedule`] — fan out across the pool. `garble_and` is a pure
+/// function of `(zero[a], zero[b], delta, and_idx)`, and every AND reads
+/// only wires settled in earlier steps, so the produced tables and wire
+/// labels are byte-identical to the serial loop at any thread count.
+fn garble_levels(
+    circuit: &Circuit,
+    hasher: TweakHasher,
+    delta: Block,
+    zero: &mut [Block],
+    tables: &mut [(Block, Block)],
+) {
+    let sched = LevelSchedule::build(circuit);
+    par::with_pool(|pool| {
+        for level in &sched.levels {
+            for &gi in &level.free {
+                match circuit.gates[gi] {
+                    Gate::Xor { a, b, out } => zero[out] = zero[a] ^ zero[b],
+                    Gate::Inv { a, out } => zero[out] = zero[a] ^ delta,
+                    Gate::And { .. } => unreachable!("AND scheduled as free gate"),
+                }
+            }
+            if level.ands.is_empty() {
+                continue;
+            }
+            let zero_ro: &[Block] = zero;
+            // [w_out, t_g, t_e] per AND, in level order.
+            let mut results: Vec<[Block; 3]> =
+                pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
+                    let (wg, we, tg, te) = garble_and(
+                        zero_ro[and.a],
+                        zero_ro[and.b],
+                        delta,
+                        hasher,
+                        and.and_idx as u64,
+                    );
+                    [wg ^ we, tg, te]
+                });
+            for (and, r) in level.ands.iter().zip(&results) {
+                zero[and.out] = r[0];
+                tables[and.and_idx] = (r[1], r[2]);
+            }
+            // The staging buffer holds output zero-labels — key material.
+            results.zeroize();
+        }
+    });
+}
+
 /// Evaluate garbled `circuit` given one label per input wire. Returns one
 /// label per output wire.
 pub fn eval(
@@ -165,26 +228,19 @@ pub fn eval(
     assert_eq!(tables.tables.len() as u64, circuit.and_count());
     let mut wires = vec![Block::ZERO; circuit.num_wires];
     wires[..n_in].copy_from_slice(input_labels);
-    let mut and_idx = 0u64;
-    for g in &circuit.gates {
-        match *g {
-            Gate::Xor { a, b, out } => wires[out] = wires[a] ^ wires[b],
-            // INV is free: the garbler flipped the semantics of the labels.
-            Gate::Inv { a, out } => wires[out] = wires[a],
-            Gate::And { a, b, out } => {
-                let (t_g, t_e) = tables.tables[and_idx as usize];
-                let (wa, wb) = (wires[a], wires[b]);
-                let j_g = 2 * and_idx;
-                let j_e = 2 * and_idx + 1;
-                // Both hashes of the gate in one kernel dispatch. The color
-                // bits gate the table ciphertexts through ct_masked — the
-                // labels are correlated with the cleartext wire values, so
-                // no control flow may depend on them.
-                let (h_g, h_e) = hasher.hash_pair(wa, j_g, wb, j_e);
-                let w_g = h_g ^ t_g.ct_masked(CtChoice::from_bool(wa.lsb()));
-                let w_e = h_e ^ (t_e ^ wa).ct_masked(CtChoice::from_bool(wb.lsb()));
-                wires[out] = w_g ^ w_e;
-                and_idx += 1;
+    if par::threads() > 1 && tables.tables.len() >= GC_PAR_MIN_ANDS {
+        eval_levels(circuit, tables, hasher, &mut wires);
+    } else {
+        let mut and_idx = 0u64;
+        for g in &circuit.gates {
+            match *g {
+                Gate::Xor { a, b, out } => wires[out] = wires[a] ^ wires[b],
+                // INV is free: the garbler flipped the semantics of the labels.
+                Gate::Inv { a, out } => wires[out] = wires[a],
+                Gate::And { a, b, out } => {
+                    wires[out] = eval_and(&wires, tables, a, b, and_idx, hasher);
+                    and_idx += 1;
+                }
             }
         }
     }
@@ -193,6 +249,62 @@ pub fn eval(
     // the evaluation buffer before it is released.
     wires.zeroize();
     outs
+}
+
+/// Evaluate one AND gate's output label from the current wire state.
+///
+/// Both hashes of the gate run in one kernel dispatch. The color bits
+/// gate the table ciphertexts through `ct_masked` — the labels are
+/// correlated with the cleartext wire values, so no control flow may
+/// depend on them.
+fn eval_and(
+    wires: &[Block],
+    tables: &EvalTables,
+    a: usize,
+    b: usize,
+    and_idx: u64,
+    hasher: TweakHasher,
+) -> Block {
+    let (t_g, t_e) = tables.tables[and_idx as usize];
+    let (wa, wb) = (wires[a], wires[b]);
+    let j_g = 2 * and_idx;
+    let j_e = 2 * and_idx + 1;
+    let (h_g, h_e) = hasher.hash_pair(wa, j_g, wb, j_e);
+    let w_g = h_g ^ t_g.ct_masked(CtChoice::from_bool(wa.lsb()));
+    let w_e = h_e ^ (t_e ^ wa).ct_masked(CtChoice::from_bool(wb.lsb()));
+    w_g ^ w_e
+}
+
+/// Level-parallel evaluation, mirroring [`garble_levels`]: free gates run
+/// serially, each level's AND gates evaluate concurrently ([`eval_and`]
+/// is pure given the settled wire labels), and the output labels write
+/// back in level order. Both parties derive the same public schedule, so
+/// the wire values match the serial loop bit for bit.
+fn eval_levels(circuit: &Circuit, tables: &EvalTables, hasher: TweakHasher, wires: &mut [Block]) {
+    let sched = LevelSchedule::build(circuit);
+    par::with_pool(|pool| {
+        for level in &sched.levels {
+            for &gi in &level.free {
+                match circuit.gates[gi] {
+                    Gate::Xor { a, b, out } => wires[out] = wires[a] ^ wires[b],
+                    Gate::Inv { a, out } => wires[out] = wires[a],
+                    Gate::And { .. } => unreachable!("AND scheduled as free gate"),
+                }
+            }
+            if level.ands.is_empty() {
+                continue;
+            }
+            let wires_ro: &[Block] = wires;
+            let mut results: Vec<Block> = pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
+                eval_and(wires_ro, tables, and.a, and.b, and.and_idx as u64, hasher)
+            });
+            for (and, &r) in level.ands.iter().zip(&results) {
+                wires[and.out] = r;
+            }
+            // Staged output labels are correlated with wire values; scrub.
+            results.zeroize();
+        }
+    });
 }
 
 #[cfg(test)]
@@ -321,6 +433,48 @@ mod tests {
             .map(|(l, &d)| l.lsb() ^ d)
             .collect();
         assert_eq!(bits_to_u64(&bits), 500 - 123);
+    }
+
+    #[test]
+    fn garbling_is_thread_count_invariant() {
+        // Wide enough to cross GC_PAR_MIN_ANDS and take the levelized
+        // path; same RNG seed, so tables/labels must match bit for bit.
+        let mut b = Builder::new();
+        let x = b.alice_word(32);
+        let y = b.bob_word(32);
+        let p = b.mul_words(&x, &y);
+        b.output_word(&p);
+        let circ = b.finish();
+        assert!(
+            circ.and_count() as usize >= super::GC_PAR_MIN_ANDS,
+            "test circuit too small to exercise the parallel path"
+        );
+        let run_at = |t: usize| {
+            par::set_threads(t);
+            let mut rng = StdRng::seed_from_u64(77);
+            let g = garble(&circ, TweakHasher::Fast, &mut rng);
+            let labels: Vec<Block> = u64_to_bits(0xdead_beef, 32)
+                .iter()
+                .chain(&u64_to_bits(0x1234_5678, 32))
+                .enumerate()
+                .map(|(i, &bit)| g.input_label(i, bit))
+                .collect();
+            let outs = eval(
+                &circ,
+                &EvalTables {
+                    tables: g.tables.clone(),
+                },
+                &labels,
+                TweakHasher::Fast,
+            );
+            par::set_threads(0);
+            let decode = g.decode_bits();
+            (g.tables, decode, outs)
+        };
+        let serial = run_at(1);
+        for t in [2, 4] {
+            assert_eq!(run_at(t), serial, "thread count {t} diverged");
+        }
     }
 
     #[test]

@@ -12,11 +12,20 @@
 //! values — constant rounds, Õ(n log n) traffic for the whole network.
 
 use rand::Rng;
-use secyan_crypto::RingCtx;
+use secyan_crypto::{RingCtx, Zeroize};
 use secyan_ot::{OtReceiver, OtSender};
+use secyan_par as par;
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
 use crate::network::{EpNetwork, EpRouting};
+
+/// Minimum network width before the permutation stages fan their switch
+/// layers out across the worker pool. Below this the per-layer dispatch
+/// overhead dominates the ring arithmetic.
+const OSN_PAR_MIN_WIDTH: usize = 512;
+
+/// Minimum switches handed to one worker within a layer.
+const SWITCHES_PER_PART: usize = 64;
 
 /// Serialize a correction pair (two ring elements) into an OT message.
 fn enc_pair(a: u64, b: u64) -> Vec<u8> {
@@ -58,40 +67,98 @@ pub fn osn_value_holder<R: Rng + ?Sized>(
         .collect();
     ch.send_u64_slice(&init);
 
-    // Build every switch's OT message pair, updating masks as we go.
-    let mut ot_msgs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-    // Stage 1: permutation switches.
-    for &(i, j) in net.p1.switches() {
-        let (u, v) = (ring.random(rng), ring.random(rng));
-        // straight (bit 0): out_i = in_i, out_j = in_j;
-        // crossed  (bit 1): out_i = in_j, out_j = in_i.
-        let straight = enc_pair(ring.sub(u, masks[i]), ring.sub(v, masks[j]));
-        let crossed = enc_pair(ring.sub(u, masks[j]), ring.sub(v, masks[i]));
-        ot_msgs.push((straight, crossed));
-        masks[i] = u;
-        masks[j] = v;
-    }
-    // Stage 2: duplication chain (position t either keeps its own value or
-    // copies position t−1's post-duplication value).
-    for t in 1..width {
-        let u = ring.random(rng);
-        let keep = enc_pair(ring.sub(u, masks[t]), 0);
-        let copy = enc_pair(ring.sub(u, masks[t - 1]), 0);
-        ot_msgs.push((keep, copy));
-        masks[t] = u;
-    }
-    // Stage 3: permutation switches.
-    for &(i, j) in net.p2.switches() {
-        let (u, v) = (ring.random(rng), ring.random(rng));
-        let straight = enc_pair(ring.sub(u, masks[i]), ring.sub(v, masks[j]));
-        let crossed = enc_pair(ring.sub(u, masks[j]), ring.sub(v, masks[i]));
-        ot_msgs.push((straight, crossed));
-        masks[i] = u;
-        masks[j] = v;
-    }
+    // Pre-draw every switch's fresh masks *serially*, in the exact order
+    // the serial walk would draw them — the RNG stream (and hence the
+    // transcript) is independent of the thread count.
+    let mut r1: Vec<(u64, u64)> = net
+        .p1
+        .switches()
+        .iter()
+        .map(|_| (ring.random(rng), ring.random(rng)))
+        .collect();
+    let mut rdup: Vec<u64> = (1..width).map(|_| ring.random(rng)).collect();
+    let mut r2: Vec<(u64, u64)> = net
+        .p2
+        .switches()
+        .iter()
+        .map(|_| (ring.random(rng), ring.random(rng)))
+        .collect();
+
+    // Build every switch's OT message pair, updating masks as we go. The
+    // message vector is indexed by absolute switch position, so the wire
+    // layout matches the serial evaluation order exactly.
+    let n_p1 = net.p1.switches().len();
+    let n_dup = width - 1;
+    let n_total = n_p1 + n_dup + net.p2.switches().len();
+    let mut ot_msgs: Vec<(Vec<u8>, Vec<u8>)> = vec![(Vec::new(), Vec::new()); n_total];
+    par::with_pool_if(par::threads() > 1 && width >= OSN_PAR_MIN_WIDTH, |pool| {
+        // Stage 1: permutation switches, layer-parallel.
+        holder_stage(pool, &net.p1, &r1, ring, &mut masks, &mut ot_msgs[..n_p1]);
+        // Stage 2: duplication chain (position t either keeps its own value
+        // or copies position t−1's post-duplication value) — inherently a
+        // serial scan through the masks.
+        for t in 1..width {
+            let u = rdup[t - 1];
+            let keep = enc_pair(ring.sub(u, masks[t]), 0);
+            let copy = enc_pair(ring.sub(u, masks[t - 1]), 0);
+            ot_msgs[n_p1 + t - 1] = (keep, copy);
+            masks[t] = u;
+        }
+        // Stage 3: permutation switches, layer-parallel.
+        holder_stage(
+            pool,
+            &net.p2,
+            &r2,
+            ring,
+            &mut masks,
+            &mut ot_msgs[n_p1 + n_dup..],
+        );
+    });
+    // The pre-drawn values are mask material; scrub once consumed.
+    r1.zeroize();
+    rdup.zeroize();
+    r2.zeroize();
     ot.send_bytes(ch, &ot_msgs);
     // Bob's shares: −(final mask) on the first n_out positions.
     masks[..net.n_out].iter().map(|&m| ring.neg(m)).collect()
+}
+
+/// One permutation stage on the value holder's side: build each switch's
+/// correction pair (straight: out_i = in_i, out_j = in_j; crossed:
+/// out_i = in_j, out_j = in_i) and advance the masks.
+///
+/// Switch layers run in order; within a layer the switches touch disjoint
+/// positions ([`PermNetwork::layers`]), so each pair is computed from the
+/// pre-layer masks in parallel and the mask updates write back serially.
+/// The result is byte-identical to the serial switch walk.
+///
+/// [`PermNetwork::layers`]: crate::network::PermNetwork::layers
+fn holder_stage(
+    pool: &par::Pool<'_>,
+    net: &crate::network::PermNetwork,
+    r: &[(u64, u64)],
+    ring: RingCtx,
+    masks: &mut [u64],
+    out: &mut [(Vec<u8>, Vec<u8>)],
+) {
+    let switches = net.switches();
+    for layer in net.layers() {
+        let masks_ro: &[u64] = masks;
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = pool.map(&layer, SWITCHES_PER_PART, |_, &s| {
+            let (i, j) = switches[s];
+            let (u, v) = r[s];
+            let straight = enc_pair(ring.sub(u, masks_ro[i]), ring.sub(v, masks_ro[j]));
+            let crossed = enc_pair(ring.sub(u, masks_ro[j]), ring.sub(v, masks_ro[i]));
+            (straight, crossed)
+        });
+        for (&s, pair) in layer.iter().zip(pairs) {
+            let (i, j) = switches[s];
+            let (u, v) = r[s];
+            masks[i] = u;
+            masks[j] = v;
+            out[s] = pair;
+        }
+    }
 }
 
 /// Alice's side: walk the masked values through the network using her
@@ -111,42 +178,73 @@ pub fn osn_perm_holder(
     choices.extend_from_slice(&routing.dup_bits[1..]);
     choices.extend_from_slice(&routing.p2_bits);
     let corrections = ot.recv_bytes(ch, &choices, 16);
-    let mut idx = 0;
-    for (&(i, j), &b) in net.p1.switches().iter().zip(&routing.p1_bits) {
-        let (c1, c2) = dec_pair(&corrections[idx]);
-        idx += 1;
-        let (src1, src2) = if b {
-            (vals[j], vals[i])
-        } else {
-            (vals[i], vals[j])
-        };
-        vals[i] = ring.add(src1, c1);
-        vals[j] = ring.add(src2, c2);
-    }
-    for t in 1..width {
-        let (c1, _) = dec_pair(&corrections[idx]);
-        idx += 1;
-        let src = if routing.dup_bits[t] {
-            vals[t - 1]
-        } else {
-            vals[t]
-        };
-        vals[t] = ring.add(src, c1);
-    }
-    for (&(i, j), &b) in net.p2.switches().iter().zip(&routing.p2_bits) {
-        let (c1, c2) = dec_pair(&corrections[idx]);
-        idx += 1;
-        let (src1, src2) = if b {
-            (vals[j], vals[i])
-        } else {
-            (vals[i], vals[j])
-        };
-        vals[i] = ring.add(src1, c1);
-        vals[j] = ring.add(src2, c2);
-    }
-    debug_assert_eq!(idx, corrections.len());
+    let n_p1 = net.p1.switches().len();
+    let n_dup = width - 1;
+    par::with_pool_if(par::threads() > 1 && width >= OSN_PAR_MIN_WIDTH, |pool| {
+        perm_stage(
+            pool,
+            &net.p1,
+            &routing.p1_bits,
+            &corrections[..n_p1],
+            ring,
+            &mut vals,
+        );
+        // Duplication chain: a serial scan (each position may read its
+        // predecessor's fresh value).
+        for t in 1..width {
+            let (c1, _) = dec_pair(&corrections[n_p1 + t - 1]);
+            let src = if routing.dup_bits[t] {
+                vals[t - 1]
+            } else {
+                vals[t]
+            };
+            vals[t] = ring.add(src, c1);
+        }
+        perm_stage(
+            pool,
+            &net.p2,
+            &routing.p2_bits,
+            &corrections[n_p1 + n_dup..],
+            ring,
+            &mut vals,
+        );
+    });
     vals.truncate(net.n_out);
     vals
+}
+
+/// One permutation stage on the routing holder's side, mirroring
+/// [`holder_stage`]: within a layer every switch reads the pre-layer
+/// values of its two (disjoint) positions, so the corrected values are
+/// computed in parallel and written back serially — identical to the
+/// serial walk at any thread count.
+fn perm_stage(
+    pool: &par::Pool<'_>,
+    net: &crate::network::PermNetwork,
+    bits: &[bool],
+    corrections: &[Vec<u8>],
+    ring: RingCtx,
+    vals: &mut [u64],
+) {
+    let switches = net.switches();
+    for layer in net.layers() {
+        let vals_ro: &[u64] = vals;
+        let outs: Vec<(u64, u64)> = pool.map(&layer, SWITCHES_PER_PART, |_, &s| {
+            let (i, j) = switches[s];
+            let (c1, c2) = dec_pair(&corrections[s]);
+            let (src1, src2) = if bits[s] {
+                (vals_ro[j], vals_ro[i])
+            } else {
+                (vals_ro[i], vals_ro[j])
+            };
+            (ring.add(src1, c1), ring.add(src2, c2))
+        });
+        for (&s, (v1, v2)) in layer.iter().zip(outs) {
+            let (i, j) = switches[s];
+            vals[i] = v1;
+            vals[j] = v2;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +301,44 @@ mod tests {
     #[test]
     fn single_element() {
         assert_eq!(run_osn(vec![42], vec![0], 32), vec![42]);
+    }
+
+    #[test]
+    fn osn_is_thread_count_invariant() {
+        // Width pads to exactly OSN_PAR_MIN_WIDTH so the layered parallel
+        // path runs; fixed seeds make the whole exchange deterministic, so
+        // both parties' share vectors must match across thread counts.
+        let n_in = 500usize;
+        let n_out = 512usize;
+        let ring = RingCtx::new(32);
+        let values: Vec<u64> = (0..n_in as u64).map(|v| v.wrapping_mul(2654435761) >> 3).collect();
+        let xi: Vec<usize> = (0..n_out).map(|o| (o * 131) % n_in).collect();
+        let run_at = |t: usize| {
+            secyan_par::set_threads(t);
+            let net = EpNetwork::new(n_in, n_out);
+            let net2 = net.clone();
+            let vals = values.clone();
+            let map = xi.clone();
+            let (bob_sh, alice_sh, _) = run_protocol(
+                move |ch| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    let mut ot = OtSender::setup(ch, &mut rng, HASHER);
+                    osn_value_holder(ch, &net, &vals, ring, &mut ot, &mut rng)
+                },
+                move |ch| {
+                    let mut rng = StdRng::seed_from_u64(8);
+                    let mut ot = OtReceiver::setup(ch, &mut rng, HASHER);
+                    let routing = net2.route(&map);
+                    osn_perm_holder(ch, &net2, &routing, ring, &mut ot)
+                },
+            );
+            secyan_par::set_threads(0);
+            (bob_sh, alice_sh)
+        };
+        let serial = run_at(1);
+        assert_eq!(run_at(4), serial, "4-thread OSN diverged from serial");
+        let want: Vec<u64> = xi.iter().map(|&i| ring.reduce(values[i])).collect();
+        assert_eq!(ring.reconstruct_vec(&serial.1, &serial.0), want);
     }
 
     #[test]

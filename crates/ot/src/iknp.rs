@@ -13,12 +13,26 @@
 
 use rand::Rng;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::{ct_select_bytes, Block, CtChoice, CtSelect, Prg, Secret, TweakHasher};
+use secyan_crypto::{
+    ct_select_bytes, Block, CtChoice, CtSelect, Prg, Secret, TweakHasher, Zeroize,
+};
+use secyan_par as par;
 use secyan_transport::{Channel, ReadExt, WriteExt};
 
 /// Security parameter κ: number of base OTs / width of the extension
 /// matrix.
 pub const KAPPA: usize = 128;
+
+/// Minimum OT batch size (in instances) before the column expansion uses
+/// the worker pool; below this the per-column PRG work is too small to
+/// amortize a dispatch.
+pub(crate) const OT_PAR_MIN: usize = 4096;
+
+/// Minimum columns per worker when the expansion does parallelize.
+pub(crate) const COLS_PER_PART: usize = 16;
+
+/// Minimum extracted blocks per worker for the post-transpose row gather.
+pub(crate) const BLOCKS_PER_PART: usize = 4096;
 
 /// Extension sender: after setup, produces message pairs.
 pub struct OtSender {
@@ -68,33 +82,58 @@ impl OtSender {
             return Vec::new();
         }
         let row_bytes = m.div_ceil(8);
+        // The receiver ships all κ masked columns as ONE message (see
+        // `OtReceiver::random`); pull the whole bundle at once.
+        let mut u_all = vec![0u8; KAPPA * row_bytes];
+        ch.recv_into(&mut u_all);
         // Column i of Q: G(k_{s_i}) ⊕ s_i · u_i. The s_i correlation is
         // applied branchlessly: every column does the same XOR loop against
-        // u masked by an all-ones/all-zeros byte derived from s_i.
+        // u masked by an all-ones/all-zeros byte derived from s_i. Columns
+        // are independent given the received bundle, so large batches
+        // expand across the worker pool (partitioned by column index —
+        // public — with each worker owning its columns' rows of Q).
         let mut q = BitMatrix::zero(KAPPA, m);
-        for i in 0..KAPPA {
-            let mut col = vec![0u8; row_bytes];
-            self.prgs[i].fill(&mut col);
-            let u = ch.recv_bytes(row_bytes);
-            let s_i = CtChoice::from_lsb((self.s.expose() >> i) as u8).mask_u8();
-            for (c, &ub) in col.iter_mut().zip(&u) {
-                *c ^= ub & s_i;
-            }
-            q.row_mut(i).copy_from_slice(&col);
-        }
+        let mut s_bits = *self.s.expose();
+        par::with_pool_if(par::threads() > 1 && m >= OT_PAR_MIN, |pool| {
+            let s_ref = &s_bits;
+            pool.zip_chunks_mut(
+                &mut self.prgs,
+                q.as_bytes_mut(),
+                row_bytes,
+                COLS_PER_PART,
+                |i, prg, row| {
+                    prg.fill(row);
+                    let s_i = CtChoice::from_lsb((*s_ref >> i) as u8).mask_u8();
+                    for (c, &ub) in row.iter_mut().zip(&u_all[i * row_bytes..]) {
+                        *c ^= ub & s_i;
+                    }
+                },
+            );
+        });
         let rows = q.transpose(); // m rows of κ bits
-        let qjs: Vec<Block> = (0..m)
-            .map(|j| {
-                Block(u128::from_le_bytes(
-                    rows.row(j).try_into().expect("κ/8 = 16 bytes"),
-                ))
-            })
-            .collect();
-        let qjs_s: Vec<Block> = qjs.iter().map(|&qj| qj ^ Block(*self.s.expose())).collect();
-        // Both correlated branches hashed in batched kernel dispatches.
+        let mut qjs = vec![Block(0); m];
+        let mut qjs_s = vec![Block(0); m];
+        par::with_pool_if(par::threads() > 1 && m >= 2 * BLOCKS_PER_PART, |pool| {
+            pool.chunks_mut(&mut qjs, 1, BLOCKS_PER_PART, |off, chunk| {
+                for (k, b) in chunk.iter_mut().enumerate() {
+                    *b = Block(u128::from_le_bytes(
+                        rows.row(off + k).try_into().expect("κ/8 = 16 bytes"),
+                    ));
+                }
+            });
+        });
+        for (d, &qj) in qjs_s.iter_mut().zip(&qjs) {
+            *d = qj ^ Block(s_bits);
+        }
+        s_bits.zeroize();
+        // Both correlated branches hashed in batched kernel dispatches
+        // (internally parallel for large m).
         let h0 = self.hasher.hash_batch(&qjs, self.ctr);
         let h1 = self.hasher.hash_batch(&qjs_s, self.ctr);
         self.ctr += m as u64;
+        // The q-rows are the pads' preimages; scrub the local copies.
+        qjs.zeroize();
+        qjs_s.zeroize();
         h0.into_iter().zip(h1).collect()
     }
 
@@ -155,29 +194,53 @@ impl OtReceiver {
         for (j, &c) in choices.iter().enumerate() {
             r_packed[j / 8] |= (c as u8) << (j % 8);
         }
+        // Per column: t0 = G(k0), u = G(k1) ⊕ t0 ⊕ r. Both streams for all
+        // κ columns land in one interleaved scratch (t0 then u per column)
+        // so the expansion can split across the worker pool by column
+        // index; the masked columns then go out as ONE message, which
+        // `OtSender::random` reads with a single `recv_into`.
+        let mut cols = vec![0u8; KAPPA * 2 * row_bytes];
+        par::with_pool_if(par::threads() > 1 && m >= OT_PAR_MIN, |pool| {
+            let r_ref = &r_packed;
+            pool.zip_chunks_mut(
+                &mut self.prgs,
+                &mut cols,
+                2 * row_bytes,
+                COLS_PER_PART,
+                |_, (prg0, prg1), chunk| {
+                    let (t0, u) = chunk.split_at_mut(row_bytes);
+                    prg0.fill(t0);
+                    prg1.fill(u);
+                    for k in 0..row_bytes {
+                        u[k] ^= t0[k] ^ r_ref[k];
+                    }
+                },
+            );
+        });
         let mut t = BitMatrix::zero(KAPPA, m);
+        let mut u_all = vec![0u8; KAPPA * row_bytes];
         for i in 0..KAPPA {
-            let (prg0, prg1) = &mut self.prgs[i];
-            let mut t0 = vec![0u8; row_bytes];
-            prg0.fill(&mut t0);
-            let mut u = vec![0u8; row_bytes];
-            prg1.fill(&mut u);
-            for k in 0..row_bytes {
-                u[k] ^= t0[k] ^ r_packed[k];
-            }
-            ch.send_bytes(&u);
-            t.row_mut(i).copy_from_slice(&t0);
+            let chunk = &cols[i * 2 * row_bytes..(i + 1) * 2 * row_bytes];
+            t.row_mut(i).copy_from_slice(&chunk[..row_bytes]);
+            u_all[i * row_bytes..(i + 1) * row_bytes].copy_from_slice(&chunk[row_bytes..]);
         }
+        // The t0 streams are OT-pad preimages; scrub the scratch.
+        cols.zeroize();
+        ch.send_bytes(&u_all);
         let rows = t.transpose();
-        let tjs: Vec<Block> = (0..m)
-            .map(|j| {
-                Block(u128::from_le_bytes(
-                    rows.row(j).try_into().expect("16 bytes"),
-                ))
-            })
-            .collect();
+        let mut tjs = vec![Block(0); m];
+        par::with_pool_if(par::threads() > 1 && m >= 2 * BLOCKS_PER_PART, |pool| {
+            pool.chunks_mut(&mut tjs, 1, BLOCKS_PER_PART, |off, chunk| {
+                for (k, b) in chunk.iter_mut().enumerate() {
+                    *b = Block(u128::from_le_bytes(
+                        rows.row(off + k).try_into().expect("16 bytes"),
+                    ));
+                }
+            });
+        });
         let out = self.hasher.hash_batch(&tjs, self.ctr);
         self.ctr += m as u64;
+        tjs.zeroize();
         out
     }
 
@@ -346,6 +409,27 @@ mod tests {
         for j in 0..20 {
             let want = if choices[j] { &pairs[j].1 } else { &pairs[j].0 };
             assert_eq!(&got[j], want);
+        }
+    }
+
+    #[test]
+    fn extension_is_thread_count_invariant() {
+        // Same seeds, sizes crossing every parallel threshold: outputs must
+        // be bit-identical at 1 and 4 threads.
+        let m = 2 * OT_PAR_MIN;
+        let mut run_at = |threads: usize| {
+            secyan_par::set_threads(threads);
+            let out = run_random(m, 70);
+            secyan_par::set_threads(0);
+            out
+        };
+        let (pairs1, got1, choices) = run_at(1);
+        let (pairs4, got4, _) = run_at(4);
+        assert_eq!(pairs1, pairs4);
+        assert_eq!(got1, got4);
+        for j in 0..m {
+            let (x0, x1) = pairs1[j];
+            assert_eq!(got1[j], if choices[j] { x1 } else { x0 }, "instance {j}");
         }
     }
 

@@ -12,11 +12,18 @@
 //! failure probability under the paper's 2^{-σ}, σ = 40, for all workload
 //! sizes used here.
 
+use crate::iknp::{BLOCKS_PER_PART, COLS_PER_PART, OT_PAR_MIN};
 use rand::Rng;
 use secyan_crypto::sha256::Sha256;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::{CtChoice, Prg, Secret, TweakHasher};
-use secyan_transport::{Channel, ReadExt, WriteExt};
+use secyan_crypto::{CtChoice, Prg, Secret, TweakHasher, Zeroize};
+use secyan_par as par;
+use secyan_transport::{Channel, WriteExt};
+
+/// Minimum batch size before the (SHA-heavy) input-encoding map uses the
+/// worker pool; each element costs two compression-function calls, so the
+/// bar is far lower than for PRG column expansion.
+const CODES_PER_PART: usize = 128;
 
 /// Matrix width w: the pseudorandom-code length in bits.
 pub const WIDTH: usize = 512;
@@ -98,27 +105,40 @@ impl KkrtSender {
             };
         }
         let row_bytes = m.div_ceil(8);
+        // The receiver sends all w masked columns as ONE message (see
+        // `KkrtReceiver::eval_batch`).
+        let mut u_all = vec![0u8; WIDTH * row_bytes];
+        ch.recv_into(&mut u_all);
         let mut q = BitMatrix::zero(WIDTH, m);
-        for i in 0..WIDTH {
-            let mut col = vec![0u8; row_bytes];
-            self.prgs[i].fill(&mut col);
-            let u = ch.recv_bytes(row_bytes);
-            // Branchless s_i correlation, as in IKNP: mask u with
-            // all-ones/all-zeros derived from the secret bit.
-            let s_i = CtChoice::from_lsb(self.s.expose()[i / 8] >> (i % 8)).mask_u8();
-            for (c, &ub) in col.iter_mut().zip(&u) {
-                *c ^= ub & s_i;
-            }
-            q.row_mut(i).copy_from_slice(&col);
-        }
+        let mut s_arr = *self.s.expose();
+        par::with_pool_if(par::threads() > 1 && m >= OT_PAR_MIN, |pool| {
+            let s_ref = &s_arr;
+            pool.zip_chunks_mut(
+                &mut self.prgs,
+                q.as_bytes_mut(),
+                row_bytes,
+                COLS_PER_PART,
+                |i, prg, row| {
+                    prg.fill(row);
+                    // Branchless s_i correlation, as in IKNP: mask u with
+                    // all-ones/all-zeros derived from the secret bit.
+                    let s_i = CtChoice::from_lsb(s_ref[i / 8] >> (i % 8)).mask_u8();
+                    for (c, &ub) in row.iter_mut().zip(&u_all[i * row_bytes..]) {
+                        *c ^= ub & s_i;
+                    }
+                },
+            );
+        });
+        s_arr.zeroize();
         let rows = q.transpose();
-        let q_rows = (0..m)
-            .map(|j| {
-                let mut r = [0u8; WIDTH_BYTES];
-                r.copy_from_slice(rows.row(j));
-                r
-            })
-            .collect();
+        let mut q_rows = vec![[0u8; WIDTH_BYTES]; m];
+        par::with_pool_if(par::threads() > 1 && m >= 2 * BLOCKS_PER_PART, |pool| {
+            pool.chunks_mut(&mut q_rows, 1, BLOCKS_PER_PART, |off, chunk| {
+                for (k, r) in chunk.iter_mut().enumerate() {
+                    r.copy_from_slice(rows.row(off + k));
+                }
+            });
+        });
         KkrtSenderKey {
             q_rows,
             s: self.s.clone(),
@@ -183,36 +203,63 @@ impl KkrtReceiver {
             return Vec::new();
         }
         let row_bytes = m.div_ceil(8);
-        // Code matrix: row j = C(x_j); we need its columns.
-        let codes: Vec<[u8; WIDTH_BYTES]> = inputs.iter().map(|x| code(x)).collect();
+        // Code matrix: row j = C(x_j); we need its columns. Two SHA-256
+        // compressions per element makes this the receiver's second-hottest
+        // loop, and each element is independent — map it over the pool.
+        let codes: Vec<[u8; WIDTH_BYTES]> = par::with_pool_if(
+            par::threads() > 1 && m >= 2 * CODES_PER_PART,
+            |pool| pool.map(inputs, CODES_PER_PART, |_, x| code(x)),
+        );
+        // Per column: t0 = G(k0), u = G(k1) ⊕ t0 ⊕ c_i (column i of the
+        // code matrix). As in IKNP, both streams for all w columns land in
+        // one interleaved scratch so the expansion splits across the pool,
+        // and the masked columns leave as ONE message (the sender's
+        // `key_batch` reads the bundle with a single `recv_into`). The code
+        // bits derive from the receiver's private inputs, so fold them in
+        // without branching on them.
+        let mut cols = vec![0u8; WIDTH * 2 * row_bytes];
+        par::with_pool_if(par::threads() > 1 && m >= OT_PAR_MIN, |pool| {
+            let codes_ref = &codes;
+            pool.zip_chunks_mut(
+                &mut self.prgs,
+                &mut cols,
+                2 * row_bytes,
+                COLS_PER_PART,
+                |i, (prg0, prg1), chunk| {
+                    let (t0, u) = chunk.split_at_mut(row_bytes);
+                    prg0.fill(t0);
+                    prg1.fill(u);
+                    for (j, cj) in codes_ref.iter().enumerate() {
+                        u[j / 8] ^= (cj[i / 8] >> (i % 8) & 1) << (j % 8);
+                    }
+                    for k in 0..row_bytes {
+                        u[k] ^= t0[k];
+                    }
+                },
+            );
+        });
         let mut t = BitMatrix::zero(WIDTH, m);
+        let mut u_all = vec![0u8; WIDTH * row_bytes];
         for i in 0..WIDTH {
-            let (prg0, prg1) = &mut self.prgs[i];
-            let mut t0 = vec![0u8; row_bytes];
-            prg0.fill(&mut t0);
-            let mut u = vec![0u8; row_bytes];
-            prg1.fill(&mut u);
-            // u = t0 ⊕ t1 ⊕ c_i (column i of the code matrix). The code bits
-            // derive from the receiver's private inputs, so fold them in
-            // without branching on them.
-            for (j, cj) in codes.iter().enumerate() {
-                u[j / 8] ^= (cj[i / 8] >> (i % 8) & 1) << (j % 8);
-            }
-            for k in 0..row_bytes {
-                u[k] ^= t0[k];
-            }
-            ch.send_bytes(&u);
-            t.row_mut(i).copy_from_slice(&t0);
+            let chunk = &cols[i * 2 * row_bytes..(i + 1) * 2 * row_bytes];
+            t.row_mut(i).copy_from_slice(&chunk[..row_bytes]);
+            u_all[i * row_bytes..(i + 1) * row_bytes].copy_from_slice(&chunk[row_bytes..]);
         }
+        // The t0 streams are the OPRF outputs' preimages; scrub the scratch.
+        cols.zeroize();
+        ch.send_bytes(&u_all);
         let rows = t.transpose();
-        let t_rows: Vec<[u8; WIDTH_BYTES]> = (0..m)
-            .map(|j| {
-                let mut r = [0u8; WIDTH_BYTES];
-                r.copy_from_slice(rows.row(j));
-                r
-            })
-            .collect();
-        self.hasher.hash_row_batch(base, &t_rows)
+        let mut t_rows = vec![[0u8; WIDTH_BYTES]; m];
+        par::with_pool_if(par::threads() > 1 && m >= 2 * BLOCKS_PER_PART, |pool| {
+            pool.chunks_mut(&mut t_rows, 1, BLOCKS_PER_PART, |off, chunk| {
+                for (k, r) in chunk.iter_mut().enumerate() {
+                    r.copy_from_slice(rows.row(off + k));
+                }
+            });
+        });
+        let out = self.hasher.hash_row_batch(base, &t_rows);
+        t_rows.zeroize();
+        out
     }
 }
 
@@ -221,7 +268,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use secyan_transport::run_protocol;
+    use secyan_transport::{run_protocol, ReadExt};
 
     fn run_batch_with(inputs: Vec<Vec<u8>>, hasher: TweakHasher) -> (KkrtSenderKey, Vec<u64>) {
         let (key, got, _) = run_protocol(

@@ -12,11 +12,19 @@
 //! points to the public degree bound — and ships all hint polynomials. The
 //! receiver outputs OPRF(b, x_b) ⊕ hint_b(enc(x_b)).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use secyan_crypto::gf64::{poly_eval, poly_interpolate, Gf64};
 use secyan_crypto::sha256::{digest_to_u64, Sha256};
+use secyan_crypto::Zeroize;
 use secyan_ot::{KkrtReceiver, KkrtSender};
+use secyan_par as par;
 use secyan_transport::{Channel, ReadExt, WriteExt};
+
+/// Minimum bins per worker for the parallel per-bin stages. A bin costs
+/// O(degree²) GF(2^64) work (interpolation) or O(degree) (evaluation),
+/// so modest batches already amortize a dispatch.
+const BINS_PER_PART: usize = 32;
 
 /// Encoding of a PSI element as an OPRF input. Real elements and
 /// receiver-side dummies live in disjoint domains.
@@ -71,59 +79,74 @@ pub fn opprf_program<R: Rng + ?Sized>(
 ) {
     let bins = programs.len();
     let key = kkrt.key_batch(ch, bins);
-    // Choose a salt with collision-free x-coordinates in every bin.
+    let go_par = par::threads() > 1 && bins >= 2 * BINS_PER_PART;
+    // Choose a salt with collision-free x-coordinates in every bin. Bins
+    // are checked independently; a salt is accepted iff every bin comes
+    // back collision-free, which is the same predicate the serial loop
+    // computes, so the chosen salt does not depend on the thread count.
     let (salt, coords) = 'salt: {
         let mut salt = rng.gen::<u64>();
         loop {
-            let mut all: Vec<Vec<Gf64>> = Vec::with_capacity(bins);
-            let mut ok = true;
-            for prog in programs {
-                let mut xs: Vec<Gf64> = prog
-                    .iter()
-                    .map(|&(y, _)| x_coord(salt, PsiItem::Real(y)))
-                    .collect();
-                let before = xs.len();
-                xs.sort_by_key(|g| g.0);
-                xs.dedup();
-                if xs.len() != before {
-                    ok = false;
-                    break;
-                }
-                all.push(xs);
-            }
-            if ok {
-                break 'salt (salt, all);
+            let all: Vec<Option<Vec<Gf64>>> = par::with_pool_if(go_par, |pool| {
+                pool.map(programs, BINS_PER_PART, |_, prog| {
+                    let mut xs: Vec<Gf64> = prog
+                        .iter()
+                        .map(|&(y, _)| x_coord(salt, PsiItem::Real(y)))
+                        .collect();
+                    let before = xs.len();
+                    xs.sort_by_key(|g| g.0);
+                    xs.dedup();
+                    (xs.len() == before).then_some(xs)
+                })
+            });
+            if all.iter().all(Option::is_some) {
+                let coords = all.into_iter().map(|x| x.expect("checked")).collect();
+                break 'salt (salt, coords);
             }
             salt = salt.wrapping_add(1);
         }
     };
+    let coords: Vec<Vec<Gf64>> = coords;
     ch.send_u64(salt);
-    let mut hint_words: Vec<u64> = Vec::with_capacity(bins * degree);
-    for (b, prog) in programs.iter().enumerate() {
-        assert!(
-            prog.len() <= degree,
-            "bin {b} has {} items, exceeding the public bound {degree}",
-            prog.len()
-        );
-        let mut points: Vec<(Gf64, Gf64)> = prog
-            .iter()
-            .map(|&(y, t)| {
-                let f = key.eval(b, &PsiItem::Real(y).encode());
-                (x_coord(salt, PsiItem::Real(y)), Gf64(t ^ f))
-            })
-            .collect();
-        // Pad with random points at fresh x-coordinates.
-        let mut used: Vec<Gf64> = coords[b].clone();
-        while points.len() < degree {
-            let x = Gf64(rng.gen());
-            if used.contains(&x) {
-                continue;
+    // Pre-draw one pad seed per bin *serially* from the caller's RNG, so
+    // the padding points each bin generates are independent of how bins
+    // are scheduled across workers.
+    let mut bin_rand: Vec<u64> = programs.iter().map(|_| rng.gen()).collect();
+    let hints: Vec<Vec<u64>> = par::with_pool_if(go_par, |pool| {
+        pool.map(programs, BINS_PER_PART, |b, prog| {
+            assert!(
+                prog.len() <= degree,
+                "bin {b} has {} items, exceeding the public bound {degree}",
+                prog.len()
+            );
+            let mut points: Vec<(Gf64, Gf64)> = prog
+                .iter()
+                .map(|&(y, t)| {
+                    let f = key.eval(b, &PsiItem::Real(y).encode());
+                    (x_coord(salt, PsiItem::Real(y)), Gf64(t ^ f))
+                })
+                .collect();
+            // Pad with random points at fresh x-coordinates, drawn from
+            // this bin's private stream.
+            let mut fill_rng = StdRng::seed_from_u64(bin_rand[b]);
+            let mut used: Vec<Gf64> = coords[b].clone();
+            while points.len() < degree {
+                let x = Gf64(fill_rng.gen());
+                if used.contains(&x) {
+                    continue;
+                }
+                used.push(x);
+                points.push((x, Gf64(fill_rng.gen())));
             }
-            used.push(x);
-            points.push((x, Gf64(rng.gen())));
-        }
-        let coeffs = poly_interpolate(&points);
-        hint_words.extend(coeffs.iter().map(|c| c.0));
+            let coeffs = poly_interpolate(&points);
+            coeffs.iter().map(|c| c.0).collect()
+        })
+    });
+    // Pad seeds derive mask material; scrub them once the hints exist.
+    bin_rand.zeroize();
+    let mut hint_words: Vec<u64> = Vec::with_capacity(bins * degree);
+    for h in &hints {
+        hint_words.extend_from_slice(h);
     }
     ch.send_u64_slice(&hint_words);
 }
@@ -141,17 +164,16 @@ pub fn opprf_evaluate(
     let oprf_out = kkrt.eval_batch(ch, &refs);
     let salt = ch.recv_u64();
     let hint_words = ch.recv_u64_vec(bins * degree);
-    queries
-        .iter()
-        .enumerate()
-        .map(|(b, &q)| {
+    // Each bin's hint evaluates independently; order-preserving map.
+    par::with_pool_if(par::threads() > 1 && bins >= 2 * BINS_PER_PART, |pool| {
+        pool.map(queries, BINS_PER_PART, |b, &q| {
             let coeffs: Vec<Gf64> = hint_words[b * degree..(b + 1) * degree]
                 .iter()
                 .map(|&w| Gf64(w))
                 .collect();
             oprf_out[b] ^ poly_eval(&coeffs, x_coord(salt, q)).0
         })
-        .collect()
+    })
 }
 
 #[cfg(test)]

@@ -34,7 +34,8 @@ impl Role {
 struct Meter {
     bytes_alice_to_bob: AtomicU64,
     bytes_bob_to_alice: AtomicU64,
-    messages: AtomicU64,
+    messages_alice_to_bob: AtomicU64,
+    messages_bob_to_alice: AtomicU64,
     rounds: AtomicU64,
     /// Encodes the direction of the previous message so a direction switch
     /// can be detected: 0 = none yet, 1 = Alice→Bob, 2 = Bob→Alice.
@@ -48,6 +49,10 @@ pub struct CommStats {
     pub bytes_alice_to_bob: u64,
     /// Payload bytes sent from Bob to Alice.
     pub bytes_bob_to_alice: u64,
+    /// Messages sent from Alice to Bob.
+    pub messages_alice_to_bob: u64,
+    /// Messages sent from Bob to Alice.
+    pub messages_bob_to_alice: u64,
     /// Total number of messages in both directions.
     pub messages: u64,
     /// Number of communication rounds, counted as direction switches on the
@@ -67,14 +72,46 @@ impl CommStats {
         CommStats {
             bytes_alice_to_bob: self.bytes_alice_to_bob - earlier.bytes_alice_to_bob,
             bytes_bob_to_alice: self.bytes_bob_to_alice - earlier.bytes_bob_to_alice,
+            messages_alice_to_bob: self.messages_alice_to_bob - earlier.messages_alice_to_bob,
+            messages_bob_to_alice: self.messages_bob_to_alice - earlier.messages_bob_to_alice,
             messages: self.messages - earlier.messages,
             rounds: self.rounds - earlier.rounds,
         }
     }
 }
 
-/// Shared transcript buffer: `(sender, byte length)` per message.
-type Transcript = Arc<Mutex<Vec<(Role, usize)>>>;
+/// Shared transcript buffer: `(sender, payload bytes)` per message.
+type Transcript = Arc<Mutex<Vec<(Role, Vec<u8>)>>>;
+
+/// A handle onto a recording channel pair's transcript that outlives the
+/// endpoints. Obtain one with [`Channel::transcript_handle`] before moving
+/// the endpoints into party threads; read it after the protocol joins.
+///
+/// Determinism tests compare [`TranscriptHandle::messages`] across runs
+/// that differ only in thread count: a deterministic protocol produces
+/// byte-identical transcripts.
+#[derive(Debug, Clone)]
+pub struct TranscriptHandle {
+    inner: Transcript,
+}
+
+impl TranscriptHandle {
+    /// Full transcript so far: `(sender, payload)` per message, in wire
+    /// order.
+    pub fn messages(&self) -> Vec<(Role, Vec<u8>)> {
+        self.inner.lock().expect("transcript lock poisoned").clone()
+    }
+
+    /// Per-message lengths, in wire order (the obliviousness view).
+    pub fn lengths(&self) -> Vec<(Role, usize)> {
+        self.inner
+            .lock()
+            .expect("transcript lock poisoned")
+            .iter()
+            .map(|(role, payload)| (*role, payload.len()))
+            .collect()
+    }
+}
 
 /// One endpoint of the metered duplex channel.
 ///
@@ -157,7 +194,16 @@ impl Channel {
                 .bytes_bob_to_alice
                 .fetch_add(len, Ordering::Relaxed),
         };
-        self.meter.messages.fetch_add(1, Ordering::Relaxed);
+        match self.role {
+            Role::Alice => self
+                .meter
+                .messages_alice_to_bob
+                .fetch_add(1, Ordering::Relaxed),
+            Role::Bob => self
+                .meter
+                .messages_bob_to_alice
+                .fetch_add(1, Ordering::Relaxed),
+        };
         let dir = match self.role {
             Role::Alice => 1,
             Role::Bob => 2,
@@ -169,7 +215,7 @@ impl Channel {
             transcript
                 .lock()
                 .expect("transcript lock poisoned")
-                .push((self.role, data.len()));
+                .push((self.role, data.clone()));
         }
         self.tx.send(data).expect("peer hung up during send");
     }
@@ -207,10 +253,14 @@ impl Channel {
 
     /// Snapshot of the shared communication counters.
     pub fn stats(&self) -> CommStats {
+        let m_a2b = self.meter.messages_alice_to_bob.load(Ordering::Relaxed);
+        let m_b2a = self.meter.messages_bob_to_alice.load(Ordering::Relaxed);
         CommStats {
             bytes_alice_to_bob: self.meter.bytes_alice_to_bob.load(Ordering::Relaxed),
             bytes_bob_to_alice: self.meter.bytes_bob_to_alice.load(Ordering::Relaxed),
-            messages: self.meter.messages.load(Ordering::Relaxed),
+            messages_alice_to_bob: m_a2b,
+            messages_bob_to_alice: m_b2a,
+            messages: m_a2b + m_b2a,
             rounds: self.meter.rounds.load(Ordering::Relaxed),
         }
     }
@@ -228,12 +278,21 @@ impl Channel {
     ///
     /// Panics unless the pair came from [`channel_pair_with_transcript`].
     pub fn transcript_lengths(&self) -> Vec<(Role, usize)> {
-        self.transcript
-            .as_ref()
-            .expect("transcript recording is opt-in: use channel_pair_with_transcript()")
-            .lock()
-            .expect("transcript lock poisoned")
-            .clone()
+        self.transcript_handle().lengths()
+    }
+
+    /// A clonable handle onto the shared transcript, usable after the
+    /// endpoint itself is consumed by a party thread.
+    ///
+    /// Panics unless the pair came from [`channel_pair_with_transcript`].
+    pub fn transcript_handle(&self) -> TranscriptHandle {
+        TranscriptHandle {
+            inner: Arc::clone(
+                self.transcript
+                    .as_ref()
+                    .expect("transcript recording is opt-in: use channel_pair_with_transcript()"),
+            ),
+        }
     }
 }
 
@@ -257,6 +316,8 @@ mod tests {
         let stats = h.join().unwrap();
         assert_eq!(stats.bytes_alice_to_bob, 3);
         assert_eq!(stats.bytes_bob_to_alice, 10);
+        assert_eq!(stats.messages_alice_to_bob, 1);
+        assert_eq!(stats.messages_bob_to_alice, 1);
         assert_eq!(stats.messages, 2);
         assert_eq!(stats.rounds, 2);
     }
@@ -308,6 +369,24 @@ mod tests {
             a.transcript_lengths(),
             vec![(Role::Alice, 4), (Role::Bob, 7)]
         );
+    }
+
+    #[test]
+    fn transcript_handle_records_payload_bytes() {
+        let (mut a, mut b) = channel_pair_with_transcript();
+        let handle = a.transcript_handle();
+        let h = thread::spawn(move || {
+            b.recv();
+            b.send(vec![7; 3]);
+        });
+        a.send(vec![1, 2]);
+        a.recv();
+        h.join().unwrap();
+        assert_eq!(
+            handle.messages(),
+            vec![(Role::Alice, vec![1, 2]), (Role::Bob, vec![7, 7, 7])]
+        );
+        assert_eq!(handle.lengths(), vec![(Role::Alice, 2), (Role::Bob, 3)]);
     }
 
     #[test]

@@ -21,6 +21,8 @@ mod channel;
 mod runner;
 mod wire;
 
-pub use channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats, Role};
+pub use channel::{
+    channel_pair, channel_pair_with_transcript, Channel, CommStats, Role, TranscriptHandle,
+};
 pub use runner::{run_protocol, run_protocol_recorded};
 pub use wire::{ReadExt, WriteExt};
