@@ -16,4 +16,4 @@ pub mod circuit_model;
 pub mod protocol;
 
 pub use circuit_model::{CartesianCostModel, GcCost};
-pub use protocol::{naive_gc_evaluator, naive_gc_garbler};
+pub use protocol::{naive_gc_evaluator, naive_gc_garbler, NaiveRows};

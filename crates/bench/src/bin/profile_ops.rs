@@ -214,11 +214,7 @@ fn profile_parallel() {
     let mut b = Builder::new();
     let xs: Vec<_> = (0..16).map(|_| b.alice_word(32)).collect();
     let ys: Vec<_> = (0..16).map(|_| b.bob_word(32)).collect();
-    let words: Vec<_> = xs
-        .iter()
-        .zip(&ys)
-        .map(|(x, y)| b.mul_words(x, y))
-        .collect();
+    let words: Vec<_> = xs.iter().zip(&ys).map(|(x, y)| b.mul_words(x, y)).collect();
     for w in &words {
         b.output_word(w);
     }

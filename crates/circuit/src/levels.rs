@@ -85,12 +85,7 @@ impl LevelSchedule {
                     let d = depth[a].max(depth[b]);
                     depth[out] = d + 1;
                     ensure(&mut levels, d);
-                    levels[d].ands.push(AndRef {
-                        a,
-                        b,
-                        out,
-                        and_idx,
-                    });
+                    levels[d].ands.push(AndRef { a, b, out, and_idx });
                     and_idx += 1;
                 }
             }

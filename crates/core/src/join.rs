@@ -16,7 +16,7 @@ use secyan_gc::{
     OutputMode, SharedOutputSpec,
 };
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
-use secyan_transport::{ReadExt, Role, WriteExt};
+use secyan_transport::{Role, WriteExt};
 use std::collections::HashMap;
 
 /// Result of the oblivious join.
@@ -275,7 +275,7 @@ pub fn oblivious_join(
         let prov: Vec<Vec<usize>> = acc.into_iter().map(|(_, p)| p).collect();
         (tuples, prov, out_size)
     } else {
-        let out_size = sess.ch.recv_u64() as usize;
+        let out_size = crate::session::recv_declared_size(sess.ch, "join output");
         (Vec::new(), Vec::new(), out_size)
     };
     if out_size == 0 {

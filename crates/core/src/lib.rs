@@ -35,9 +35,9 @@ pub mod session;
 pub mod srel;
 
 pub use protocol::{secure_yannakakis, QueryResult};
+pub use query::SecureQuery;
 /// Intra-party data parallelism (deterministic worker pool); see the
 /// `secyan-par` crate and DESIGN.md §9.
 pub use secyan_par as par;
-pub use query::SecureQuery;
 pub use session::Session;
 pub use srel::SecureRelation;

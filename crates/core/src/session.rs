@@ -4,7 +4,27 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
-use secyan_transport::{Channel, Role};
+use secyan_transport::{Channel, ProtocolError, ReadExt, Role};
+
+/// Upper bound on any size a peer can declare for a relation or join
+/// output. Instances this workspace evaluates are far smaller; anything
+/// larger is a malformed (or malicious) peer trying to drive a huge
+/// allocation, and is rejected with a typed error before allocating.
+pub const MAX_DECLARED_SIZE: u64 = 1 << 28;
+
+/// Receive a peer-declared public size and validate it against
+/// [`MAX_DECLARED_SIZE`] before the caller allocates proportionally to it.
+/// Raises a typed [`ProtocolError::Malformed`] unwind (caught by
+/// `try_run_protocol`) on an absurd declaration.
+pub fn recv_declared_size(ch: &mut Channel, what: &str) -> usize {
+    let size = ch.recv_u64();
+    if size > MAX_DECLARED_SIZE {
+        ProtocolError::malformed(format!(
+            "peer declared {what} of {size} rows (max {MAX_DECLARED_SIZE})"
+        ));
+    }
+    size as usize
+}
 
 /// Everything one party carries through a secure query evaluation: the
 /// channel, the annotation ring, the garbling hash, a CSPRNG, and both

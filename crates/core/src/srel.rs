@@ -68,7 +68,7 @@ impl SecureRelation {
                 plain_annots: Some(plain),
             }
         } else {
-            let size = sess.ch.recv_u64() as usize;
+            let size = crate::session::recv_declared_size(sess.ch, "relation");
             SecureRelation {
                 schema,
                 owner,

@@ -187,17 +187,20 @@ impl TweakHasher {
     pub fn hash2_batch(self, a: &[Block], b: &[Block], tweak_base: u64) -> Vec<Block> {
         assert_eq!(a.len(), b.len(), "hash2_batch wants aligned slices");
         let mut out = vec![Block(0); a.len()];
-        par::with_pool_if(par::threads() > 1 && a.len() >= 2 * PAR_MIN_BLOCKS, |pool| {
-            pool.chunks_mut(&mut out, 1, PAR_MIN_BLOCKS, |off, chunk| {
-                let end = off + chunk.len();
-                self.hash2_batch_into(
-                    &a[off..end],
-                    &b[off..end],
-                    tweak_base.wrapping_add(off as u64),
-                    chunk,
-                );
-            });
-        });
+        par::with_pool_if(
+            par::threads() > 1 && a.len() >= 2 * PAR_MIN_BLOCKS,
+            |pool| {
+                pool.chunks_mut(&mut out, 1, PAR_MIN_BLOCKS, |off, chunk| {
+                    let end = off + chunk.len();
+                    self.hash2_batch_into(
+                        &a[off..end],
+                        &b[off..end],
+                        tweak_base.wrapping_add(off as u64),
+                        chunk,
+                    );
+                });
+            },
+        );
         out
     }
 

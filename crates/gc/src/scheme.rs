@@ -194,17 +194,16 @@ fn garble_levels(
             }
             let zero_ro: &[Block] = zero;
             // [w_out, t_g, t_e] per AND, in level order.
-            let mut results: Vec<[Block; 3]> =
-                pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
-                    let (wg, we, tg, te) = garble_and(
-                        zero_ro[and.a],
-                        zero_ro[and.b],
-                        delta,
-                        hasher,
-                        and.and_idx as u64,
-                    );
-                    [wg ^ we, tg, te]
-                });
+            let mut results: Vec<[Block; 3]> = pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
+                let (wg, we, tg, te) = garble_and(
+                    zero_ro[and.a],
+                    zero_ro[and.b],
+                    delta,
+                    hasher,
+                    and.and_idx as u64,
+                );
+                [wg ^ we, tg, te]
+            });
             for (and, r) in level.ands.iter().zip(&results) {
                 zero[and.out] = r[0];
                 tables[and.and_idx] = (r[1], r[2]);

@@ -482,6 +482,9 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    // The offline `proptest` stand-in expands property bodies to nothing,
+    // which orphans these imports; the real crate uses them.
+    #![allow(unused_imports)]
     use super::*;
     use proptest::prelude::*;
 

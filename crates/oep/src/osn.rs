@@ -311,7 +311,9 @@ mod tests {
         let n_in = 500usize;
         let n_out = 512usize;
         let ring = RingCtx::new(32);
-        let values: Vec<u64> = (0..n_in as u64).map(|v| v.wrapping_mul(2654435761) >> 3).collect();
+        let values: Vec<u64> = (0..n_in as u64)
+            .map(|v| v.wrapping_mul(2654435761) >> 3)
+            .collect();
         let xi: Vec<usize> = (0..n_out).map(|o| (o * 131) % n_in).collect();
         let run_at = |t: usize| {
             secyan_par::set_threads(t);

@@ -417,7 +417,7 @@ mod tests {
         // Same seeds, sizes crossing every parallel threshold: outputs must
         // be bit-identical at 1 and 4 threads.
         let m = 2 * OT_PAR_MIN;
-        let mut run_at = |threads: usize| {
+        let run_at = |threads: usize| {
             secyan_par::set_threads(threads);
             let out = run_random(m, 70);
             secyan_par::set_threads(0);

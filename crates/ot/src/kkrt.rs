@@ -206,10 +206,10 @@ impl KkrtReceiver {
         // Code matrix: row j = C(x_j); we need its columns. Two SHA-256
         // compressions per element makes this the receiver's second-hottest
         // loop, and each element is independent — map it over the pool.
-        let codes: Vec<[u8; WIDTH_BYTES]> = par::with_pool_if(
-            par::threads() > 1 && m >= 2 * CODES_PER_PART,
-            |pool| pool.map(inputs, CODES_PER_PART, |_, x| code(x)),
-        );
+        let codes: Vec<[u8; WIDTH_BYTES]> =
+            par::with_pool_if(par::threads() > 1 && m >= 2 * CODES_PER_PART, |pool| {
+                pool.map(inputs, CODES_PER_PART, |_, x| code(x))
+            });
         // Per column: t0 = G(k0), u = G(k1) ⊕ t0 ⊕ c_i (column i of the
         // code matrix). As in IKNP, both streams for all w columns land in
         // one interleaved scratch so the expansion splits across the pool,

@@ -405,6 +405,10 @@ impl<T> SharedSlice<T> {
     ///
     /// SAFETY contract: the caller must guarantee `r` is in bounds and that
     /// no other live slice from this view overlaps `r`.
+    // The `&self -> &mut` shape is the whole point of this raw-pointer
+    // view: workers share one `SharedSlice` and each carves a disjoint
+    // exclusive range out of it (the unsafe contract above).
+    #[allow(clippy::mut_from_ref)]
     unsafe fn slice_mut(&self, r: Range<usize>) -> &mut [T] {
         debug_assert!(r.start <= r.end && r.end <= self.len);
         // SAFETY: bounds checked above; exclusivity is the caller's
@@ -527,7 +531,9 @@ mod tests {
         });
         assert!(result.is_err());
         // A fresh pool still works after the previous one unwound.
-        let ok = with_threads(4, || with_pool(|pool| pool.map(&[1, 2, 3], 1, |_, &x| x + 1)));
+        let ok = with_threads(4, || {
+            with_pool(|pool| pool.map(&[1, 2, 3], 1, |_, &x| x + 1))
+        });
         assert_eq!(ok, vec![2, 3, 4]);
     }
 

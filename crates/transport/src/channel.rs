@@ -1,8 +1,21 @@
 //! The metered duplex channel connecting Alice and Bob.
+//!
+//! Every message travels as one *frame*: an 8-byte header (payload length
+//! and per-direction sequence number, both little-endian `u32`) followed by
+//! the payload. The header is validated on every receive, so a truncated,
+//! split, reordered or dropped write is *detected* and surfaced as a typed
+//! [`TransportError`] instead of silently desynchronizing the parties. The
+//! header is pure wire overhead: the byte meters and the recorded
+//! transcript count payload bytes only, so communication-cost numbers and
+//! obliviousness transcripts are unchanged by framing.
 
+use crate::error::TransportError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+
+/// Frame header size: payload length (`u32` LE) then sequence (`u32` LE).
+pub(crate) const HEADER: usize = 8;
 
 /// Which of the two parties an endpoint belongs to.
 ///
@@ -126,9 +139,14 @@ pub struct Channel {
     rx: Receiver<Vec<u8>>,
     meter: Arc<Meter>,
     transcript: Option<Transcript>,
-    /// Buffer holding the remainder of a partially consumed incoming message.
+    /// Buffer holding the remainder of a partially consumed incoming frame
+    /// (header included; `pending_pos` starts past it).
     pending: Vec<u8>,
     pending_pos: usize,
+    /// Sequence number stamped on the next outgoing frame.
+    send_seq: u32,
+    /// Sequence number expected on the next incoming frame.
+    recv_seq: u32,
 }
 
 impl std::fmt::Debug for Channel {
@@ -154,35 +172,93 @@ fn make_pair(transcript: Option<Transcript>) -> (Channel, Channel) {
     let (a2b_tx, a2b_rx) = mpsc::channel();
     let (b2a_tx, b2a_rx) = mpsc::channel();
     let meter = Arc::new(Meter::default());
-    let alice = Channel {
-        role: Role::Alice,
-        tx: a2b_tx,
-        rx: b2a_rx,
-        meter: Arc::clone(&meter),
-        transcript: transcript.clone(),
-        pending: Vec::new(),
-        pending_pos: 0,
-    };
-    let bob = Channel {
-        role: Role::Bob,
-        tx: b2a_tx,
-        rx: a2b_rx,
-        meter,
-        transcript,
-        pending: Vec::new(),
-        pending_pos: 0,
-    };
+    let alice = Channel::from_parts(
+        Role::Alice,
+        a2b_tx,
+        b2a_rx,
+        Arc::clone(&meter),
+        transcript.clone(),
+    );
+    let bob = Channel::from_parts(Role::Bob, b2a_tx, a2b_rx, meter, transcript);
     (alice, bob)
 }
 
+/// The raw wires of a relayed pair: each direction's traffic flows
+/// endpoint → relay (`*_in`) and relay → endpoint (`*_out`), so the
+/// fault-injection relay (see [`crate::fault`]) can tamper with frames in
+/// flight. Frames on these wires are complete framed messages unless a
+/// fault deliberately violates that invariant.
+pub(crate) struct RelayWires {
+    /// Frames Alice sent, awaiting relay to Bob.
+    pub(crate) a2b_in: Receiver<Vec<u8>>,
+    /// Relay's output toward Bob's receiver.
+    pub(crate) a2b_out: Sender<Vec<u8>>,
+    /// Frames Bob sent, awaiting relay to Alice.
+    pub(crate) b2a_in: Receiver<Vec<u8>>,
+    /// Relay's output toward Alice's receiver.
+    pub(crate) b2a_out: Sender<Vec<u8>>,
+}
+
+/// Create a pair whose two directions pass through external relay wires
+/// instead of being directly connected.
+pub(crate) fn relayed_pair(transcript: Option<Transcript>) -> (Channel, Channel, RelayWires) {
+    let (a_tx, a2b_in) = mpsc::channel();
+    let (a2b_out, b_rx) = mpsc::channel();
+    let (b_tx, b2a_in) = mpsc::channel();
+    let (b2a_out, a_rx) = mpsc::channel();
+    let meter = Arc::new(Meter::default());
+    let alice = Channel::from_parts(
+        Role::Alice,
+        a_tx,
+        a_rx,
+        Arc::clone(&meter),
+        transcript.clone(),
+    );
+    let bob = Channel::from_parts(Role::Bob, b_tx, b_rx, meter, transcript);
+    let wires = RelayWires {
+        a2b_in,
+        a2b_out,
+        b2a_in,
+        b2a_out,
+    };
+    (alice, bob, wires)
+}
+
 impl Channel {
+    fn from_parts(
+        role: Role,
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+        meter: Arc<Meter>,
+        transcript: Option<Transcript>,
+    ) -> Channel {
+        Channel {
+            role,
+            tx,
+            rx,
+            meter,
+            transcript,
+            pending: Vec::new(),
+            pending_pos: 0,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
     /// The party this endpoint belongs to.
     pub fn role(&self) -> Role {
         self.role
     }
 
     /// Send one message to the peer.
+    ///
+    /// Raises a typed [`TransportError::PeerClosed`] unwind (caught by
+    /// [`crate::try_run_protocol`]) if the peer is gone.
     pub fn send(&mut self, data: Vec<u8>) {
+        assert!(
+            data.len() <= u32::MAX as usize,
+            "message exceeds the u32 frame length"
+        );
         let len = data.len() as u64;
         match self.role {
             Role::Alice => self
@@ -217,30 +293,89 @@ impl Channel {
                 .expect("transcript lock poisoned")
                 .push((self.role, data.clone()));
         }
-        self.tx.send(data).expect("peer hung up during send");
+        let mut frame = Vec::with_capacity(HEADER + data.len());
+        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&self.send_seq.to_le_bytes());
+        self.send_seq = self.send_seq.wrapping_add(1);
+        frame.extend_from_slice(&data);
+        if self.tx.send(frame).is_err() {
+            TransportError::PeerClosed { during: "send" }.raise();
+        }
+    }
+
+    /// Pull the next frame off the wire and validate its header. On success
+    /// the returned vector is the whole frame (header still in front) and
+    /// `recv_seq` has advanced.
+    fn fetch_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+        let frame = self
+            .rx
+            .recv()
+            .map_err(|_| TransportError::PeerClosed { during: "recv" })?;
+        if frame.len() < HEADER {
+            return Err(TransportError::Corrupt {
+                detail: "frame shorter than its 8-byte header",
+            });
+        }
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&frame[0..4]);
+        let declared = u32::from_le_bytes(word) as usize;
+        word.copy_from_slice(&frame[4..8]);
+        let seq = u32::from_le_bytes(word);
+        if seq != self.recv_seq {
+            return Err(TransportError::OutOfOrder {
+                expected: u64::from(self.recv_seq),
+                got: u64::from(seq),
+            });
+        }
+        self.recv_seq = self.recv_seq.wrapping_add(1);
+        let got = frame.len() - HEADER;
+        if got != declared {
+            return Err(TransportError::Truncated {
+                expected: declared,
+                got,
+            });
+        }
+        Ok(frame)
     }
 
     /// Receive one whole message from the peer, blocking until it arrives.
     ///
+    /// Raises a typed [`TransportError`] unwind (caught by
+    /// [`crate::try_run_protocol`]) on peer close or a malformed frame.
     /// Panics if a previous [`Channel::recv_into`] left a partially consumed
     /// message; mixing the two styles on one message is a protocol bug.
     pub fn recv(&mut self) -> Vec<u8> {
+        self.try_recv().unwrap_or_else(|e| e.raise())
+    }
+
+    /// Fallible form of [`Channel::recv`].
+    pub fn try_recv(&mut self) -> Result<Vec<u8>, TransportError> {
         assert!(
             self.pending_pos == self.pending.len(),
             "recv() called with {} unconsumed buffered bytes",
             self.pending.len() - self.pending_pos
         );
-        self.rx.recv().expect("peer hung up during recv")
+        let mut frame = self.fetch_frame()?;
+        frame.drain(..HEADER);
+        Ok(frame)
     }
 
     /// Receive exactly `buf.len()` bytes, spanning message boundaries if
     /// needed. Useful for fixed-size framed protocols.
+    ///
+    /// Raises a typed [`TransportError`] unwind (caught by
+    /// [`crate::try_run_protocol`]) on peer close or a malformed frame.
     pub fn recv_into(&mut self, buf: &mut [u8]) {
+        self.try_recv_into(buf).unwrap_or_else(|e| e.raise())
+    }
+
+    /// Fallible form of [`Channel::recv_into`].
+    pub fn try_recv_into(&mut self, buf: &mut [u8]) -> Result<(), TransportError> {
         let mut filled = 0;
         while filled < buf.len() {
             if self.pending_pos == self.pending.len() {
-                self.pending = self.rx.recv().expect("peer hung up during recv");
-                self.pending_pos = 0;
+                self.pending = self.fetch_frame()?;
+                self.pending_pos = HEADER;
             }
             let avail = self.pending.len() - self.pending_pos;
             let take = avail.min(buf.len() - filled);
@@ -249,6 +384,7 @@ impl Channel {
             self.pending_pos += take;
             filled += take;
         }
+        Ok(())
     }
 
     /// Snapshot of the shared communication counters.
@@ -405,5 +541,101 @@ mod tests {
     fn transcript_read_panics_when_disabled() {
         let (a, _b) = channel_pair();
         let _ = a.transcript_lengths();
+    }
+
+    /// Drive one direction by hand through relay wires: Alice sends, the
+    /// test tampers with the frame, Bob's `try_recv` reports the fault.
+    fn tampered_recv(
+        tamper: impl FnOnce(Vec<u8>, &Sender<Vec<u8>>),
+    ) -> Result<Vec<u8>, TransportError> {
+        let (mut a, mut b, wires) = relayed_pair(None);
+        a.send(vec![1, 2, 3, 4]);
+        let frame = wires.a2b_in.recv().unwrap();
+        tamper(frame, &wires.a2b_out);
+        drop(wires);
+        drop(a);
+        b.try_recv()
+    }
+
+    #[test]
+    fn intact_frame_passes_validation() {
+        let got = tampered_recv(|frame, out| out.send(frame).unwrap());
+        assert_eq!(got.unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn truncated_frame_is_detected() {
+        let got = tampered_recv(|frame, out| out.send(frame[..frame.len() - 2].to_vec()).unwrap());
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::Truncated {
+                expected: 4,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn short_header_is_corrupt() {
+        let got = tampered_recv(|frame, out| out.send(frame[..3].to_vec()).unwrap());
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::Corrupt {
+                detail: "frame shorter than its 8-byte header"
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_sequence_is_out_of_order() {
+        let got = tampered_recv(|mut frame, out| {
+            frame[4..8].copy_from_slice(&7u32.to_le_bytes());
+            out.send(frame).unwrap();
+        });
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::OutOfOrder {
+                expected: 0,
+                got: 7
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_peer_is_peer_closed() {
+        let got = tampered_recv(|frame, _out| drop(frame));
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::PeerClosed { during: "recv" }
+        );
+    }
+
+    #[test]
+    fn sequence_advances_per_direction() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            for i in 0..5u8 {
+                assert_eq!(b.recv(), vec![i]);
+            }
+            b.send(vec![9]);
+        });
+        for i in 0..5u8 {
+            a.send(vec![i]);
+        }
+        assert_eq!(a.recv(), vec![9]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn meters_exclude_frame_headers() {
+        let (mut a, mut b) = channel_pair();
+        let h = thread::spawn(move || {
+            b.recv();
+            b.stats()
+        });
+        a.send(vec![0; 5]);
+        let stats = h.join().unwrap();
+        assert_eq!(stats.bytes_alice_to_bob, 5);
+        assert_eq!(stats.total_bytes(), 5);
     }
 }

@@ -17,12 +17,26 @@
 //! direction) is a function of the public parameters alone. See
 //! [`Channel::transcript_lengths`].
 
+//!
+//! Fault tolerance: messages are framed and sequence-numbered on the wire,
+//! so truncation, split writes, reordering and peer disconnects surface as
+//! typed [`TransportError`]s instead of hangs or garbage reads. The
+//! [`fault`] module injects exactly those faults deterministically, and
+//! [`try_run_protocol`] / [`try_run_protocol_with_faults`] catch the typed
+//! unwinds at the session boundary.
+
 mod channel;
+mod error;
+pub mod fault;
 mod runner;
 mod wire;
 
 pub use channel::{
     channel_pair, channel_pair_with_transcript, Channel, CommStats, Role, TranscriptHandle,
 };
-pub use runner::{run_protocol, run_protocol_recorded};
+pub use error::{ProtocolError, TransportError};
+pub use fault::{fault_channel_pair, FaultKind, FaultPlan, FaultSpec};
+pub use runner::{
+    run_protocol, run_protocol_recorded, try_run_protocol, try_run_protocol_with_faults,
+};
 pub use wire::{ReadExt, WriteExt};

@@ -1,6 +1,23 @@
 //! Run a two-party protocol: both parties as real threads.
+//!
+//! Two families of entry points:
+//!
+//! * [`run_protocol`] / [`run_protocol_recorded`] — the happy path. Any
+//!   panic in either party (including a typed transport unwind) propagates
+//!   to the caller.
+//! * [`try_run_protocol`] / [`try_run_protocol_with_faults`] — the
+//!   fault-tolerant boundary. Typed [`ProtocolError`] unwinds raised by the
+//!   channel layer (or by protocol validation via
+//!   [`ProtocolError::malformed`]) are caught and returned as `Err`; any
+//!   other panic is a genuine bug and is re-raised. When one party fails,
+//!   its channel endpoint is dropped, which unblocks the peer with a typed
+//!   [`crate::TransportError::PeerClosed`] — so a single fault terminates
+//!   both parties without deadlock.
 
 use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats};
+use crate::error::{try_downcast_panic, ProtocolError};
+use crate::fault::{fault_channel_pair, FaultPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 /// Execute a two-party protocol and return `(alice_output, bob_output, stats)`.
@@ -30,6 +47,82 @@ where
     RB: Send,
 {
     run_on(channel_pair_with_transcript(), alice, bob)
+}
+
+/// Execute a two-party protocol, catching typed failures.
+///
+/// Returns `Err` with the first typed [`ProtocolError`] either party
+/// raised; secrets held by the failing party are dropped (and zeroized)
+/// during its unwind. Non-typed panics are genuine bugs and propagate.
+pub fn try_run_protocol<FA, FB, RA, RB>(
+    alice: FA,
+    bob: FB,
+) -> Result<(RA, RB, CommStats), ProtocolError>
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    try_run_on(channel_pair(), alice, bob)
+}
+
+/// Like [`try_run_protocol`], but the channel pair routes through a
+/// fault-injecting relay executing `plan` (see [`crate::fault`]).
+pub fn try_run_protocol_with_faults<FA, FB, RA, RB>(
+    plan: &FaultPlan,
+    alice: FA,
+    bob: FB,
+) -> Result<(RA, RB, CommStats), ProtocolError>
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    try_run_on(fault_channel_pair(plan), alice, bob)
+}
+
+fn try_run_on<FA, FB, RA, RB>(
+    pair: (Channel, Channel),
+    alice: FA,
+    bob: FB,
+) -> Result<(RA, RB, CommStats), ProtocolError>
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (mut ca, mut cb) = pair;
+    thread::scope(|s| {
+        let hb = s.spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| bob(&mut cb)));
+            let stats = cb.stats();
+            // Dropping Bob's endpoint closes both wires from his side, so
+            // an Alice blocked in recv/send unwinds with PeerClosed instead
+            // of hanging.
+            drop(cb);
+            (out, stats)
+        });
+        let ra = catch_unwind(AssertUnwindSafe(|| alice(&mut ca)));
+        // Symmetrically unblock Bob before joining him.
+        drop(ca);
+        let (rb, stats) = hb.join().expect("bob runner thread itself panicked");
+        // Re-raise any non-typed panic first: a real bug must not be masked
+        // by the peer's typed cascade error.
+        let ra = ra.map_err(|p| {
+            try_downcast_panic(p).unwrap_or_else(|bug| std::panic::resume_unwind(bug))
+        });
+        let rb = rb.map_err(|p| {
+            try_downcast_panic(p).unwrap_or_else(|bug| std::panic::resume_unwind(bug))
+        });
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => Ok((ra, rb, stats)),
+            (Err(e), _) => Err(e),
+            (_, Err(e)) => Err(e),
+        }
+    })
 }
 
 fn run_on<FA, FB, RA, RB>(pair: (Channel, Channel), alice: FA, bob: FB) -> (RA, RB, CommStats)
@@ -84,5 +177,52 @@ mod tests {
     #[should_panic]
     fn party_panic_propagates() {
         run_protocol(|_| panic!("alice exploded"), |_| ());
+    }
+
+    #[test]
+    fn try_run_protocol_happy_path() {
+        let out = try_run_protocol(
+            |ch| {
+                ch.send_u64(1);
+                ch.recv_u64()
+            },
+            |ch| {
+                let x = ch.recv_u64();
+                ch.send_u64(x + 1);
+            },
+        );
+        let (a, (), stats) = out.expect("clean run");
+        assert_eq!(a, 2);
+        assert_eq!(stats.total_bytes(), 16);
+    }
+
+    #[test]
+    fn typed_unwind_becomes_err_and_unblocks_peer() {
+        use crate::error::TransportError;
+        // Alice raises a typed error while Bob is blocked waiting for her
+        // message; Bob must terminate via PeerClosed, not hang, and the
+        // caller must see a typed Err.
+        let out = try_run_protocol(
+            |_ch: &mut Channel| -> u64 {
+                ProtocolError::malformed("alice rejected peer input");
+            },
+            |ch: &mut Channel| ch.recv_u64(),
+        );
+        match out.unwrap_err() {
+            ProtocolError::Malformed { context } => {
+                assert!(context.contains("alice rejected"));
+            }
+            ProtocolError::Transport(TransportError::PeerClosed { .. }) => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "genuine bug")]
+    fn foreign_panic_still_propagates_from_try_runner() {
+        let _ = try_run_protocol(
+            |_ch: &mut Channel| -> () { panic!("genuine bug") },
+            |_ch: &mut Channel| (),
+        );
     }
 }

@@ -1,0 +1,307 @@
+//! Differential fuzzing: generated join-aggregate instances through all
+//! four engines (naive oracle, plaintext Yannakakis, garbled-circuit
+//! baseline, full secure protocol), plus the corner-case families the
+//! paper's model makes awkward: annotation wrap-around in Z_{2^ℓ},
+//! duplicate-heavy COUNT inputs, and obliviousness over *generated* (not
+//! handcrafted) queries. The generated-instance thread-count determinism
+//! check lives in `parallel_determinism.rs`, whose tests serialize the
+//! process-global `par::set_threads` flips.
+//!
+//! Every failure message carries the instance seed; `Instance::generate(seed)`
+//! (or `generate_chain(seed)`) reproduces the exact instance locally. See
+//! README's "Running the fuzzer" and DESIGN.md §10.
+
+use secyan_crypto::RingCtx;
+use secyan_relation::{JoinTree, NaturalRing, Relation};
+use secyan_testkit::{check_instance, run_secure, scalar_of, AggKind, Instance, SecureRun};
+use secyan_transport::Role;
+
+/// One direction's wire stream: the sender's messages in program order.
+/// The *global* interleaving of the two directions is scheduler timing,
+/// not protocol content (both parties may send concurrently within a
+/// round), so cross-run comparisons are made per direction.
+fn direction_stream(run: &SecureRun, dir: Role) -> Vec<&[u8]> {
+    run.transcript
+        .iter()
+        .filter(|(r, _)| *r == dir)
+        .map(|(_, m)| m.as_slice())
+        .collect()
+}
+
+fn direction_lengths(run: &SecureRun, dir: Role) -> Vec<usize> {
+    direction_stream(run, dir).iter().map(|m| m.len()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The CI sweep: 64 seeded instances, all four engines agreeing.
+// ---------------------------------------------------------------------------
+
+/// 48 instances from the general family: random trees over 2–6 relations,
+/// SUM and COUNT, ℓ ∈ {32, 64}, skew/empty/dangling/near-wrap corners.
+#[test]
+fn differential_sweep_general_family() {
+    for seed in 0..48 {
+        check_instance(&Instance::generate(seed));
+    }
+}
+
+/// 16 instances from the chain family, shaped so the garbled-circuit
+/// baseline always runs — the sweep fails if any instance skipped it.
+#[test]
+fn differential_sweep_chain_family_exercises_baseline() {
+    let mut baseline_runs = 0;
+    for seed in 0..16 {
+        let d = check_instance(&Instance::generate_chain(seed));
+        baseline_runs += usize::from(d.baseline.is_some());
+    }
+    assert_eq!(
+        baseline_runs, 16,
+        "every chain-family instance must exercise the circuit baseline"
+    );
+}
+
+/// Nightly-style deep run: 1000 instances. Not part of the gating CI job
+/// (`cargo test -q -- --ignored differential_deep` runs it on demand).
+#[test]
+#[ignore = "deep fuzz (~1k secure protocol runs); run explicitly with --ignored"]
+fn differential_deep_fuzz() {
+    for seed in 1_000..1_900 {
+        check_instance(&Instance::generate(seed));
+    }
+    for seed in 1_000..1_100 {
+        check_instance(&Instance::generate_chain(seed));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Obliviousness over generated families.
+// ---------------------------------------------------------------------------
+
+/// Replace every annotation with a different (seed-independent) value,
+/// keeping tuples — and therefore every public size and the revealed
+/// output support — fixed.
+fn mutate_annotations(inst: &Instance) -> Instance {
+    let ring = inst.ring_ctx();
+    let mut out = inst.clone();
+    for rel in &mut out.relations {
+        for a in &mut rel.annots {
+            // Odd multiplier + odd offset: a bijection on Z_{2^ℓ}, so
+            // distinct values stay distinct and most values change.
+            *a = ring.reduce(a.wrapping_mul(0x9E37_79B9).wrapping_add(0x7F4A_7C15));
+        }
+    }
+    out
+}
+
+/// Apply a bijection to every key value in every tuple. The equality
+/// structure (which tuples join with which) is preserved exactly, so the
+/// instance is isomorphic — but no key byte on the wire may betray the
+/// difference.
+fn relabel_keys(inst: &Instance) -> Instance {
+    let mut out = inst.clone();
+    for rel in &mut out.relations {
+        for t in &mut rel.tuples {
+            for v in t.iter_mut() {
+                *v = v.wrapping_mul(2).wrapping_add(0x5EED);
+            }
+        }
+    }
+    out
+}
+
+/// The transcript (per-message sender and length) must be identical
+/// across instances of equal public shape that differ only in private
+/// values: annotation contents and key labels. This extends the
+/// handcrafted checks in `obliviousness.rs` to generated queries.
+#[test]
+fn generated_transcripts_depend_only_on_public_shape() {
+    for seed in [0, 3, 7, 11, 19] {
+        let base = Instance::generate(seed);
+        let base_run = run_secure(&base);
+        for (label, variant) in [
+            ("annotation values", mutate_annotations(&base)),
+            ("key labels", relabel_keys(&base)),
+        ] {
+            let run = run_secure(&variant);
+            for dir in [Role::Alice, Role::Bob] {
+                assert_eq!(
+                    direction_lengths(&run, dir),
+                    direction_lengths(&base_run, dir),
+                    "{dir:?}-side transcript of {} changed when only {label} changed",
+                    base.describe()
+                );
+            }
+            assert_eq!(
+                (run.stats.bytes_alice_to_bob, run.stats.bytes_bob_to_alice),
+                (
+                    base_run.stats.bytes_alice_to_bob,
+                    base_run.stats.bytes_bob_to_alice
+                ),
+                "byte counters of {} changed when only {label} changed",
+                base.describe()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Annotation overflow: exact wrap-around semantics in Z_{2^ℓ}.
+// ---------------------------------------------------------------------------
+
+/// A two-relation unary join `R1(a) ⋈ R2(a)` with a scalar SUM output:
+/// the smallest query whose result is a product of two chosen
+/// annotations, so wrap-around can be pinned to exact values.
+fn product_instance(seed: u64, ell: u32, annot1: u64, annot2: u64) -> Instance {
+    let ring = RingCtx::new(ell);
+    let schemas = vec![vec!["a".to_string()], vec!["a".to_string()]];
+    let relations = vec![
+        Relation::from_rows(
+            NaturalRing(ring),
+            schemas[0].clone(),
+            vec![(vec![1], ring.reduce(annot1))],
+        ),
+        Relation::from_rows(
+            NaturalRing(ring),
+            schemas[1].clone(),
+            vec![(vec![1], ring.reduce(annot2))],
+        ),
+    ];
+    Instance {
+        seed,
+        ell,
+        agg: AggKind::Sum,
+        schemas,
+        owners: vec![Role::Alice, Role::Bob],
+        tree: JoinTree::chain(2),
+        output: Vec::new(),
+        relations,
+    }
+}
+
+/// SUM wraps *exactly* at 2^32: a product that overflows to a nonzero
+/// residue, and one that overflows to exactly zero (the aggregate
+/// vanishes — indistinguishable from an empty join).
+#[test]
+fn sum_wraps_exactly_at_ell_32() {
+    // (2^32 - 1) * 7 ≡ 2^32 - 7 (mod 2^32)
+    let d = check_instance(&product_instance(90_001, 32, (1u64 << 32) - 1, 7));
+    assert_eq!(scalar_of(&d.expected), (1u64 << 32) - 7);
+
+    // 2^31 * 2 ≡ 0 (mod 2^32): the whole aggregate wraps to nothing.
+    let d = check_instance(&product_instance(90_002, 32, 1u64 << 31, 2));
+    assert_eq!(scalar_of(&d.expected), 0);
+}
+
+/// The same two shapes at ℓ = 64, where the ring is the full u64 and the
+/// wrap is native wrapping arithmetic.
+#[test]
+fn sum_wraps_exactly_at_ell_64() {
+    // u64::MAX * 3 ≡ 2^64 - 3 (mod 2^64)
+    let d = check_instance(&product_instance(90_003, 64, u64::MAX, 3));
+    assert_eq!(scalar_of(&d.expected), u64::MAX - 2);
+
+    // 2^63 * 2 ≡ 0 (mod 2^64)
+    let d = check_instance(&product_instance(90_004, 64, 1u64 << 63, 2));
+    assert_eq!(scalar_of(&d.expected), 0);
+}
+
+/// A grouped SUM whose per-group totals straddle the ℓ = 32 boundary:
+/// one group wraps to zero (and must vanish from the canonical output),
+/// one wraps to a nonzero residue, one stays below the modulus.
+#[test]
+fn grouped_sum_wraps_per_group_at_ell_32() {
+    let ring = RingCtx::new(32);
+    let m = 1u64 << 32;
+    let schemas = vec![
+        vec!["g".to_string(), "k".to_string()],
+        vec!["k".to_string()],
+    ];
+    let r1 = Relation::from_rows(
+        NaturalRing(ring),
+        schemas[0].clone(),
+        vec![
+            // group 1: (2^31) + (2^31) ≡ 0 — must disappear.
+            (vec![1, 10], ring.reduce(m / 2)),
+            (vec![1, 11], ring.reduce(m / 2)),
+            // group 2: (2^32 - 1) + 4 ≡ 3.
+            (vec![2, 10], ring.reduce(m - 1)),
+            (vec![2, 11], 4),
+            // group 3: no wrap.
+            (vec![3, 10], 5),
+        ],
+    );
+    let r2 = Relation::from_rows(
+        NaturalRing(ring),
+        schemas[1].clone(),
+        vec![(vec![10], 1), (vec![11], 1)],
+    );
+    let h = secyan_relation::Hypergraph::new(schemas.clone());
+    let tree = secyan_relation::find_free_connex_tree(&h, &["g".to_string()])
+        .expect("chain with group-by on g is free-connex");
+    let inst = Instance {
+        seed: 90_005,
+        ell: 32,
+        agg: AggKind::Sum,
+        schemas,
+        owners: vec![Role::Alice, Role::Bob],
+        tree,
+        output: vec!["g".to_string()],
+        relations: vec![r1, r2],
+    };
+    let d = check_instance(&inst);
+    assert_eq!(d.expected, vec![(vec![2], 3), (vec![3], 5)]);
+}
+
+/// COUNT over duplicate-heavy inputs: every annotation is 1, so the
+/// result is the multiplicity product — checked against the saturating
+/// `CountSemiring` oracle (which cannot wrap mid-aggregation) and pinned
+/// to the hand-computed counts.
+#[test]
+fn count_duplicate_heavy_matches_oracle() {
+    let ring = RingCtx::new(32);
+    let schemas = vec![
+        vec!["g".to_string(), "k".to_string()],
+        vec!["k".to_string()],
+    ];
+    // 12 copies of (g=1, k=10) and 3 of (g=2, k=10); 6 copies of (k=10).
+    let mut rows1 = vec![(vec![1, 10], 1); 12];
+    rows1.extend(vec![(vec![2, 10], 1); 3]);
+    let r1 = Relation::from_rows(NaturalRing(ring), schemas[0].clone(), rows1);
+    let r2 = Relation::from_rows(
+        NaturalRing(ring),
+        schemas[1].clone(),
+        vec![(vec![10], 1); 6],
+    );
+    let h = secyan_relation::Hypergraph::new(schemas.clone());
+    let tree = secyan_relation::find_free_connex_tree(&h, &["g".to_string()])
+        .expect("chain with group-by on g is free-connex");
+    let inst = Instance {
+        seed: 90_006,
+        ell: 32,
+        agg: AggKind::Count,
+        schemas,
+        owners: vec![Role::Bob, Role::Alice],
+        tree,
+        output: vec!["g".to_string()],
+        relations: vec![r1, r2],
+    };
+    let d = check_instance(&inst);
+    assert_eq!(d.expected, vec![(vec![1], 72), (vec![2], 18)]);
+}
+
+/// The generated COUNT family is duplicate-heavy by construction (tiny
+/// key domains, larger relations); sweep a handful of those seeds
+/// explicitly so a regression in COUNT semantics names this test.
+#[test]
+fn generated_count_family_matches_oracle() {
+    let mut ran = 0;
+    let mut seed = 0;
+    while ran < 6 {
+        let inst = Instance::generate(seed);
+        seed += 1;
+        if inst.agg == AggKind::Count {
+            check_instance(&inst);
+            ran += 1;
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Fault injection: a malfunctioning or malicious-looking transport must
+//! surface as a *typed* [`ProtocolError`] — never a panic, never a hang,
+//! and destructors (including the zeroize-on-drop `Secret` wrappers the
+//! session keys live in) must still run on the error path.
+//!
+//! The `FaultChannel` relay in `secyan-transport` injects four fault
+//! classes deterministically: truncated messages, split writes, reordered
+//! flushes within a round, and mid-protocol peer disconnects. Each class
+//! gets a dedicated test here, plus a seed-driven sweep where every
+//! outcome must be "correct result" or "typed error" — nothing else.
+//! See DESIGN.md §10.
+
+use secyan_core::{secure_yannakakis, Session};
+use secyan_crypto::TweakHasher;
+use secyan_testkit::{oracle, run_secure, run_secure_with_faults, Instance};
+use secyan_transport::{try_run_protocol_with_faults, FaultKind, FaultPlan, ProtocolError, Role};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The fixed instance the fault tests perturb: small enough to rerun
+/// dozens of times, large enough that the protocol has a few thousand
+/// messages to aim faults at.
+fn victim() -> Instance {
+    Instance::generate(1)
+}
+
+/// Per-direction message counts of a clean run, for placing faults
+/// within the actual message horizon.
+fn horizons(inst: &Instance) -> (u64, u64) {
+    let clean = run_secure(inst);
+    (
+        clean.stats.messages_alice_to_bob,
+        clean.stats.messages_bob_to_alice,
+    )
+}
+
+/// Assert the outcome of a faulted run is a typed error (any variant:
+/// the injected fault may surface directly at one party and cascade to
+/// the other as a peer disconnect — whichever party fails first wins).
+fn assert_typed_failure(inst: &Instance, plan: FaultPlan, what: &str) {
+    match run_secure_with_faults(inst, &plan) {
+        Err(e) => {
+            // Displaying the error must work (it feeds operator logs).
+            let _ = e.to_string();
+        }
+        Ok(_) => panic!("{what}: protocol succeeded despite the injected fault"),
+    }
+}
+
+#[test]
+fn truncated_message_yields_typed_error_at_every_phase() {
+    let inst = victim();
+    let (a2b, b2a) = horizons(&inst);
+    for (dir, horizon) in [(Role::Alice, a2b), (Role::Bob, b2a)] {
+        // First message (OT bootstrap), mid-protocol, and near the end.
+        for index in [0, horizon / 2, horizon.saturating_sub(2)] {
+            assert_typed_failure(
+                &inst,
+                FaultPlan::single(dir, index, FaultKind::Truncate),
+                &format!("truncate {dir:?} message {index}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn split_write_yields_typed_error() {
+    let inst = victim();
+    let (a2b, b2a) = horizons(&inst);
+    for (dir, horizon) in [(Role::Alice, a2b), (Role::Bob, b2a)] {
+        for index in [1, horizon / 3] {
+            assert_typed_failure(
+                &inst,
+                FaultPlan::single(dir, index, FaultKind::SplitWrite),
+                &format!("split-write {dir:?} message {index}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn peer_disconnect_yields_typed_error_not_a_hang() {
+    let inst = victim();
+    let (a2b, b2a) = horizons(&inst);
+    for (dir, horizon) in [(Role::Alice, a2b), (Role::Bob, b2a)] {
+        for index in [0, horizon / 2] {
+            assert_typed_failure(
+                &inst,
+                FaultPlan::single(dir, index, FaultKind::Disconnect),
+                &format!("disconnect {dir:?} after message {index}"),
+            );
+        }
+    }
+}
+
+/// Reordering only bites when the sender emits two frames back-to-back
+/// (otherwise the relay's flush timeout degrades it to in-order
+/// delivery). Find a same-direction burst in the clean transcript and
+/// aim the reorder at its first frame: the receiver must see the
+/// sequence-number gap and fail typed.
+#[test]
+fn reordered_flush_within_a_round_yields_typed_error() {
+    let inst = victim();
+    let clean = run_secure(&inst);
+    let lengths = clean.lengths();
+    let mut tested = 0;
+    for dir in [Role::Alice, Role::Bob] {
+        // Index (within `dir`'s own stream) of the first frame of a
+        // same-direction burst, skipping a few so the fault lands past
+        // the bootstrap.
+        let mut per_dir_index = 0u64;
+        let mut bursts = Vec::new();
+        for w in lengths.windows(2) {
+            if w[0].0 == dir {
+                if w[1].0 == dir {
+                    bursts.push(per_dir_index);
+                }
+                per_dir_index += 1;
+            }
+        }
+        assert!(
+            !bursts.is_empty(),
+            "clean transcript has no {dir:?} burst to reorder"
+        );
+        for &index in [bursts.first(), bursts.get(bursts.len() / 2)]
+            .into_iter()
+            .flatten()
+        {
+            assert_typed_failure(
+                &inst,
+                FaultPlan::single(dir, index, FaultKind::Reorder),
+                &format!("reorder {dir:?} burst at message {index}"),
+            );
+            tested += 1;
+        }
+    }
+    assert!(tested >= 2, "reorder fault never exercised");
+}
+
+/// Seed-driven sweep: random fault plans over the real message horizon.
+/// Every outcome must be either the correct result (the fault degraded
+/// harmlessly — e.g. a reorder outside a burst) or a typed error. A hang
+/// fails via the test harness; a panic would fail the test itself.
+#[test]
+fn seeded_fault_sweep_is_always_typed_or_correct() {
+    let inst = victim();
+    let expected = oracle(&inst);
+    let (a2b, b2a) = horizons(&inst);
+    let horizon = a2b.max(b2a);
+    let mut failures = 0;
+    for seed in 0..24 {
+        match run_secure_with_faults(&inst, &FaultPlan::from_seed(seed, horizon)) {
+            Ok((rows, _)) => assert_eq!(
+                rows,
+                expected,
+                "faulted run (fault seed {seed}) succeeded with a wrong result on {}",
+                inst.describe()
+            ),
+            Err(e) => {
+                let _ = e.to_string();
+                failures += 1;
+            }
+        }
+    }
+    // The sweep is only meaningful if a healthy share of plans actually
+    // disrupt the run (truncate/split/disconnect within the horizon
+    // always should).
+    assert!(
+        failures >= 8,
+        "only {failures}/24 seeded fault plans disrupted the protocol"
+    );
+}
+
+/// An unfaulted run through the fault harness is transparent: same
+/// result as the oracle, `Ok` outcome.
+#[test]
+fn empty_fault_plan_is_transparent() {
+    let inst = victim();
+    let (rows, stats) = run_secure_with_faults(&inst, &FaultPlan::none())
+        .expect("no faults injected, protocol must succeed");
+    assert_eq!(rows, oracle(&inst));
+    assert!(stats.messages > 0);
+}
+
+/// Guard object standing in for any secret state a party holds on its
+/// stack: its destructor must run when the protocol dies with a typed
+/// error, because that is the exact mechanism (`Drop`) the
+/// `secyan-crypto::Secret` zeroize-on-drop wrappers rely on.
+struct ZeroizeCanary(Arc<AtomicBool>);
+
+impl Drop for ZeroizeCanary {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Secrets are still dropped (and therefore zeroized) on the error path:
+/// a canary held across `secure_yannakakis` by each party must have its
+/// destructor run even when a mid-protocol disconnect kills the run.
+#[test]
+fn secrets_are_dropped_on_the_error_path() {
+    let inst = victim();
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let ring = inst.ring_ctx();
+    let alice_dropped = Arc::new(AtomicBool::new(false));
+    let bob_dropped = Arc::new(AtomicBool::new(false));
+    let (ac, bc) = (alice_dropped.clone(), bob_dropped.clone());
+    let plan = FaultPlan::single(Role::Alice, 4, FaultKind::Disconnect);
+    let outcome = try_run_protocol_with_faults(
+        &plan,
+        move |ch| {
+            let canary = ZeroizeCanary(ac);
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), 11);
+            secure_yannakakis(&mut sess, &qa, &ra, Role::Alice);
+            drop(canary);
+        },
+        move |ch| {
+            let canary = ZeroizeCanary(bc);
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), 12);
+            secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
+            drop(canary);
+        },
+    );
+    assert!(
+        matches!(outcome, Err(ProtocolError::Transport(_))),
+        "disconnect must surface as a typed transport error, got {outcome:?}"
+    );
+    assert!(
+        alice_dropped.load(Ordering::SeqCst),
+        "alice's secret state was leaked (not dropped) on the error path"
+    );
+    assert!(
+        bob_dropped.load(Ordering::SeqCst),
+        "bob's secret state was leaked (not dropped) on the error path"
+    );
+}

@@ -117,7 +117,11 @@ fn full_query_transcript_is_thread_count_invariant() {
 /// IKNP random-OT extension at a size crossing the parallel threshold
 /// (`OT_PAR_MIN = 4096`): both the coalesced column message and every
 /// hashed output must match byte for byte.
-fn run_iknp() -> (Vec<(secyan_crypto::Block, secyan_crypto::Block)>, Vec<secyan_crypto::Block>, Transcript) {
+fn run_iknp() -> (
+    Vec<(secyan_crypto::Block, secyan_crypto::Block)>,
+    Vec<secyan_crypto::Block>,
+    Transcript,
+) {
     const M: usize = 8192;
     let hasher = TweakHasher::default();
     let ((pairs, handle), got, _) = run_protocol_recorded(
@@ -155,7 +159,11 @@ fn run_opprf() -> (Vec<u64>, Transcript) {
     const DEGREE: usize = 8;
     let hasher = TweakHasher::default();
     let programs: Vec<Vec<(u64, u64)>> = (0..BINS as u64)
-        .map(|b| (0..4).map(|i| (b * 10 + i, b.wrapping_mul(31) ^ i)).collect())
+        .map(|b| {
+            (0..4)
+                .map(|i| (b * 10 + i, b.wrapping_mul(31) ^ i))
+                .collect()
+        })
         .collect();
     let queries: Vec<secyan_psi::opprf::PsiItem> = (0..BINS as u64)
         .map(|b| secyan_psi::opprf::PsiItem::Real(b * 10))
@@ -187,5 +195,39 @@ fn opprf_transcript_is_thread_count_invariant() {
     // The programmed points must still hit their targets.
     for (b, &o) in out_1.iter().enumerate() {
         assert_eq!(o, (b as u64).wrapping_mul(31), "bin {b} missed its target");
+    }
+}
+
+/// One *generated* differential instance (secyan-testkit) at 1 and 4
+/// threads: results and per-direction transcript bytes must be
+/// identical, composing the worker-pool determinism guarantee with the
+/// fuzzer's query families (DESIGN.md §10). Per direction because the
+/// global interleaving of the two directions is scheduler timing, not
+/// protocol content.
+#[test]
+fn generated_instance_is_thread_count_deterministic() {
+    use secyan_testkit::{run_secure, Instance, SecureRun};
+
+    fn direction_stream(run: &SecureRun, dir: Role) -> Vec<&[u8]> {
+        run.transcript
+            .iter()
+            .filter(|(r, _)| *r == dir)
+            .map(|(_, m)| m.as_slice())
+            .collect()
+    }
+
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let inst = Instance::generate(7);
+    let one = with_threads(1, || run_secure(&inst));
+    let four = with_threads(4, || run_secure(&inst));
+    assert_eq!(one.result, four.result, "{}", inst.describe());
+    assert_eq!(one.out_size, four.out_size, "{}", inst.describe());
+    for dir in [Role::Alice, Role::Bob] {
+        assert_eq!(
+            direction_stream(&one, dir),
+            direction_stream(&four, dir),
+            "{dir:?}-side transcript bytes of {} differ between 1 and 4 threads",
+            inst.describe()
+        );
     }
 }

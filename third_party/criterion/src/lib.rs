@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` 0.5 API surface this workspace's
+//! benches use. Each benchmark runs a short timed loop and prints a
+//! median-ish per-iteration time; there is no statistical machinery, no
+//! HTML report, and no command-line parsing. The point is that
+//! `cargo bench` (and `cargo test --benches`) compile and run in
+//! environments with no crates.io access; real measurements should use the
+//! genuine criterion on a networked machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-shaped hint black box. Uses the stable `std::hint` version,
+/// which is what criterion 0.5 itself forwards to on recent toolchains.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the printout).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the timed loop.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<S, O, SF: FnMut() -> S, F: FnMut(S) -> O>(
+        &mut self,
+        mut setup: SF,
+        mut f: F,
+    ) {
+        black_box(f(setup()));
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let s = setup();
+            black_box(f(s));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: &'a Config,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let iters = self.iters();
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, iters, b.elapsed);
+        self
+    }
+
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let iters = self.iters();
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, iters, b.elapsed);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        (self.sample_size.min(self.config.sample_size)).max(1) as u64
+    }
+
+    fn report(&self, id: &BenchmarkId, iters: u64, elapsed: Duration) {
+        let per_iter = elapsed.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+        let tp = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  [{n} elems/iter]"),
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                format!("  [{n} bytes/iter]")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: {per_iter:?}/iter over {iters} iters{tp}",
+            self.name
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+}
+
+/// The benchmark driver. The stand-in keeps only the knobs the workspace
+/// touches (`sample_size`); everything else is accepted and ignored.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            config: Config { sample_size: 10 },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: &self.config,
+            sample_size: self.config.sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.benchmark_group("bench")
+            .bench_function(BenchmarkId::from(id), f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
