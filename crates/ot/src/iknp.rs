@@ -149,7 +149,14 @@ impl OtSender {
     }
 
     /// Chosen-message OT on equal-length byte strings.
+    ///
+    /// An empty batch is communication-free on both sides: the receiver's
+    /// [`OtReceiver::recv_bytes`] consumes no frames for zero choices, so
+    /// sending even an empty frame here would desynchronize the wire.
     pub fn send_bytes(&mut self, ch: &mut Channel, pairs: &[(Vec<u8>, Vec<u8>)]) {
+        if pairs.is_empty() {
+            return;
+        }
         let pads = self.random(ch, pairs.len());
         let mut buf = Vec::new();
         for ((m0, m1), &(x0, x1)) in pairs.iter().zip(&pads) {
@@ -360,6 +367,37 @@ mod tests {
         }
         // Distinct instances across the two batches.
         assert_ne!(outs.0, outs.1);
+    }
+
+    #[test]
+    fn empty_batch_is_communication_free() {
+        // A zero-message batch (e.g. an OSN over a width-1 network has no
+        // switches) must put nothing on the wire in either direction: an
+        // orphan frame here desynchronizes every later message. The marker
+        // exchange after the empty batches proves the streams still align.
+        let (a, b, stats) = run_protocol(
+            |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(40), TweakHasher::Sha256);
+                let before = ch.stats().total_bytes();
+                s.send_bytes(ch, &[]);
+                s.send_blocks(ch, &[]);
+                assert_eq!(ch.stats().total_bytes(), before, "empty batch sent bytes");
+                ch.send_u64(0xA11C);
+                ch.recv_u64()
+            },
+            |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(41), TweakHasher::Sha256);
+                assert!(r.recv_bytes(ch, &[], 16).is_empty());
+                assert!(r.recv_blocks(ch, &[]).is_empty());
+                ch.send_u64(0xB0B);
+                ch.recv_u64()
+            },
+        );
+        assert_eq!(a, 0xB0B);
+        assert_eq!(b, 0xA11C);
+        assert!(stats.total_bytes() > 0); // setup + markers still flowed
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   both parties without deadlock.
 
 use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats};
-use crate::error::{try_downcast_panic, ProtocolError};
+use crate::error::{try_downcast_panic, ProtocolError, TransportError};
 use crate::fault::{fault_channel_pair, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
@@ -51,9 +51,14 @@ where
 
 /// Execute a two-party protocol, catching typed failures.
 ///
-/// Returns `Err` with the first typed [`ProtocolError`] either party
-/// raised; secrets held by the failing party are dropped (and zeroized)
-/// during its unwind. Non-typed panics are genuine bugs and propagate.
+/// Returns `Err` with a typed [`ProtocolError`] when either party fails;
+/// secrets held by the failing party are dropped (and zeroized) during
+/// its unwind. When both parties fail, the root cause is preferred: a
+/// [`TransportError::PeerClosed`] is usually the *cascade* of the peer's
+/// own unwind (dropping its endpoint closes the wires), so a
+/// non-`PeerClosed` error from either side wins over a `PeerClosed` from
+/// the other; ties keep Alice's error. Non-typed panics are genuine bugs
+/// and propagate.
 pub fn try_run_protocol<FA, FB, RA, RB>(
     alice: FA,
     bob: FB,
@@ -119,10 +124,29 @@ where
         });
         match (ra, rb) {
             (Ok(ra), Ok(rb)) => Ok((ra, rb, stats)),
-            (Err(e), _) => Err(e),
-            (_, Err(e)) => Err(e),
+            (Err(ea), Err(eb)) => Err(root_cause(ea, eb)),
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
         }
     })
+}
+
+/// Pick the diagnostic root cause when both parties fail: the party that
+/// detected the fault raises a specific error (Malformed, Truncated, …)
+/// while its peer unwinds with a cascade `PeerClosed` once the failing
+/// endpoint drops, so a non-`PeerClosed` error wins regardless of which
+/// side raised it. Ties (both specific, or both cascades) keep Alice's.
+fn root_cause(alice: ProtocolError, bob: ProtocolError) -> ProtocolError {
+    let is_cascade = |e: &ProtocolError| {
+        matches!(
+            e,
+            ProtocolError::Transport(TransportError::PeerClosed { .. })
+        )
+    };
+    if is_cascade(&alice) && !is_cascade(&bob) {
+        bob
+    } else {
+        alice
+    }
 }
 
 fn run_on<FA, FB, RA, RB>(pair: (Channel, Channel), alice: FA, bob: FB) -> (RA, RB, CommStats)
@@ -198,10 +222,9 @@ mod tests {
 
     #[test]
     fn typed_unwind_becomes_err_and_unblocks_peer() {
-        use crate::error::TransportError;
         // Alice raises a typed error while Bob is blocked waiting for her
         // message; Bob must terminate via PeerClosed, not hang, and the
-        // caller must see a typed Err.
+        // caller must see Alice's root cause, not Bob's cascade.
         let out = try_run_protocol(
             |_ch: &mut Channel| -> u64 {
                 ProtocolError::malformed("alice rejected peer input");
@@ -212,8 +235,26 @@ mod tests {
             ProtocolError::Malformed { context } => {
                 assert!(context.contains("alice rejected"));
             }
-            ProtocolError::Transport(TransportError::PeerClosed { .. }) => {}
-            other => panic!("unexpected error: {other:?}"),
+            other => panic!("cascade masked the root cause: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bobs_root_cause_preferred_over_alices_cascade() {
+        // Mirror image: Bob detects the fault while Alice blocks on recv
+        // and unwinds with a cascade PeerClosed. The caller must still see
+        // Bob's Malformed, not Alice's PeerClosed.
+        let out = try_run_protocol(
+            |ch: &mut Channel| ch.recv_u64(),
+            |_ch: &mut Channel| -> u64 {
+                ProtocolError::malformed("bob rejected declared size");
+            },
+        );
+        match out.unwrap_err() {
+            ProtocolError::Malformed { context } => {
+                assert!(context.contains("bob rejected"));
+            }
+            other => panic!("cascade masked the root cause: {other:?}"),
         }
     }
 

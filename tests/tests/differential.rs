@@ -85,9 +85,15 @@ fn mutate_annotations(inst: &Instance) -> Instance {
     let mut out = inst.clone();
     for rel in &mut out.relations {
         for a in &mut rel.annots {
-            // Odd multiplier + odd offset: a bijection on Z_{2^ℓ}, so
-            // distinct values stay distinct and most values change.
-            *a = ring.reduce(a.wrapping_mul(0x9E37_79B9).wrapping_add(0x7F4A_7C15));
+            // Odd multiplier, NO offset: a bijection on Z_{2^ℓ} that fixes
+            // zero. The paper's leakage profile legitimately reveals each
+            // row's nonzero support (reveal sizes scale with it), so a
+            // transcript-invariance mutation must preserve the zero pattern
+            // of every intermediate annotation. Multiplying all inputs by
+            // one odd constant does: every monomial at a node has uniform
+            // degree d, so each aggregate is scaled by the unit odd^d and
+            // no zero is created or destroyed anywhere in the tree.
+            *a = ring.reduce(a.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         }
     }
     out
@@ -102,7 +108,9 @@ fn relabel_keys(inst: &Instance) -> Instance {
     for rel in &mut out.relations {
         for t in &mut rel.tuples {
             for v in t.iter_mut() {
-                *v = v.wrapping_mul(2).wrapping_add(0x5EED);
+                // Odd multiplier + offset: a bijection on u64 (×2 would
+                // collapse pairs of labels and change the join structure).
+                *v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x5EED);
             }
         }
     }
