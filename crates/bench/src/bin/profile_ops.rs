@@ -14,6 +14,7 @@ use std::time::Instant;
 fn main() {
     profile_hashers();
     profile_parallel();
+    profile_online();
 
     let ring = RingCtx::new(32);
     let hasher = TweakHasher::default();
@@ -102,18 +103,37 @@ fn main() {
             let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
             let mut otr = OtReceiver::setup(ch, &mut rng, hasher);
             let x: Vec<u64> = (0..75).collect();
-            secyan_psi::psi_receiver(ch, &x, 300, ring, &mut kkrt, &mut otr, hasher)
-                .ind_shares
-                .len()
+            secyan_psi::psi_receiver(
+                ch,
+                &x,
+                300,
+                ring,
+                &mut kkrt,
+                &mut otr,
+                hasher,
+                &mut std::collections::VecDeque::new(),
+            )
+            .ind_shares
+            .len()
         },
         |ch| {
             let mut rng = StdRng::seed_from_u64(2);
             let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
             let mut ots = OtSender::setup(ch, &mut rng, hasher);
             let y: Vec<(u64, u64)> = (0..300u64).map(|i| (i, i)).collect();
-            secyan_psi::psi_sender(ch, &y, 75, ring, &mut kkrt, &mut ots, hasher, &mut rng)
-                .ind_shares
-                .len()
+            secyan_psi::psi_sender(
+                ch,
+                &y,
+                75,
+                ring,
+                &mut kkrt,
+                &mut ots,
+                hasher,
+                &mut rng,
+                &mut std::collections::VecDeque::new(),
+            )
+            .ind_shares
+            .len()
         },
     );
     println!("plain PSI 75x300: {:?}", t.elapsed());
@@ -267,6 +287,177 @@ fn profile_parallel() {
     ));
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
+}
+
+/// Cold vs. warm query latency for the offline/online phase split and
+/// write `BENCH_online.json`.
+///
+/// * `cold` — one single-phase run from nothing: session bootstrap
+///   (base OTs, KKRT OPRF seeds), all garbling, and the data-dependent
+///   work, timed end to end.
+/// * `warm` — the online phase alone against material provisioned by
+///   `run_offline` (provisioning untimed: it happens before the data
+///   arrives, which is the entire point of the split).
+///
+/// Both are measured twice: on loopback (`local_*_ms`, compute-bound) and
+/// under a declared WAN model (`cold_ms`/`warm_ms`; see
+/// [`secyan_transport::NetModel`] — every send really sleeps for its
+/// serialization plus per-round propagation delay, so the headline
+/// numbers reflect the network the split is designed for, where the
+/// offline phase's garbled tables and OT/OPRF extensions dominate the
+/// cold critical path). The model's parameters are reported in the JSON
+/// next to the numbers they shaped. Medians of `REPS` runs on a chain
+/// query whose shape the planner covers completely; byte counters come
+/// from the phase-tagged transport metering.
+fn profile_online() {
+    use secyan_core::{run_offline, run_online, secure_yannakakis, SecureQuery, Session};
+    use secyan_relation::{JoinTree, NaturalRing, Relation};
+    use secyan_transport::{run_protocol_with_net, NetModel, Role};
+
+    const REPS: usize = 5;
+    let ring = RingCtx::new(64);
+    let hasher = TweakHasher::default();
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // A 3-relation chain, scalar aggregate: R1(a) ⋈ R2(a,b) ⋈ R3(b),
+    // sizes 200/400/200, owners alternating. The reduce phase collapses it
+    // to a single survivor, so every circuit is shape-plannable.
+    let strings = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+    let (n1, n2, n3) = (24u64, 48u64, 24u64);
+    let query = SecureQuery::new(
+        vec![strings(&["a"]), strings(&["a", "b"]), strings(&["b"])],
+        vec![Role::Alice, Role::Bob, Role::Alice],
+        JoinTree::chain(3),
+        Vec::new(),
+    );
+    let nat = NaturalRing(ring);
+    let r1 = Relation::from_rows(
+        nat,
+        strings(&["a"]),
+        (0..n1).map(|i| (vec![i], i % 7 + 1)).collect(),
+    );
+    let r2 = Relation::from_rows(
+        nat,
+        strings(&["a", "b"]),
+        (0..n2).map(|i| (vec![i % n1, i % 31], i % 5 + 1)).collect(),
+    );
+    let r3 = Relation::from_rows(
+        nat,
+        strings(&["b"]),
+        (0..n3).map(|i| (vec![i % 31], i % 3 + 1)).collect(),
+    );
+    let sizes = [n1 as usize, n2 as usize, n3 as usize];
+    let alice_rels = vec![Some(r1), None, Some(r3)];
+    let bob_rels = vec![None, Some(r2), None];
+
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+
+    // One cold + one warm sweep under an optional network model. Returns
+    // (cold_ms, warm_ms, stats-of-last-warm-run, cold_bytes, cold_rounds).
+    let sweep = |net: Option<NetModel>, reps: usize, seed0: u64| {
+        let mut cold_runs = Vec::new();
+        let mut cold_bytes = 0u64;
+        let mut cold_rounds = 0u64;
+        for rep in 0..reps {
+            let (qa, qb) = (query.clone(), query.clone());
+            let (ra, rb) = (alice_rels.clone(), bob_rels.clone());
+            let seed = seed0 + rep as u64;
+            let fa = move |ch: &mut secyan_transport::Channel| {
+                let mut sess = Session::new(ch, ring, hasher, seed);
+                secure_yannakakis(&mut sess, &qa, &ra, Role::Alice).values
+            };
+            let fb = move |ch: &mut secyan_transport::Channel| {
+                let mut sess = Session::new(ch, ring, hasher, seed + 1000);
+                secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
+            };
+            let t = Instant::now();
+            let (v, _, stats) = match net {
+                Some(m) => run_protocol_with_net(m, fa, fb),
+                None => run_protocol(fa, fb),
+            };
+            cold_runs.push(t.elapsed().as_secs_f64() * 1e3);
+            cold_bytes = stats.total_bytes();
+            cold_rounds = stats.rounds;
+            std::hint::black_box(v);
+        }
+        // Warm: provision offline, then time only the online phase. The
+        // timer is started by the party driving the run once provisioning
+        // is done on both sides (run_offline returns in lockstep).
+        let mut warm_runs = Vec::new();
+        let mut warm_stats = secyan_transport::CommStats::default();
+        for rep in 0..reps {
+            let (qa, qb) = (query.clone(), query.clone());
+            let (ra, rb) = (alice_rels.clone(), bob_rels.clone());
+            let (s2, sz) = (sizes, sizes);
+            let seed = seed0 + 2000 + rep as u64;
+            let fa = move |ch: &mut secyan_transport::Channel| {
+                let m = run_offline(ch, &qa, &sz, Role::Alice, ring, hasher, seed);
+                let t = Instant::now();
+                let v = run_online(ch, &qa, &ra, Role::Alice, ring, hasher, m).values;
+                (v, t.elapsed().as_secs_f64() * 1e3)
+            };
+            let fb = move |ch: &mut secyan_transport::Channel| {
+                let m = run_offline(ch, &qb, &s2, Role::Alice, ring, hasher, seed + 1000);
+                run_online(ch, &qb, &rb, Role::Alice, ring, hasher, m);
+            };
+            let ((v, ms), _, stats) = match net {
+                Some(m) => run_protocol_with_net(m, fa, fb),
+                None => run_protocol(fa, fb),
+            };
+            warm_runs.push(ms);
+            warm_stats = stats;
+            std::hint::black_box(v);
+        }
+        (
+            median(cold_runs),
+            median(warm_runs),
+            warm_stats,
+            cold_bytes,
+            cold_rounds,
+        )
+    };
+
+    let (local_cold_ms, local_warm_ms, stats, cold_bytes, cold_rounds) = sweep(None, REPS, 1000);
+    let offline_bytes = stats.offline_bytes;
+    let online_bytes = stats.online_bytes;
+    let online_rounds = stats.online_rounds;
+    let local_speedup = local_cold_ms / local_warm_ms;
+    println!(
+        "online phase split (loopback): cold {local_cold_ms:.1} ms, warm {local_warm_ms:.1} ms \
+         ({local_speedup:.1}x), cold {cold_bytes} B / {cold_rounds} rounds, \
+         offline {offline_bytes} B / online {online_bytes} B ({online_rounds} rounds)"
+    );
+
+    // The headline numbers: the same sweep under a declared WAN. The cold
+    // path must push every garbled table and OT/OPRF extension through the
+    // modeled link at query time; the warm path already paid for those
+    // offline.
+    let net = NetModel::wan(20);
+    let (cold_ms, warm_ms, _, _, _) = sweep(Some(net), 3, 5000);
+    let speedup = cold_ms / warm_ms;
+    println!(
+        "online phase split ({} Mbit/s, {} ms one-way): cold {cold_ms:.1} ms, \
+         warm {warm_ms:.1} ms ({speedup:.1}x)",
+        net.bandwidth_bits_per_sec / 1_000_000,
+        net.one_way_latency_us as f64 / 1e3
+    );
+    let json = format!(
+        "{{\n  \"cpus\": {cpus},\n  \"query\": \"chain3 sizes {n1}/{n2}/{n3} scalar sum, 64-bit ring\",\n  \
+\"network_model\": {{\"bandwidth_bits_per_sec\": {bw}, \"one_way_latency_us\": {lat}}},\n  \
+\"reps\": {REPS},\n  \"cold_ms\": {cold_ms:.2},\n  \"warm_ms\": {warm_ms:.2},\n  \
+\"speedup\": {speedup:.2},\n  \"local_cold_ms\": {local_cold_ms:.2},\n  \
+\"local_warm_ms\": {local_warm_ms:.2},\n  \"local_speedup\": {local_speedup:.2},\n  \
+\"cold_bytes\": {cold_bytes},\n  \"cold_rounds\": {cold_rounds},\n  \
+\"offline_bytes\": {offline_bytes},\n  \"online_bytes\": {online_bytes},\n  \
+\"online_rounds\": {online_rounds}\n}}\n",
+        bw = net.bandwidth_bits_per_sec,
+        lat = net.one_way_latency_us,
+    );
+    std::fs::write("BENCH_online.json", &json).expect("write BENCH_online.json");
+    println!("wrote BENCH_online.json");
 }
 
 /// Time the tweakable hashers (scalar vs batched, plus 512-bit row

@@ -14,7 +14,7 @@
 use crate::session::Session;
 use crate::srel::SecureRelation;
 use secyan_circuit::{u64_to_bits, BitRef, Builder, Circuit, Word};
-use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
+use secyan_gc::{with_shared_outputs, SharedOutputSpec};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
 
 /// Which projection-aggregation to compute.
@@ -31,7 +31,7 @@ pub enum AggKind {
 /// Inputs (after the shared-output masks): garbler's N−1 equality bits and
 /// N share words, then the evaluator's N share words. Outputs: N shared
 /// words in sorted order, nonzero only at group ends.
-fn merge_circuit(n: usize, ell: usize, kind: AggKind) -> (Circuit, SharedOutputSpec) {
+pub(crate) fn merge_circuit(n: usize, ell: usize, kind: AggKind) -> (Circuit, SharedOutputSpec) {
     let spec = SharedOutputSpec::uniform(n, ell);
     let circuit = with_shared_outputs(&spec, |b| {
         let eq_bits: Vec<BitRef> = (0..n.saturating_sub(1)).map(|_| b.alice_input()).collect();
@@ -137,15 +137,7 @@ pub fn oblivious_project_agg(
         for &s in &my_sorted {
             my_bits.extend(u64_to_bits(s, ell));
         }
-        let out_shares = garble_shared(
-            sess.ch,
-            &circuit,
-            &spec,
-            &my_bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-        );
+        let out_shares = sess.garble_shared(&circuit, &spec, &my_bits);
         // Build the output relation: group-end rows are real, others dummy.
         let mut out_tuples = Vec::with_capacity(n);
         let mut out_dummy = Vec::with_capacity(n);
@@ -178,14 +170,7 @@ pub fn oblivious_project_agg(
         for &s in &my_sorted {
             my_bits.extend(u64_to_bits(s, ell));
         }
-        let out_shares = evaluate_shared(
-            sess.ch,
-            &circuit,
-            &spec,
-            &my_bits,
-            &mut sess.ot_recv,
-            sess.hasher,
-        );
+        let out_shares = sess.evaluate_shared(&circuit, &spec, &my_bits);
         SecureRelation {
             schema: attrs.to_vec(),
             owner: rel.owner,

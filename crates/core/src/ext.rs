@@ -14,7 +14,7 @@
 use crate::session::Session;
 use rand::Rng;
 use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit};
-use secyan_gc::{evaluate_circuit, garble_circuit, OutputMode};
+use secyan_gc::OutputMode;
 use secyan_relation::{NaturalRing, Relation, Semiring};
 use secyan_transport::Role;
 
@@ -122,28 +122,14 @@ pub fn reveal_ratios(
         bits.extend(u64_to_bits(s, ell));
     }
     if sess.role() == receiver {
-        let out = evaluate_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_recv,
-            sess.hasher,
-            OutputMode::RevealToEvaluator,
-        )
-        .expect("reveals to evaluator");
+        let out = sess
+            .evaluate(&circuit, &bits, OutputMode::RevealToEvaluator)
+            .expect("reveals to evaluator");
         (0..n)
             .map(|i| bits_to_u64(&out[i * ell..(i + 1) * ell]))
             .collect()
     } else {
-        garble_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-            OutputMode::RevealToEvaluator,
-        );
+        sess.garble(&circuit, &bits, OutputMode::RevealToEvaluator);
         Vec::new()
     }
 }

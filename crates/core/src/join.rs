@@ -11,10 +11,7 @@
 use crate::session::Session;
 use crate::srel::SecureRelation;
 use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit, Word};
-use secyan_gc::{
-    evaluate_circuit, evaluate_shared, garble_circuit, garble_shared, with_shared_outputs,
-    OutputMode, SharedOutputSpec,
-};
+use secyan_gc::{with_shared_outputs, OutputMode, SharedOutputSpec};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
 use secyan_transport::{Role, WriteExt};
 use std::collections::HashMap;
@@ -38,7 +35,12 @@ pub struct JoinOutput {
 /// tuple words gated by `ind` (only when the receiver does not own the
 /// tuples). Garbler = relation owner when it is not the receiver,
 /// otherwise the other party; outputs reveal to the receiver-evaluator.
-fn reveal_circuit(n: usize, ell: usize, attrs: usize, owner_is_garbler: bool) -> Circuit {
+pub(crate) fn reveal_circuit(
+    n: usize,
+    ell: usize,
+    attrs: usize,
+    owner_is_garbler: bool,
+) -> Circuit {
     let mut b = Builder::new();
     // Garbler inputs: v-shares, plus tuple words when the garbler owns them.
     let va: Vec<Word> = (0..n).map(|_| b.alice_word(ell)).collect();
@@ -87,15 +89,9 @@ fn reveal_support(
         for &s in &rel.annot_shares {
             bits.extend(u64_to_bits(s, ell));
         }
-        let out = evaluate_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_recv,
-            sess.hasher,
-            OutputMode::RevealToEvaluator,
-        )
-        .expect("reveals to evaluator");
+        let out = sess
+            .evaluate(&circuit, &bits, OutputMode::RevealToEvaluator)
+            .expect("reveals to evaluator");
         let stride = 1 + if owner_is_garbler { attrs * 64 } else { 0 };
         let mut rows = Vec::with_capacity(n);
         let my_tuples = rel.tuples.clone();
@@ -131,15 +127,7 @@ fn reveal_support(
                 }
             }
         }
-        garble_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-            OutputMode::RevealToEvaluator,
-        );
+        sess.garble(&circuit, &bits, OutputMode::RevealToEvaluator);
         None
     }
 }
@@ -321,51 +309,22 @@ pub fn oblivious_join(
     }
     let (annot_shares, values) = if i_am_receiver {
         if reveal {
-            let out = evaluate_circuit(
-                sess.ch,
-                &circuit,
-                &bits,
-                &mut sess.ot_recv,
-                sess.hasher,
-                OutputMode::RevealToEvaluator,
-            )
-            .expect("reveals to evaluator");
+            let out = sess
+                .evaluate(&circuit, &bits, OutputMode::RevealToEvaluator)
+                .expect("reveals to evaluator");
             let values = (0..out_size)
                 .map(|i| bits_to_u64(&out[i * ell..(i + 1) * ell]))
                 .collect();
             (Vec::new(), values)
         } else {
-            let shares = evaluate_shared(
-                sess.ch,
-                &circuit,
-                &spec.expect("shared mode"),
-                &bits,
-                &mut sess.ot_recv,
-                sess.hasher,
-            );
+            let shares = sess.evaluate_shared(&circuit, &spec.expect("shared mode"), &bits);
             (shares, Vec::new())
         }
     } else if reveal {
-        garble_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-            OutputMode::RevealToEvaluator,
-        );
+        sess.garble(&circuit, &bits, OutputMode::RevealToEvaluator);
         (Vec::new(), Vec::new())
     } else {
-        let shares = garble_shared(
-            sess.ch,
-            &circuit,
-            &spec.expect("shared mode"),
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-        );
+        let shares = sess.garble_shared(&circuit, &spec.expect("shared mode"), &bits);
         (shares, Vec::new())
     };
     JoinOutput {

@@ -28,16 +28,20 @@
 pub mod agg;
 pub mod ext;
 pub mod join;
+pub mod preproc;
 pub mod protocol;
 pub mod query;
 pub mod semijoin;
 pub mod session;
+pub mod shape;
 pub mod srel;
 
+pub use preproc::{run_offline, run_online, run_online_pooled, PreprocPool, QueryMaterial};
 pub use protocol::{secure_yannakakis, QueryResult};
 pub use query::SecureQuery;
 /// Intra-party data parallelism (deterministic worker pool); see the
 /// `secyan-par` crate and DESIGN.md §9.
 pub use secyan_par as par;
 pub use session::Session;
+pub use shape::{PlannedCircuit, QueryShape, ShapeKey};
 pub use srel::SecureRelation;

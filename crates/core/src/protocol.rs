@@ -23,7 +23,7 @@ use crate::semijoin::{oblivious_reduce_join, oblivious_semijoin};
 use crate::session::Session;
 use crate::srel::SecureRelation;
 use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit};
-use secyan_gc::{evaluate_circuit, garble_circuit, OutputMode};
+use secyan_gc::OutputMode;
 use secyan_relation::{NaturalRing, Relation};
 use secyan_transport::Role;
 
@@ -203,7 +203,7 @@ fn reduce_and_semijoin(
 
 /// Bottom-up fold order over the surviving nodes, starting from the
 /// deepest leaf so every prefix of the fold is connected in the tree.
-fn fold_order(query: &SecureQuery, survivors: &[usize]) -> Vec<usize> {
+pub(crate) fn fold_order(query: &SecureQuery, survivors: &[usize]) -> Vec<usize> {
     let mut order: Vec<usize> = query
         .tree
         .top_down()
@@ -231,15 +231,9 @@ fn reveal_result(sess: &mut Session, rel: &mut SecureRelation, receiver: Role) -
         for &s in &rel.annot_shares {
             bits.extend(u64_to_bits(s, ell));
         }
-        let out = evaluate_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_recv,
-            sess.hasher,
-            OutputMode::RevealToEvaluator,
-        )
-        .expect("reveals to evaluator");
+        let out = sess
+            .evaluate(&circuit, &bits, OutputMode::RevealToEvaluator)
+            .expect("reveals to evaluator");
         let stride = ell + if owner_is_garbler { attrs * 64 } else { 0 };
         let mut tuples = Vec::new();
         let mut values = Vec::new();
@@ -280,15 +274,7 @@ fn reveal_result(sess: &mut Session, rel: &mut SecureRelation, receiver: Role) -
                 }
             }
         }
-        garble_circuit(
-            sess.ch,
-            &circuit,
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-            OutputMode::RevealToEvaluator,
-        );
+        sess.garble(&circuit, &bits, OutputMode::RevealToEvaluator);
         QueryResult {
             schema: rel.schema.clone(),
             tuples: Vec::new(),
@@ -302,7 +288,12 @@ fn reveal_result(sess: &mut Session, rel: &mut SecureRelation, receiver: Role) -
 /// `v ≠ 0` when the garbler owns the tuples. Zero-valued rows are
 /// indistinguishable from dummies, exactly as the paper notes (a zero
 /// aggregate contributes nothing to the result).
-fn reveal_values_circuit(n: usize, ell: usize, attrs: usize, owner_is_garbler: bool) -> Circuit {
+pub(crate) fn reveal_values_circuit(
+    n: usize,
+    ell: usize,
+    attrs: usize,
+    owner_is_garbler: bool,
+) -> Circuit {
     let mut b = Builder::new();
     let va: Vec<_> = (0..n).map(|_| b.alice_word(ell)).collect();
     let ta: Vec<Vec<_>> = (0..n)

@@ -20,7 +20,7 @@ use crate::agg::{oblivious_project_agg, AggKind};
 use crate::session::Session;
 use crate::srel::{dummy_key, SecureRelation};
 use secyan_circuit::{u64_to_bits, Circuit, Word};
-use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
+use secyan_gc::{with_shared_outputs, SharedOutputSpec};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
 use secyan_psi::{
     psi_receiver, psi_sender, shared_payload_psi_receiver, shared_payload_psi_sender,
@@ -31,7 +31,7 @@ use std::collections::HashMap;
 /// `v_plain`, the garbler (the `R_F` owner) feeds v_i in the clear (§6.5);
 /// otherwise v_i enters as shares from both parties. z_i always enters as
 /// shares.
-fn product_circuit(n: usize, ell: usize, v_plain: bool) -> (Circuit, SharedOutputSpec) {
+pub(crate) fn product_circuit(n: usize, ell: usize, v_plain: bool) -> (Circuit, SharedOutputSpec) {
     let spec = SharedOutputSpec::uniform(n, ell);
     let circuit = with_shared_outputs(&spec, |b| {
         let va: Vec<Word> = (0..n).map(|_| b.alice_word(ell)).collect();
@@ -80,15 +80,7 @@ fn run_product(
         for &z in my_z {
             bits.extend(u64_to_bits(z, ell));
         }
-        garble_shared(
-            sess.ch,
-            &circuit,
-            &spec,
-            &bits,
-            &mut sess.ot_send,
-            sess.hasher,
-            &mut sess.rng,
-        )
+        sess.garble_shared(&circuit, &spec, &bits)
     } else {
         if !v_plain {
             for &v in my_v {
@@ -98,14 +90,7 @@ fn run_product(
         for &z in my_z {
             bits.extend(u64_to_bits(z, ell));
         }
-        evaluate_shared(
-            sess.ch,
-            &circuit,
-            &spec,
-            &bits,
-            &mut sess.ot_recv,
-            sess.hasher,
-        )
+        sess.evaluate_shared(&circuit, &spec, &bits)
     }
 }
 
@@ -209,6 +194,7 @@ pub fn oblivious_reduce_join(
                     &mut sess.kkrt_recv,
                     &mut sess.ot_recv,
                     sess.hasher,
+                    &mut sess.gc_eval,
                 )
             } else {
                 shared_payload_psi_receiver(
@@ -221,6 +207,7 @@ pub fn oblivious_reduce_join(
                     &mut sess.ot_send,
                     sess.hasher,
                     &mut sess.rng,
+                    &mut sess.gc_eval,
                 )
             };
             let cuckoo = psi.cuckoo.as_ref().expect("receiver side");
@@ -270,6 +257,7 @@ pub fn oblivious_reduce_join(
                     &mut sess.ot_send,
                     sess.hasher,
                     &mut sess.rng,
+                    &mut sess.gc_garble,
                 )
             } else {
                 shared_payload_psi_sender(
@@ -283,6 +271,7 @@ pub fn oblivious_reduce_join(
                     &mut sess.ot_recv,
                     sess.hasher,
                     &mut sess.rng,
+                    &mut sess.gc_garble,
                 )
             };
             shared_oep_other(

@@ -2,9 +2,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use secyan_circuit::Circuit;
 use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_gc::{
+    evaluate_circuit, evaluate_online, evaluate_shared, evaluate_shared_online, garble_circuit,
+    garble_online, garble_shared, garble_shared_online, take_eval, take_garble, EvalMaterial,
+    GarbleMaterial, OutputMode, SharedOutputSpec,
+};
 use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
 use secyan_transport::{Channel, ProtocolError, ReadExt, Role};
+use std::collections::VecDeque;
 
 /// Upper bound on any size a peer can declare for a relation or join
 /// output. Instances this workspace evaluates are far smaller; anything
@@ -39,6 +46,12 @@ pub struct Session<'a> {
     pub ot_recv: OtReceiver,
     pub kkrt_send: KkrtSender,
     pub kkrt_recv: KkrtReceiver,
+    /// Pre-garbled circuits waiting to be consumed (this party garbles),
+    /// in plan order. Empty outside the offline/online split.
+    pub gc_garble: VecDeque<GarbleMaterial>,
+    /// Pre-received garbled tables waiting to be consumed (this party
+    /// evaluates), in plan order.
+    pub gc_eval: VecDeque<EvalMaterial>,
 }
 
 impl<'a> Session<'a> {
@@ -77,6 +90,8 @@ impl<'a> Session<'a> {
             ot_recv,
             kkrt_send,
             kkrt_recv,
+            gc_garble: VecDeque::new(),
+            gc_eval: VecDeque::new(),
         }
     }
 
@@ -93,6 +108,130 @@ impl<'a> Session<'a> {
     /// Convenience: a fresh random u64 (dummy keys etc.).
     pub fn random_u64(&mut self) -> u64 {
         self.rng.gen()
+    }
+
+    /// Garble `circuit`, consuming pre-garbled offline material when the
+    /// front of the plan matches (by circuit digest), else inline.
+    ///
+    /// The pooled-vs-inline decision is symmetric across the two parties:
+    /// both plan the same public circuit sequence offline, so their deque
+    /// fronts carry the same digest and both fall back together when the
+    /// online driver runs a circuit the planner did not foresee (e.g. the
+    /// data-dependent full-join product tree).
+    pub fn garble(
+        &mut self,
+        circuit: &Circuit,
+        my_inputs: &[bool],
+        mode: OutputMode,
+    ) -> Option<Vec<bool>> {
+        match take_garble(&mut self.gc_garble, circuit) {
+            Some(material) => garble_online(
+                self.ch,
+                circuit,
+                material,
+                my_inputs,
+                &mut self.ot_send,
+                mode,
+            ),
+            None => garble_circuit(
+                self.ch,
+                circuit,
+                my_inputs,
+                &mut self.ot_send,
+                self.hasher,
+                &mut self.rng,
+                mode,
+            ),
+        }
+    }
+
+    /// Evaluate `circuit`, consuming pre-received tables when the front of
+    /// the plan matches (see [`Session::garble`] for the symmetry
+    /// argument).
+    pub fn evaluate(
+        &mut self,
+        circuit: &Circuit,
+        my_inputs: &[bool],
+        mode: OutputMode,
+    ) -> Option<Vec<bool>> {
+        match take_eval(&mut self.gc_eval, circuit) {
+            Some(material) => evaluate_online(
+                self.ch,
+                circuit,
+                material,
+                my_inputs,
+                &mut self.ot_recv,
+                self.hasher,
+                mode,
+            ),
+            None => evaluate_circuit(
+                self.ch,
+                circuit,
+                my_inputs,
+                &mut self.ot_recv,
+                self.hasher,
+                mode,
+            ),
+        }
+    }
+
+    /// Shared-output garbling through the offline plan (see
+    /// [`Session::garble`]).
+    pub fn garble_shared(
+        &mut self,
+        circuit: &Circuit,
+        spec: &SharedOutputSpec,
+        my_inputs: &[bool],
+    ) -> Vec<u64> {
+        match take_garble(&mut self.gc_garble, circuit) {
+            Some(material) => garble_shared_online(
+                self.ch,
+                circuit,
+                material,
+                spec,
+                my_inputs,
+                &mut self.ot_send,
+                &mut self.rng,
+            ),
+            None => garble_shared(
+                self.ch,
+                circuit,
+                spec,
+                my_inputs,
+                &mut self.ot_send,
+                self.hasher,
+                &mut self.rng,
+            ),
+        }
+    }
+
+    /// Shared-output evaluation through the offline plan (see
+    /// [`Session::evaluate`]).
+    pub fn evaluate_shared(
+        &mut self,
+        circuit: &Circuit,
+        spec: &SharedOutputSpec,
+        my_inputs: &[bool],
+    ) -> Vec<u64> {
+        match take_eval(&mut self.gc_eval, circuit) {
+            Some(material) => evaluate_shared_online(
+                self.ch,
+                circuit,
+                material,
+                spec,
+                my_inputs,
+                &mut self.ot_recv,
+                self.hasher,
+            ),
+            None => evaluate_shared(
+                self.ch,
+                circuit,
+                spec,
+                my_inputs,
+                &mut self.ot_recv,
+                self.hasher,
+            ),
+        }
     }
 }
 

@@ -1,0 +1,397 @@
+//! Query shapes: the public skeleton an offline phase can precompute for.
+//!
+//! Everything the secure Yannakakis driver *does* — which operator runs on
+//! which node, which circuits get garbled, how much OT each step draws —
+//! is a function of the public plan: the join tree, the schemas, the
+//! per-relation sizes, the annotation ring width, and who receives the
+//! result. That is the protocol's obliviousness property, and it is also
+//! exactly what makes an offline/online split possible: two queries with
+//! the same *shape* consume interchangeable precomputed material, no
+//! matter how their private tuples differ.
+//!
+//! [`QueryShape::derive`] canonicalizes a plan into a [`ShapeKey`] (the
+//! pool index) and replays the driver's control flow over size-only
+//! stand-ins to produce the ordered list of garbled circuits the online
+//! run will execute ([`QueryShape::planned`]) plus a deterministic OT
+//! budget. The replay covers the reduce and semijoin phases and the
+//! reveal step — everything whose circuit dimensions are fixed by the
+//! shape. The full-join product tree is *excluded* deliberately: its row
+//! count is the data-dependent join output size, which is only announced
+//! online. Unplanned circuits are harmless — consumption is digest-checked
+//! ([`secyan_gc::circuit_digest`]) and falls back to inline garbling
+//! symmetrically on both parties.
+
+use crate::agg::{merge_circuit, AggKind};
+use crate::join::reveal_circuit;
+use crate::protocol::{fold_order, reveal_values_circuit};
+use crate::query::SecureQuery;
+use crate::semijoin::product_circuit;
+use secyan_circuit::Circuit;
+use secyan_crypto::sha256::{digest_to_u64, Sha256};
+use secyan_psi::{k_circuit, matching_circuit, psi_params};
+use secyan_transport::Role;
+
+/// Canonical 64-bit fingerprint of a query shape: join-tree topology,
+/// schemas, owners, per-relation sizes, annotation bit width, and the
+/// receiving party. Two runs with equal keys execute byte-identical
+/// public transcript skeletons and can share precomputed material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeKey(pub u64);
+
+impl ShapeKey {
+    /// Compute the key alone, without planning circuits — the cheap lookup
+    /// path for pool queries ([`crate::preproc::PreprocPool`]).
+    pub fn of(query: &SecureQuery, sizes: &[usize], receiver: Role, ell: usize) -> ShapeKey {
+        assert_eq!(sizes.len(), query.len(), "one size per relation");
+        shape_key(query, sizes, receiver, ell)
+    }
+}
+
+/// One garbled circuit the online driver will run, in execution order.
+#[derive(Debug, Clone)]
+pub struct PlannedCircuit {
+    /// The exact circuit (the planner calls the same builders as the
+    /// online operators, so the digests match).
+    pub circuit: Circuit,
+    /// Which party garbles it; the other evaluates.
+    pub garbler: Role,
+}
+
+/// A derived query shape: the pool key, the plannable circuit schedule,
+/// and the OT bank budget.
+#[derive(Debug, Clone)]
+pub struct QueryShape {
+    pub key: ShapeKey,
+    /// Garbled circuits of the reduce/semijoin/reveal steps, in the order
+    /// the online driver executes them.
+    pub planned: Vec<PlannedCircuit>,
+    /// Number of offline random OTs to bank per direction. A deterministic
+    /// (deliberately generous) function of the shape, so both parties
+    /// always build equal-sized banks and their pooled-vs-inline decisions
+    /// stay mirrored.
+    pub ot_budget: usize,
+    /// Number of KKRT OPRF instances to bank per direction (sender and
+    /// receiver extensions both sized to this). Exact for the planned
+    /// cross-party joins: two OPPRFs of `bins` instances each per join.
+    /// Like the OT budget, it is a function of public sizes only, so both
+    /// parties' banked-vs-inline decisions stay mirrored.
+    pub kkrt_budget: usize,
+}
+
+impl QueryShape {
+    /// Derive the shape of running `query` with the given public
+    /// per-relation sizes, revealing to `receiver`, over an `ell`-bit
+    /// annotation ring. Both parties must call this with identical
+    /// arguments (all public), and the result is deterministic.
+    pub fn derive(query: &SecureQuery, sizes: &[usize], receiver: Role, ell: usize) -> QueryShape {
+        assert_eq!(sizes.len(), query.len(), "one size per relation");
+        let key = shape_key(query, sizes, receiver, ell);
+        let (planned, kkrt_budget) = plan_circuits(query, sizes, receiver, ell);
+        let ot_budget = ot_budget(sizes, &planned);
+        QueryShape {
+            key,
+            planned,
+            ot_budget,
+            kkrt_budget,
+        }
+    }
+}
+
+/// Hash every public component of the plan into the pool key. Length
+/// prefixes keep the encoding injective.
+fn shape_key(query: &SecureQuery, sizes: &[usize], receiver: Role, ell: usize) -> ShapeKey {
+    let mut h = Sha256::new();
+    h.update(b"secyan-shape-v1");
+    h.update(&(ell as u64).to_le_bytes());
+    h.update(&[receiver.is_alice() as u8]);
+    h.update(&(query.len() as u64).to_le_bytes());
+    for (i, &size) in sizes.iter().enumerate().take(query.len()) {
+        h.update(&[query.owners[i].is_alice() as u8]);
+        h.update(&(size as u64).to_le_bytes());
+        h.update(&(query.schemas[i].len() as u64).to_le_bytes());
+        for a in &query.schemas[i] {
+            h.update(&(a.len() as u64).to_le_bytes());
+            h.update(a.as_bytes());
+        }
+        // Parent index (or the node's own index for the root) pins the
+        // tree topology.
+        let p = query.tree.parent(i).unwrap_or(i);
+        h.update(&(p as u64).to_le_bytes());
+    }
+    h.update(&(query.output.len() as u64).to_le_bytes());
+    for a in &query.output {
+        h.update(&(a.len() as u64).to_le_bytes());
+        h.update(a.as_bytes());
+    }
+    ShapeKey(digest_to_u64(&h.finalize()))
+}
+
+/// Size-only stand-in for a [`crate::srel::SecureRelation`]: exactly the
+/// fields the driver's control flow reads.
+#[derive(Clone)]
+struct ShapeRel {
+    schema: Vec<String>,
+    owner: Role,
+    size: usize,
+    is_plain: bool,
+}
+
+/// Replays the operator plumbing of the online operators, recording every
+/// circuit they will build. Each method must mirror its operator's
+/// control flow *exactly* — same builders, same parameters, same
+/// `is_plain` transitions — or the digests diverge (safe, but wasteful).
+struct Planner {
+    ell: usize,
+    planned: Vec<PlannedCircuit>,
+    /// KKRT OPRF instances the planned PSIs will consume (per direction).
+    kkrt_instances: usize,
+}
+
+impl Planner {
+    /// Mirror of [`crate::agg::oblivious_project_agg`].
+    fn project_agg(&mut self, rel: &ShapeRel, attrs: &[String], kind: AggKind) -> ShapeRel {
+        if rel.is_plain {
+            // §6.5 local path: no communication, stays plain.
+            return ShapeRel {
+                schema: attrs.to_vec(),
+                owner: rel.owner,
+                size: rel.size,
+                is_plain: true,
+            };
+        }
+        if rel.size > 0 {
+            let (circuit, _) = merge_circuit(rel.size, self.ell, kind);
+            self.planned.push(PlannedCircuit {
+                circuit,
+                garbler: rel.owner,
+            });
+        }
+        ShapeRel {
+            schema: attrs.to_vec(),
+            owner: rel.owner,
+            size: rel.size,
+            is_plain: false,
+        }
+    }
+
+    /// Mirror of [`crate::semijoin::oblivious_reduce_join`]. Cross-party
+    /// joins run a circuit PSI first: the matching circuit (plain `R_G`
+    /// payloads, §6.5) or the k-index circuit (shared payloads, §5.5),
+    /// garbled by the `R_G` owner, fed by two OPPRFs of `bins` KKRT
+    /// instances each. Then the product circuit over `rf`'s rows, garbled
+    /// by the `R_F` owner. The OEPs inside draw from the OT banks, not the
+    /// circuit schedule.
+    fn reduce_join(&mut self, rf: &ShapeRel, rg: &ShapeRel) -> ShapeRel {
+        if rf.owner != rg.owner {
+            let params = psi_params(rf.size, rg.size);
+            let circuit = if rg.is_plain {
+                matching_circuit(params.bins, self.ell).0
+            } else {
+                k_circuit(params.bins, self.ell)
+            };
+            self.planned.push(PlannedCircuit {
+                circuit,
+                garbler: rg.owner,
+            });
+            self.kkrt_instances += 2 * params.bins;
+        }
+        let (circuit, _) = product_circuit(rf.size, self.ell, rf.is_plain);
+        self.planned.push(PlannedCircuit {
+            circuit,
+            garbler: rf.owner,
+        });
+        ShapeRel {
+            schema: rf.schema.clone(),
+            owner: rf.owner,
+            size: rf.size,
+            is_plain: false,
+        }
+    }
+
+    /// Mirror of [`crate::semijoin::oblivious_semijoin`].
+    fn semijoin(&mut self, rf: &ShapeRel, rg: &ShapeRel) -> ShapeRel {
+        let join_attrs: Vec<String> = rf
+            .schema
+            .iter()
+            .filter(|a| rg.schema.contains(a))
+            .cloned()
+            .collect();
+        let support = self.project_agg(rg, &join_attrs, AggKind::Support);
+        self.reduce_join(rf, &support)
+    }
+}
+
+/// Replay [`crate::protocol::secure_yannakakis`]'s public control flow
+/// over size-only relations, collecting the circuit schedule.
+fn plan_circuits(
+    query: &SecureQuery,
+    sizes: &[usize],
+    receiver: Role,
+    ell: usize,
+) -> (Vec<PlannedCircuit>, usize) {
+    let tree = &query.tree;
+    let root = tree.root();
+    let mut p = Planner {
+        ell,
+        planned: Vec::new(),
+        kkrt_instances: 0,
+    };
+    let mut rels: Vec<ShapeRel> = (0..query.len())
+        .map(|i| ShapeRel {
+            schema: query.schemas[i].clone(),
+            owner: query.owners[i],
+            size: sizes[i],
+            is_plain: true,
+        })
+        .collect();
+    let mut removed = vec![false; query.len()];
+    let mut kept_below = vec![false; query.len()];
+
+    // Phase 1: reduce — mirrors `reduce_and_semijoin` line for line.
+    for i in tree.bottom_up() {
+        if i == root {
+            let f_prime: Vec<String> = rels[i]
+                .schema
+                .iter()
+                .filter(|a| query.output.contains(a))
+                .cloned()
+                .collect();
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = p.project_agg(&rels[i], &f_prime, AggKind::Sum);
+            }
+            continue;
+        }
+        let parent = tree.parent(i).expect("non-root");
+        let parent_schema = rels[parent].schema.clone();
+        let f_prime: Vec<String> = rels[i]
+            .schema
+            .iter()
+            .filter(|a| query.output.contains(a) || parent_schema.contains(a))
+            .cloned()
+            .collect();
+        let mergeable = !kept_below[i] && f_prime.iter().all(|a| parent_schema.contains(a));
+        if mergeable {
+            let folded = p.project_agg(&rels[i], &f_prime, AggKind::Sum);
+            rels[parent] = p.reduce_join(&rels[parent].clone(), &folded);
+            removed[i] = true;
+        } else {
+            if f_prime.len() != rels[i].schema.len() {
+                rels[i] = p.project_agg(&rels[i], &f_prime, AggKind::Sum);
+            }
+            kept_below[parent] = true;
+        }
+    }
+    let survivors: Vec<usize> = (0..query.len()).filter(|&i| !removed[i]).collect();
+
+    // Phase 2: semijoin sweeps.
+    if survivors.len() > 1 {
+        for i in tree.bottom_up() {
+            if removed[i] || i == root {
+                continue;
+            }
+            let parent = tree.parent(i).expect("non-root");
+            rels[parent] = p.semijoin(&rels[parent].clone(), &rels[i].clone());
+        }
+        for i in tree.top_down() {
+            if removed[i] || i == root {
+                continue;
+            }
+            let parent = tree.parent(i).expect("non-root");
+            rels[i] = p.semijoin(&rels[i].clone(), &rels[parent].clone());
+        }
+    }
+
+    // Phase 3. Single survivor: the direct reveal circuit. Multiple
+    // survivors: one support-reveal circuit per folded relation; the
+    // product tree that follows runs at the data-dependent join output
+    // size and cannot be planned (online falls back inline).
+    if survivors.len() == 1 {
+        let r = &rels[survivors[0]];
+        let owner_is_garbler = r.owner != receiver;
+        p.planned.push(PlannedCircuit {
+            circuit: reveal_values_circuit(r.size, ell, r.schema.len(), owner_is_garbler),
+            garbler: receiver.peer(),
+        });
+    } else {
+        for i in fold_order(query, &survivors) {
+            let r = &rels[i];
+            let owner_is_garbler = r.owner != receiver;
+            p.planned.push(PlannedCircuit {
+                circuit: reveal_circuit(r.size, ell, r.schema.len(), owner_is_garbler),
+                garbler: receiver.peer(),
+            });
+        }
+    }
+    (p.planned, p.kkrt_instances)
+}
+
+/// The per-direction OT bank budget: evaluator input labels for every
+/// planned circuit, plus a generous allowance for the OEP switching
+/// networks and PSI machinery (≈ 2·w·⌈log₂ w⌉ + w OTs per oblivious
+/// switching network of width w, several networks per relation per
+/// phase). Over-provisioning only costs offline time; under-provisioning
+/// degrades to inline OT extension, symmetrically on both sides.
+fn ot_budget(sizes: &[usize], planned: &[PlannedCircuit]) -> usize {
+    let labels: usize = planned.iter().map(|pc| pc.circuit.bob_inputs).sum();
+    let switches: usize = sizes
+        .iter()
+        .map(|&n| {
+            // OEP widths in the driver top out around 2n + 2 (cuckoo bins
+            // and the reduce-join dummy slot); 8 networks per relation
+            // covers every aggregation/semijoin sweep that can touch it.
+            let w = 2 * n + 2;
+            let lg = usize::BITS as usize - w.leading_zeros() as usize;
+            8 * (2 * w * lg + w)
+        })
+        .sum();
+    labels + switches + 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secyan_relation::JoinTree;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn chain_query() -> SecureQuery {
+        SecureQuery::new(
+            vec![
+                strings(&["person"]),
+                strings(&["person", "disease"]),
+                strings(&["disease", "class"]),
+            ],
+            vec![Role::Alice, Role::Bob, Role::Alice],
+            JoinTree::chain(3),
+            strings(&["class"]),
+        )
+    }
+
+    #[test]
+    fn key_is_deterministic_and_size_sensitive() {
+        let q = chain_query();
+        let a = QueryShape::derive(&q, &[3, 4, 3], Role::Alice, 32);
+        let b = QueryShape::derive(&q, &[3, 4, 3], Role::Alice, 32);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.planned.len(), b.planned.len());
+        let c = QueryShape::derive(&q, &[3, 5, 3], Role::Alice, 32);
+        assert_ne!(a.key, c.key, "sizes must be part of the key");
+        let d = QueryShape::derive(&q, &[3, 4, 3], Role::Bob, 32);
+        assert_ne!(a.key, d.key, "receiver must be part of the key");
+        let e = QueryShape::derive(&q, &[3, 4, 3], Role::Alice, 16);
+        assert_ne!(a.key, e.key, "ring width must be part of the key");
+    }
+
+    #[test]
+    fn chain_plan_ends_with_a_reveal_and_has_budget() {
+        let shape = QueryShape::derive(&chain_query(), &[3, 4, 3], Role::Alice, 32);
+        // The paper's chain collapses to a single survivor: the schedule
+        // must be non-empty and end with the reveal garbled by Bob (the
+        // non-receiver).
+        assert!(!shape.planned.is_empty());
+        assert_eq!(shape.planned.last().unwrap().garbler, Role::Bob);
+        assert!(shape.ot_budget > 0);
+    }
+}

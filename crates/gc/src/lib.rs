@@ -21,8 +21,13 @@ pub mod protocol;
 pub mod scheme;
 pub mod shares;
 
-pub use protocol::{evaluate_circuit, garble_circuit, OutputMode};
+pub use protocol::{
+    circuit_digest, evaluate_circuit, evaluate_offline, evaluate_online, garble_circuit,
+    garble_offline, garble_online, take_eval, take_garble, EvalMaterial, GarbleMaterial,
+    OutputMode,
+};
 pub use scheme::{EvalTables, Garbling};
 pub use shares::{
-    evaluate_shared, garble_shared, with_shared_outputs, SharedInput, SharedOutputSpec,
+    evaluate_shared, evaluate_shared_online, garble_shared, garble_shared_online,
+    with_shared_outputs, SharedInput, SharedOutputSpec,
 };

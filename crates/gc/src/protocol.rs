@@ -7,12 +7,13 @@
 //! paper requires of every building block.
 
 use rand::Rng;
-use secyan_circuit::Circuit;
+use secyan_circuit::{Circuit, Gate};
 use secyan_crypto::{Block, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_transport::{Channel, ReadExt, WriteExt};
+use std::collections::VecDeque;
 
-use crate::scheme::{eval, garble, EvalTables};
+use crate::scheme::{eval, garble, EvalTables, Garbling};
 
 /// Who learns the cleartext circuit outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,26 +27,138 @@ pub enum OutputMode {
     RevealBoth,
 }
 
-/// Garbler side. `my_inputs` are the cleartext values of the circuit's
-/// Alice (garbler) input wires. Returns the outputs if `mode` reveals them
-/// to the garbler, else `None`.
-pub fn garble_circuit<R: Rng + ?Sized>(
+/// A cheap structural fingerprint of a public circuit, used to pair
+/// pre-garbled material with the circuit an online call presents. Both
+/// parties derive it locally from the same public circuit, so it is a
+/// bookkeeping key, not a security boundary: a mismatch merely routes the
+/// call to the inline (offline-then-online) fallback.
+pub fn circuit_digest(circuit: &Circuit) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+    let mut h = mix(0xC19C_0317_D16E_5700u64, circuit.num_wires as u64);
+    h = mix(h, circuit.alice_inputs as u64);
+    h = mix(h, circuit.bob_inputs as u64);
+    for g in &circuit.gates {
+        h = match *g {
+            Gate::Xor { a, b, out } => mix(mix(mix(mix(h, 1), a as u64), b as u64), out as u64),
+            Gate::And { a, b, out } => mix(mix(mix(mix(h, 2), a as u64), b as u64), out as u64),
+            Gate::Inv { a, out } => mix(mix(mix(h, 3), a as u64), out as u64),
+        };
+    }
+    for &o in &circuit.outputs {
+        h = mix(h, o as u64);
+    }
+    h
+}
+
+/// Garbler-side offline material: a pre-garbled circuit whose tables have
+/// already been shipped to the evaluator. The key material inside the
+/// [`Garbling`] is `Secret`-wrapped and zeroizes when the material drops,
+/// used or not.
+pub struct GarbleMaterial {
+    garbling: Garbling,
+    digest: u64,
+}
+
+impl GarbleMaterial {
+    /// Fingerprint of the circuit this material was garbled for.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// Evaluator-side offline material: the tables received during the
+/// offline phase. Tables are ciphertexts (public given the wire), but the
+/// pairing digest keeps consumption aligned with the garbler.
+pub struct EvalMaterial {
+    tables: EvalTables,
+    digest: u64,
+}
+
+impl EvalMaterial {
+    /// Fingerprint of the circuit these tables belong to.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// Pop the front of a garbler-side material queue iff it was pre-garbled
+/// for exactly `circuit` (by digest). Anything else — empty queue, or a
+/// schedule the offline planner did not foresee — returns `None`, routing
+/// the caller to the inline fallback. Both parties derive the digest from
+/// the same public circuit, so their pop-vs-fallback decisions mirror.
+pub fn take_garble(
+    queue: &mut VecDeque<GarbleMaterial>,
+    circuit: &Circuit,
+) -> Option<GarbleMaterial> {
+    if queue
+        .front()
+        .is_some_and(|m| m.digest() == circuit_digest(circuit))
+    {
+        queue.pop_front()
+    } else {
+        None
+    }
+}
+
+/// Evaluator-side counterpart of [`take_garble`].
+pub fn take_eval(queue: &mut VecDeque<EvalMaterial>, circuit: &Circuit) -> Option<EvalMaterial> {
+    if queue
+        .front()
+        .is_some_and(|m| m.digest() == circuit_digest(circuit))
+    {
+        queue.pop_front()
+    } else {
+        None
+    }
+}
+
+/// Offline half of [`garble_circuit`]: garble and ship the tables — the
+/// only message of the protocol that is independent of both parties'
+/// private inputs.
+pub fn garble_offline<R: Rng + ?Sized>(
     ch: &mut Channel,
     circuit: &Circuit,
-    my_inputs: &[bool],
-    ot: &mut OtSender,
     hasher: TweakHasher,
     rng: &mut R,
-    mode: OutputMode,
-) -> Option<Vec<bool>> {
-    assert_eq!(my_inputs.len(), circuit.alice_inputs, "garbler input arity");
+) -> GarbleMaterial {
     let g = garble(circuit, hasher, rng);
-    // Tables.
     let table_blocks = EvalTables {
         tables: g.tables.clone(),
     }
     .to_blocks();
     ch.send_u128_slice(&table_blocks);
+    GarbleMaterial {
+        garbling: g,
+        digest: circuit_digest(circuit),
+    }
+}
+
+/// Online half of [`garble_circuit`]: input labels, decode bits, OT and
+/// garbler-side decoding, against material produced by
+/// [`garble_offline`] for the same circuit.
+pub fn garble_online(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    material: GarbleMaterial,
+    my_inputs: &[bool],
+    ot: &mut OtSender,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    assert_eq!(my_inputs.len(), circuit.alice_inputs, "garbler input arity");
+    assert_eq!(
+        material.digest,
+        circuit_digest(circuit),
+        "pre-garbled material is for a different circuit"
+    );
+    let g = material.garbling;
     // Garbler input labels.
     let my_labels: Vec<u128> = my_inputs
         .iter()
@@ -75,19 +188,33 @@ pub fn garble_circuit<R: Rng + ?Sized>(
     }
 }
 
-/// Evaluator side. `my_inputs` are the cleartext values of the circuit's
-/// Bob (evaluator) input wires. Returns the outputs if `mode` reveals them
-/// to the evaluator, else `None`.
-pub fn evaluate_circuit(
+/// Offline half of [`evaluate_circuit`]: receive the tables.
+pub fn evaluate_offline(ch: &mut Channel, circuit: &Circuit) -> EvalMaterial {
+    let tables = EvalTables::from_blocks(&ch.recv_u128_vec(2 * circuit.and_count() as usize));
+    EvalMaterial {
+        tables,
+        digest: circuit_digest(circuit),
+    }
+}
+
+/// Online half of [`evaluate_circuit`], against material produced by
+/// [`evaluate_offline`] for the same circuit.
+pub fn evaluate_online(
     ch: &mut Channel,
     circuit: &Circuit,
+    material: EvalMaterial,
     my_inputs: &[bool],
     ot: &mut OtReceiver,
     hasher: TweakHasher,
     mode: OutputMode,
 ) -> Option<Vec<bool>> {
     assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
-    let tables = EvalTables::from_blocks(&ch.recv_u128_vec(2 * circuit.and_count() as usize));
+    assert_eq!(
+        material.digest,
+        circuit_digest(circuit),
+        "pre-received tables are for a different circuit"
+    );
+    let tables = material.tables;
     let garbler_labels: Vec<Block> = ch
         .recv_u128_vec(circuit.alice_inputs)
         .into_iter()
@@ -107,6 +234,47 @@ pub fn evaluate_circuit(
         ch.send_bool_slice(&colors);
     }
     decode.map(|d| colors.iter().zip(&d).map(|(&c, &dd)| c ^ dd).collect())
+}
+
+/// Garbler side. `my_inputs` are the cleartext values of the circuit's
+/// Alice (garbler) input wires. Returns the outputs if `mode` reveals them
+/// to the garbler, else `None`.
+///
+/// Implemented as [`garble_offline`] immediately followed by
+/// [`garble_online`]; the wire format is identical to the historical
+/// single-phase protocol, so transcripts and tests are unchanged.
+pub fn garble_circuit<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    my_inputs: &[bool],
+    ot: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    assert_eq!(my_inputs.len(), circuit.alice_inputs, "garbler input arity");
+    let material = garble_offline(ch, circuit, hasher, rng);
+    garble_online(ch, circuit, material, my_inputs, ot, mode)
+}
+
+/// Evaluator side. `my_inputs` are the cleartext values of the circuit's
+/// Bob (evaluator) input wires. Returns the outputs if `mode` reveals them
+/// to the evaluator, else `None`.
+///
+/// Implemented as [`evaluate_offline`] immediately followed by
+/// [`evaluate_online`] — wire-identical to the historical single-phase
+/// protocol.
+pub fn evaluate_circuit(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
+    let material = evaluate_offline(ch, circuit);
+    evaluate_online(ch, circuit, material, my_inputs, ot, hasher, mode)
 }
 
 #[cfg(test)]

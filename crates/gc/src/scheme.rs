@@ -15,8 +15,13 @@ use secyan_par as par;
 /// Below this the serial gate loop wins.
 const GC_PAR_MIN_ANDS: usize = 512;
 
-/// Minimum AND gates handed to one worker within a level.
-const GC_ANDS_PER_PART: usize = 128;
+/// Minimum AND gates handed to one worker within a level. One garbled AND
+/// is ~70ns of work while a pool dispatch costs tens of microseconds in
+/// wake/park round trips, so a level must carry well over a thousand ANDs
+/// per extra worker before fan-out beats the serial loop. Levels below
+/// this threshold run inline on the calling thread (`Pool::ranges`
+/// collapses to one part), which keeps the 1-thread path from ever losing.
+const GC_ANDS_PER_PART: usize = 2048;
 
 /// Garbler-side result of garbling a circuit.
 ///

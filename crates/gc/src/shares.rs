@@ -22,7 +22,10 @@ use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_transport::Channel;
 
-use crate::protocol::{evaluate_circuit, garble_circuit, OutputMode};
+use crate::protocol::{
+    evaluate_circuit, evaluate_online, garble_circuit, garble_online, EvalMaterial, GarbleMaterial,
+    OutputMode,
+};
 
 /// A secret-shared ℓ-bit input: one word from each party.
 pub struct SharedInput {
@@ -111,15 +114,7 @@ pub fn garble_shared<R: Rng + ?Sized>(
     hasher: TweakHasher,
     rng: &mut R,
 ) -> Vec<u64> {
-    let mut mask_bits = Vec::new();
-    let mut shares = Vec::with_capacity(spec.widths.len());
-    for &w in &spec.widths {
-        let ring = RingCtx::new(w as u32);
-        let r = ring.random(rng);
-        mask_bits.extend(u64_to_bits(r, w));
-        shares.push(ring.neg(r));
-    }
-    mask_bits.extend_from_slice(my_inputs);
+    let (mask_bits, shares) = draw_masks(spec, my_inputs, rng);
     let out = garble_circuit(
         ch,
         circuit,
@@ -131,6 +126,52 @@ pub fn garble_shared<R: Rng + ?Sized>(
     );
     debug_assert!(out.is_none());
     shares
+}
+
+/// Online-phase variant of [`garble_shared`]: the circuit was pre-garbled
+/// offline ([`crate::protocol::garble_offline`]) and its tables already
+/// shipped; only input labels, decode bits, and OT remain. The output
+/// masks are drawn fresh here — they are garbler inputs, so banking them
+/// was never needed.
+pub fn garble_shared_online<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    material: GarbleMaterial,
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    ot: &mut OtSender,
+    rng: &mut R,
+) -> Vec<u64> {
+    let (mask_bits, shares) = draw_masks(spec, my_inputs, rng);
+    let out = garble_online(
+        ch,
+        circuit,
+        material,
+        &mask_bits,
+        ot,
+        OutputMode::RevealToEvaluator,
+    );
+    debug_assert!(out.is_none());
+    shares
+}
+
+/// Prepend the fresh random mask words to the garbler's own inputs; the
+/// garbler's shares are the mask negations.
+fn draw_masks<R: Rng + ?Sized>(
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    rng: &mut R,
+) -> (Vec<bool>, Vec<u64>) {
+    let mut mask_bits = Vec::new();
+    let mut shares = Vec::with_capacity(spec.widths.len());
+    for &w in &spec.widths {
+        let ring = RingCtx::new(w as u32);
+        let r = ring.random(rng);
+        mask_bits.extend(u64_to_bits(r, w));
+        shares.push(ring.neg(r));
+    }
+    mask_bits.extend_from_slice(my_inputs);
+    (mask_bits, shares)
 }
 
 /// Evaluator side of a shared-output circuit. Returns the evaluator's
@@ -152,6 +193,35 @@ pub fn evaluate_shared(
         OutputMode::RevealToEvaluator,
     )
     .expect("shared-output circuits reveal to the evaluator");
+    unpack_shares(spec, &bits)
+}
+
+/// Online-phase variant of [`evaluate_shared`]: the tables were received
+/// offline ([`crate::protocol::evaluate_offline`]).
+pub fn evaluate_shared_online(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    material: EvalMaterial,
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+) -> Vec<u64> {
+    let bits = evaluate_online(
+        ch,
+        circuit,
+        material,
+        my_inputs,
+        ot,
+        hasher,
+        OutputMode::RevealToEvaluator,
+    )
+    .expect("shared-output circuits reveal to the evaluator");
+    unpack_shares(spec, &bits)
+}
+
+/// Split the revealed masked-output bits back into per-word shares.
+fn unpack_shares(spec: &SharedOutputSpec, bits: &[bool]) -> Vec<u64> {
     let mut shares = Vec::with_capacity(spec.widths.len());
     let mut pos = 0;
     for &w in &spec.widths {

@@ -43,6 +43,8 @@ pub struct OtSender {
     prgs: Vec<Prg>,
     hasher: TweakHasher,
     ctr: u64,
+    /// Precomputed random-OT material consumed by the online phase.
+    bank: Option<OtSendBank>,
 }
 
 /// Extension receiver: after setup, obtains one message per choice bit.
@@ -51,6 +53,96 @@ pub struct OtReceiver {
     prgs: Vec<(Prg, Prg)>,
     hasher: TweakHasher,
     ctr: u64,
+    /// Precomputed random-OT material consumed by the online phase.
+    bank: Option<OtRecvBank>,
+}
+
+/// Sender-side bank of precomputed random OTs, produced offline by
+/// [`OtSender::offline`] and consumed online via Beaver-style
+/// derandomization: the receiver sends correction bits `d = c ⊕ c'`
+/// (packed, m/8 bytes) and the sender's effective pair becomes
+/// `(x_d, x_{1⊕d})`, replacing the 16m-byte IKNP column bundle on the
+/// online critical path.
+///
+/// Material is strictly single-use: consumed entries are zeroized at take
+/// time, and anything left over is zeroized on drop (the pads are
+/// `Secret`-wrapped).
+pub struct OtSendBank {
+    /// Interleaved pads: `[x0_0, x1_0, x0_1, x1_1, ...]`.
+    pairs: Secret<Vec<Block>>,
+    cursor: usize,
+}
+
+impl OtSendBank {
+    /// Unconsumed instances left in the bank.
+    pub fn remaining(&self) -> usize {
+        self.pairs.expose().len() / 2 - self.cursor
+    }
+
+    /// Take `m` pad pairs, zeroizing them inside the bank as they leave.
+    fn take(&mut self, m: usize) -> Vec<(Block, Block)> {
+        let start = self.cursor;
+        self.cursor += m;
+        let pairs = self.pairs.expose_mut();
+        let out = pairs[2 * start..2 * self.cursor]
+            .chunks_exact(2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        for p in pairs[2 * start..2 * self.cursor].iter_mut() {
+            p.zeroize();
+        }
+        out
+    }
+
+    /// Discard (zeroize) entries until at most `cap` remain. Used by
+    /// exhaustion tests to model a bank drained mid-run; discarded pads
+    /// are scrubbed exactly like consumed ones.
+    pub fn shed_to(&mut self, cap: usize) {
+        let excess = self.remaining().saturating_sub(cap);
+        drop(self.take(excess));
+    }
+}
+
+/// Receiver-side bank of precomputed random OTs: the random choice bits
+/// `c'` drawn offline together with the pads they selected. See
+/// [`OtSendBank`] for the derandomization and single-use story.
+pub struct OtRecvBank {
+    /// The offline random choice bits `c'`.
+    choices: Secret<Vec<bool>>,
+    /// The pad selected by each `c'_i`.
+    blocks: Secret<Vec<Block>>,
+    cursor: usize,
+}
+
+impl OtRecvBank {
+    /// Unconsumed instances left in the bank.
+    pub fn remaining(&self) -> usize {
+        self.blocks.expose().len() - self.cursor
+    }
+
+    /// Take `m` (choice, pad) entries, zeroizing them inside the bank.
+    fn take(&mut self, m: usize) -> (Vec<bool>, Vec<Block>) {
+        let start = self.cursor;
+        self.cursor += m;
+        let choices = self.choices.expose_mut();
+        let blocks = self.blocks.expose_mut();
+        let c = choices[start..self.cursor].to_vec();
+        let b = blocks[start..self.cursor].to_vec();
+        for x in choices[start..self.cursor].iter_mut() {
+            x.zeroize();
+        }
+        for x in blocks[start..self.cursor].iter_mut() {
+            x.zeroize();
+        }
+        (c, b)
+    }
+
+    /// Discard (zeroize) entries until at most `cap` remain; see
+    /// [`OtSendBank::shed_to`].
+    pub fn shed_to(&mut self, cap: usize) {
+        let excess = self.remaining().saturating_sub(cap);
+        let _ = self.take(excess);
+    }
 }
 
 impl OtSender {
@@ -71,7 +163,71 @@ impl OtSender {
             prgs,
             hasher,
             ctr: 0,
+            bank: None,
         }
+    }
+
+    /// Offline phase: bank `m` random OT instances for later derandomized
+    /// consumption. The peer must run the matching [`OtReceiver::offline`]
+    /// with the same `m`.
+    pub fn offline(&mut self, ch: &mut Channel, m: usize) -> OtSendBank {
+        let mut pairs = self.random(ch, m);
+        let mut flat = Vec::with_capacity(2 * m);
+        for &(x0, x1) in &pairs {
+            flat.push(x0);
+            flat.push(x1);
+        }
+        pairs.zeroize();
+        OtSendBank {
+            pairs: Secret::new(flat),
+            cursor: 0,
+        }
+    }
+
+    /// Attach a bank produced by [`OtSender::offline`]; subsequent
+    /// chosen-message calls consume it while enough instances remain.
+    pub fn attach_bank(&mut self, bank: OtSendBank) {
+        self.bank = Some(bank);
+    }
+
+    /// Detach the current bank, if any (remaining material zeroizes when
+    /// the returned bank drops).
+    pub fn detach_bank(&mut self) -> Option<OtSendBank> {
+        self.bank.take()
+    }
+
+    /// Instances still available in the attached bank (0 when none).
+    pub fn bank_remaining(&self) -> usize {
+        self.bank.as_ref().map_or(0, |b| b.remaining())
+    }
+
+    /// Random pads for `m` chosen-message OTs: derandomize banked
+    /// instances when the bank covers the batch, otherwise run a fresh
+    /// extension. Both parties see the same public batch sizes and bank
+    /// budgets, so the pooled-vs-inline decision is always mirrored.
+    fn draw_pads(&mut self, ch: &mut Channel, m: usize) -> Vec<(Block, Block)> {
+        if self.bank.as_ref().is_some_and(|b| b.remaining() >= m) {
+            if m == 0 {
+                return Vec::new();
+            }
+            // Beaver-style correction: receiver sends d = c ⊕ c'; the
+            // effective pair is (x_d, x_{1⊕d}), so position c selects
+            // x_{c'} — exactly the pad the receiver banked.
+            let d = ch.recv_bool_vec(m);
+            let taken = self.bank.as_mut().expect("bank checked above").take(m);
+            return taken
+                .iter()
+                .zip(&d)
+                .map(|(&(x0, x1), &di)| {
+                    let swap = CtChoice::from_bool(di);
+                    (
+                        Block::ct_select(swap, x1, x0),
+                        Block::ct_select(swap, x0, x1),
+                    )
+                })
+                .collect();
+        }
+        self.random(ch, m)
     }
 
     /// Produce `m` random-message OT instances. The receiver (running
@@ -139,7 +295,7 @@ impl OtSender {
 
     /// Chosen-message OT on 128-bit messages.
     pub fn send_blocks(&mut self, ch: &mut Channel, pairs: &[(Block, Block)]) {
-        let pads = self.random(ch, pairs.len());
+        let pads = self.draw_pads(ch, pairs.len());
         let mut masked = Vec::with_capacity(pairs.len() * 2);
         for ((m0, m1), (x0, x1)) in pairs.iter().zip(&pads) {
             masked.push((*m0 ^ *x0).0);
@@ -157,7 +313,7 @@ impl OtSender {
         if pairs.is_empty() {
             return;
         }
-        let pads = self.random(ch, pairs.len());
+        let pads = self.draw_pads(ch, pairs.len());
         let mut buf = Vec::new();
         for ((m0, m1), &(x0, x1)) in pairs.iter().zip(&pads) {
             assert_eq!(m0.len(), m1.len(), "OT messages must have equal length");
@@ -186,7 +342,59 @@ impl OtReceiver {
             prgs,
             hasher,
             ctr: 0,
+            bank: None,
         }
+    }
+
+    /// Offline phase: bank `m` random OT instances with random choice bits
+    /// `c'`, to be derandomized online against the real choices. The peer
+    /// must run the matching [`OtSender::offline`] with the same `m`.
+    pub fn offline<R: Rng>(&mut self, ch: &mut Channel, m: usize, rng: &mut R) -> OtRecvBank {
+        let choices: Vec<bool> = (0..m).map(|_| rng.gen()).collect();
+        let blocks = self.random(ch, &choices);
+        OtRecvBank {
+            choices: Secret::new(choices),
+            blocks: Secret::new(blocks),
+            cursor: 0,
+        }
+    }
+
+    /// Attach a bank produced by [`OtReceiver::offline`].
+    pub fn attach_bank(&mut self, bank: OtRecvBank) {
+        self.bank = Some(bank);
+    }
+
+    /// Detach the current bank, if any.
+    pub fn detach_bank(&mut self) -> Option<OtRecvBank> {
+        self.bank.take()
+    }
+
+    /// Instances still available in the attached bank (0 when none).
+    pub fn bank_remaining(&self) -> usize {
+        self.bank.as_ref().map_or(0, |b| b.remaining())
+    }
+
+    /// Pads selected by `choices`: derandomize banked instances when the
+    /// bank covers the batch (sending only packed correction bits d = c ⊕ c',
+    /// which are uniform and independent of c), else a fresh extension.
+    fn draw_pads(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
+        let m = choices.len();
+        if self.bank.as_ref().is_some_and(|b| b.remaining() >= m) {
+            if m == 0 {
+                return Vec::new();
+            }
+            let (cprime, blocks) = self.bank.as_mut().expect("bank checked above").take(m);
+            // ct-ok: XOR of two bools is branchless; d is sent on the wire
+            // and is uniform because c' is.
+            let d: Vec<bool> = choices
+                .iter()
+                .zip(&cprime)
+                .map(|(&c, &cp)| c ^ cp)
+                .collect();
+            ch.send_bool_slice(&d);
+            return blocks;
+        }
+        self.random(ch, choices)
     }
 
     /// Obtain the message selected by each choice bit (random-message OT).
@@ -255,7 +463,7 @@ impl OtReceiver {
     /// discarded via [`CtSelect`], so memory access does not index on the
     /// choice bit.
     pub fn recv_blocks(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
-        let pads = self.random(ch, choices);
+        let pads = self.draw_pads(ch, choices);
         let masked = ch.recv_u128_vec(choices.len() * 2);
         choices
             .iter()
@@ -272,7 +480,7 @@ impl OtReceiver {
     /// candidate strings are unmasked and the result selected bytewise, so
     /// neither control flow nor access pattern depends on the choice bits.
     pub fn recv_bytes(&mut self, ch: &mut Channel, choices: &[bool], len: usize) -> Vec<Vec<u8>> {
-        let pads = self.random(ch, choices);
+        let pads = self.draw_pads(ch, choices);
         let raw = ch.recv_bytes(choices.len() * 2 * len);
         choices
             .iter()
@@ -299,7 +507,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use secyan_transport::run_protocol;
+    use secyan_transport::{run_protocol, Phase};
 
     fn run_random(m: usize, seed: u64) -> (Vec<(Block, Block)>, Vec<Block>, Vec<bool>) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -469,6 +677,132 @@ mod tests {
             let (x0, x1) = pairs1[j];
             assert_eq!(got1[j], if choices[j] { x1 } else { x0 }, "instance {j}");
         }
+    }
+
+    #[test]
+    fn banked_blocks_transfer_with_fewer_online_bytes() {
+        let pairs: Vec<(Block, Block)> = (0..64u128).map(|i| (Block(i), Block(i + 500))).collect();
+        let p2 = pairs.clone();
+        let choices: Vec<bool> = (0..64).map(|i| i % 5 == 0).collect();
+        let c2 = choices.clone();
+        let ((), got, stats) = run_protocol(
+            move |ch| {
+                ch.set_phase(Phase::Offline);
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(80), TweakHasher::Sha256);
+                let bank = s.offline(ch, 64);
+                s.attach_bank(bank);
+                ch.set_phase(Phase::Online);
+                s.send_blocks(ch, &p2);
+                assert_eq!(s.bank_remaining(), 0);
+            },
+            move |ch| {
+                ch.set_phase(Phase::Offline);
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(81), TweakHasher::Sha256);
+                let bank = r.offline(ch, 64, &mut StdRng::seed_from_u64(82));
+                r.attach_bank(bank);
+                ch.set_phase(Phase::Online);
+                r.recv_blocks(ch, &c2)
+            },
+        );
+        for j in 0..64 {
+            let want = if choices[j] { pairs[j].1 } else { pairs[j].0 };
+            assert_eq!(got[j], want, "instance {j}");
+        }
+        // Online: 8 bytes of packed corrections + 2·64·16 masked bytes —
+        // far below the 16m-byte column bundle of an inline extension.
+        // The phase-tagged counters make this exact and race-free: each
+        // frame is attributed to the phase its sender was in.
+        assert_eq!(stats.online_bytes, 8 + 2 * 64 * 16);
+        assert!(stats.offline_bytes > 0, "bootstrap traffic must be tagged");
+    }
+
+    #[test]
+    fn banked_bytes_transfer() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..10u8).map(|i| (vec![i; 16], vec![i + 50; 16])).collect();
+        let p2 = pairs.clone();
+        let choices: Vec<bool> = (0..10).map(|i| i % 3 == 1).collect();
+        let c2 = choices.clone();
+        let (_, got, _) = run_protocol(
+            move |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(83), TweakHasher::Sha256);
+                let bank = s.offline(ch, 10);
+                s.attach_bank(bank);
+                s.send_bytes(ch, &p2);
+            },
+            move |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(84), TweakHasher::Sha256);
+                let bank = r.offline(ch, 10, &mut StdRng::seed_from_u64(85));
+                r.attach_bank(bank);
+                r.recv_bytes(ch, &c2, 16)
+            },
+        );
+        for j in 0..10 {
+            let want = if choices[j] { &pairs[j].1 } else { &pairs[j].0 };
+            assert_eq!(&got[j], want);
+        }
+    }
+
+    #[test]
+    fn exhausted_bank_falls_back_inline() {
+        // Bank covers only the first batch; the second falls back to a
+        // fresh extension on both sides without desynchronizing.
+        let mk = |i: u128| (Block(i), Block(i + 77));
+        let (_, (got1, got2), _) = run_protocol(
+            move |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(86), TweakHasher::Sha256);
+                let bank = s.offline(ch, 4);
+                s.attach_bank(bank);
+                s.send_blocks(ch, &[mk(0), mk(1), mk(2), mk(3)]);
+                assert_eq!(s.bank_remaining(), 0);
+                s.send_blocks(ch, &[mk(10), mk(11)]);
+            },
+            move |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(87), TweakHasher::Sha256);
+                let bank = r.offline(ch, 4, &mut StdRng::seed_from_u64(88));
+                r.attach_bank(bank);
+                let a = r.recv_blocks(ch, &[true, false, true, false]);
+                let b = r.recv_blocks(ch, &[false, true]);
+                (a, b)
+            },
+        );
+        assert_eq!(got1, vec![Block(77), Block(1), Block(79), Block(3)]);
+        assert_eq!(got2, vec![Block(10), Block(88)]);
+    }
+
+    #[test]
+    fn bank_take_zeroizes_consumed_entries() {
+        let (_, _, _) = run_protocol(
+            |ch| {
+                let mut s =
+                    OtSender::setup(ch, &mut StdRng::seed_from_u64(89), TweakHasher::Sha256);
+                let mut bank = s.offline(ch, 8);
+                // Random pads are nonzero with overwhelming probability.
+                assert!(bank.pairs.expose().iter().any(|b| *b != Block::ZERO));
+                let taken = bank.take(8);
+                assert!(taken
+                    .iter()
+                    .any(|&(a, b)| a != Block::ZERO || b != Block::ZERO));
+                // Consumed-on-take: the bank's copies are gone.
+                assert!(bank.pairs.expose().iter().all(|b| *b == Block::ZERO));
+                assert_eq!(bank.remaining(), 0);
+            },
+            |ch| {
+                let mut r =
+                    OtReceiver::setup(ch, &mut StdRng::seed_from_u64(90), TweakHasher::Sha256);
+                let mut bank = r.offline(ch, 8, &mut StdRng::seed_from_u64(91));
+                assert!(bank.blocks.expose().iter().any(|b| *b != Block::ZERO));
+                let _ = bank.take(8);
+                assert!(bank.blocks.expose().iter().all(|b| *b == Block::ZERO));
+                assert!(bank.choices.expose().iter().all(|&c| !c));
+            },
+        );
     }
 
     #[test]

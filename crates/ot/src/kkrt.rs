@@ -50,6 +50,7 @@ pub struct KkrtSender {
     prgs: Vec<Prg>,
     hasher: TweakHasher,
     ctr: u64,
+    bank: Option<KkrtSendBank>,
 }
 
 /// OPRF receiver (input holder).
@@ -57,6 +58,102 @@ pub struct KkrtReceiver {
     prgs: Vec<(Prg, Prg)>,
     hasher: TweakHasher,
     ctr: u64,
+    bank: Option<KkrtRecvBank>,
+}
+
+/// Sender-side bank of precomputed KKRT instances, produced offline by
+/// [`KkrtSender::offline`] against random receiver codes and consumed
+/// online via Beaver-style derandomization.
+///
+/// The KKRT correlation is linear in the code: the extension leaves the
+/// sender with `q_j = t_j ⊕ (C(x_j) & s)`. Running it offline against a
+/// *random* code `c'_j` gives `q'_j = t_j ⊕ (c'_j & s)`; when the real
+/// input arrives the receiver sends `d_j = C(x_j) ⊕ c'_j` (uniform, since
+/// `c'_j` is) and the sender folds in `d_j & s`, recovering exactly the
+/// online correlation. The online message replaces the column bundle of a
+/// fresh extension at the same per-instance width, so banking trades no
+/// extra bytes for moving the PRG expansion, the column masking, and both
+/// bit-matrix transposes off the critical path.
+///
+/// Material is strictly single-use: consumed rows are zeroized at take
+/// time and anything left over zeroizes on drop.
+pub struct KkrtSendBank {
+    /// Offline correlation rows `q'_j = t_j ⊕ (c'_j & s)`.
+    q_rows: Secret<Vec<[u8; WIDTH_BYTES]>>,
+    cursor: usize,
+}
+
+impl KkrtSendBank {
+    /// Unconsumed instances left in the bank.
+    pub fn remaining(&self) -> usize {
+        self.q_rows.expose().len() - self.cursor
+    }
+
+    /// Take `m` rows, zeroizing them inside the bank as they leave.
+    fn take(&mut self, m: usize) -> Vec<[u8; WIDTH_BYTES]> {
+        let start = self.cursor;
+        self.cursor += m;
+        let rows = self.q_rows.expose_mut();
+        let out = rows[start..self.cursor].to_vec();
+        for r in rows[start..self.cursor].iter_mut() {
+            r.zeroize();
+        }
+        out
+    }
+
+    /// Discard (zeroize) entries until at most `cap` remain; exhaustion
+    /// tests use this to model a bank drained mid-run.
+    pub fn shed_to(&mut self, cap: usize) {
+        let excess = self.remaining().saturating_sub(cap);
+        let mut dropped = self.take(excess);
+        dropped.zeroize();
+    }
+}
+
+/// Receiver-side bank: the random offline codes `c'_j` together with the
+/// row preimages `t_j` they produced. See [`KkrtSendBank`] for the
+/// derandomization and single-use story.
+pub struct KkrtRecvBank {
+    /// The offline random codes `c'_j`.
+    codes: Secret<Vec<[u8; WIDTH_BYTES]>>,
+    /// The matching row preimages `t_j` (hashed only at consumption time,
+    /// when the instance index is known).
+    t_rows: Secret<Vec<[u8; WIDTH_BYTES]>>,
+    cursor: usize,
+}
+
+impl KkrtRecvBank {
+    /// Unconsumed instances left in the bank.
+    pub fn remaining(&self) -> usize {
+        self.t_rows.expose().len() - self.cursor
+    }
+
+    /// Take `m` (code, row) entries, zeroizing them inside the bank.
+    #[allow(clippy::type_complexity)]
+    fn take(&mut self, m: usize) -> (Vec<[u8; WIDTH_BYTES]>, Vec<[u8; WIDTH_BYTES]>) {
+        let start = self.cursor;
+        self.cursor += m;
+        let codes = self.codes.expose_mut();
+        let rows = self.t_rows.expose_mut();
+        let c = codes[start..self.cursor].to_vec();
+        let t = rows[start..self.cursor].to_vec();
+        for x in codes[start..self.cursor].iter_mut() {
+            x.zeroize();
+        }
+        for x in rows[start..self.cursor].iter_mut() {
+            x.zeroize();
+        }
+        (c, t)
+    }
+
+    /// Discard (zeroize) entries until at most `cap` remain; see
+    /// [`KkrtSendBank::shed_to`].
+    pub fn shed_to(&mut self, cap: usize) {
+        let excess = self.remaining().saturating_sub(cap);
+        let (mut c, mut t) = self.take(excess);
+        c.zeroize();
+        t.zeroize();
+    }
 }
 
 /// A batch key: lets the sender evaluate F(j, ·) for each instance j of the
@@ -89,10 +186,46 @@ impl KkrtSender {
             prgs,
             hasher,
             ctr: 0,
+            bank: None,
         }
     }
 
-    /// Run one batch of size `m`, obtaining the evaluation key.
+    /// Offline phase: bank `m` instances extended against random receiver
+    /// codes, for later derandomized consumption. The peer must run the
+    /// matching [`KkrtReceiver::offline`] with the same `m`.
+    pub fn offline(&mut self, ch: &mut Channel, m: usize) -> KkrtSendBank {
+        let q_rows = if m == 0 {
+            Vec::new()
+        } else {
+            self.extend(ch, m)
+        };
+        KkrtSendBank {
+            q_rows: Secret::new(q_rows),
+            cursor: 0,
+        }
+    }
+
+    /// Attach a bank produced by [`KkrtSender::offline`]; subsequent
+    /// batches consume it while enough instances remain.
+    pub fn attach_bank(&mut self, bank: KkrtSendBank) {
+        self.bank = Some(bank);
+    }
+
+    /// Detach the current bank, if any (remaining material zeroizes when
+    /// the returned bank drops).
+    pub fn detach_bank(&mut self) -> Option<KkrtSendBank> {
+        self.bank.take()
+    }
+
+    /// Instances still available in the attached bank (0 when none).
+    pub fn bank_remaining(&self) -> usize {
+        self.bank.as_ref().map_or(0, |b| b.remaining())
+    }
+
+    /// Run one batch of size `m`, obtaining the evaluation key:
+    /// derandomize banked instances when the bank covers the batch, else
+    /// run a fresh extension. Both parties see the same public batch sizes
+    /// and bank budgets, so the decision is always mirrored.
     pub fn key_batch(&mut self, ch: &mut Channel, m: usize) -> KkrtSenderKey {
         let base = self.ctr;
         self.ctr += m as u64;
@@ -104,6 +237,38 @@ impl KkrtSender {
                 base,
             };
         }
+        if self.bank.as_ref().is_some_and(|b| b.remaining() >= m) {
+            // Beaver-style code correction: d_j = C(x_j) ⊕ c'_j turns the
+            // banked q'_j = t_j ⊕ (c'_j & s) into t_j ⊕ (C(x_j) & s) —
+            // the correlation a fresh extension would have produced.
+            let mut d_all = vec![0u8; m * WIDTH_BYTES];
+            ch.recv_into(&mut d_all);
+            let mut q_rows = self.bank.as_mut().expect("bank checked above").take(m);
+            let s = self.s.expose();
+            for (j, row) in q_rows.iter_mut().enumerate() {
+                let d = &d_all[j * WIDTH_BYTES..(j + 1) * WIDTH_BYTES];
+                for k in 0..WIDTH_BYTES {
+                    row[k] ^= d[k] & s[k];
+                }
+            }
+            return KkrtSenderKey {
+                q_rows,
+                s: self.s.clone(),
+                hasher: self.hasher,
+                base,
+            };
+        }
+        KkrtSenderKey {
+            q_rows: self.extend(ch, m),
+            s: self.s.clone(),
+            hasher: self.hasher,
+            base,
+        }
+    }
+
+    /// One fresh OT extension of `m >= 1` instances: receive the masked
+    /// column bundle and return the correlated rows `t_j ⊕ (code_j & s)`.
+    fn extend(&mut self, ch: &mut Channel, m: usize) -> Vec<[u8; WIDTH_BYTES]> {
         let row_bytes = m.div_ceil(8);
         // The receiver sends all w masked columns as ONE message (see
         // `KkrtReceiver::eval_batch`).
@@ -139,12 +304,7 @@ impl KkrtSender {
                 }
             });
         });
-        KkrtSenderKey {
-            q_rows,
-            s: self.s.clone(),
-            hasher: self.hasher,
-            base,
-        }
+        q_rows
     }
 }
 
@@ -191,10 +351,52 @@ impl KkrtReceiver {
             prgs,
             hasher,
             ctr: 0,
+            bank: None,
         }
     }
 
-    /// Run one batch on `inputs`, learning F(j, inputs[j]) per instance.
+    /// Offline phase: bank `m` instances extended under fresh *random*
+    /// codes (no input needed yet), for later derandomized consumption.
+    /// The peer must run the matching [`KkrtSender::offline`] with the
+    /// same `m`.
+    pub fn offline<R: Rng>(&mut self, ch: &mut Channel, m: usize, rng: &mut R) -> KkrtRecvBank {
+        let (codes, t_rows) = if m == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            let mut codes = vec![[0u8; WIDTH_BYTES]; m];
+            for c in codes.iter_mut() {
+                rng.fill(&mut c[..]);
+            }
+            let t_rows = self.extend(ch, &codes);
+            (codes, t_rows)
+        };
+        KkrtRecvBank {
+            codes: Secret::new(codes),
+            t_rows: Secret::new(t_rows),
+            cursor: 0,
+        }
+    }
+
+    /// Attach a bank produced by [`KkrtReceiver::offline`].
+    pub fn attach_bank(&mut self, bank: KkrtRecvBank) {
+        self.bank = Some(bank);
+    }
+
+    /// Detach the current bank, if any (remaining material zeroizes when
+    /// the returned bank drops).
+    pub fn detach_bank(&mut self) -> Option<KkrtRecvBank> {
+        self.bank.take()
+    }
+
+    /// Instances still available in the attached bank (0 when none).
+    pub fn bank_remaining(&self) -> usize {
+        self.bank.as_ref().map_or(0, |b| b.remaining())
+    }
+
+    /// Run one batch on `inputs`, learning F(j, inputs[j]) per instance:
+    /// derandomize banked instances when the bank covers the batch (see
+    /// [`KkrtSendBank`]), else run a fresh extension. The decision mirrors
+    /// the sender's — both sides see the same batch sizes and budgets.
     pub fn eval_batch(&mut self, ch: &mut Channel, inputs: &[&[u8]]) -> Vec<u64> {
         let m = inputs.len();
         let base = self.ctr;
@@ -202,7 +404,6 @@ impl KkrtReceiver {
         if m == 0 {
             return Vec::new();
         }
-        let row_bytes = m.div_ceil(8);
         // Code matrix: row j = C(x_j); we need its columns. Two SHA-256
         // compressions per element makes this the receiver's second-hottest
         // loop, and each element is independent — map it over the pool.
@@ -210,6 +411,35 @@ impl KkrtReceiver {
             par::with_pool_if(par::threads() > 1 && m >= 2 * CODES_PER_PART, |pool| {
                 pool.map(inputs, CODES_PER_PART, |_, x| code(x))
             });
+        if self.bank.as_ref().is_some_and(|b| b.remaining() >= m) {
+            // Beaver-style code correction: send d_j = C(x_j) ⊕ c'_j —
+            // uniform on the wire because c'_j is — and hash the banked
+            // row preimages under this batch's instance tweaks.
+            let (cprimes, mut t_rows) = self.bank.as_mut().expect("bank checked above").take(m);
+            let mut d_all = vec![0u8; m * WIDTH_BYTES];
+            for (j, (cj, cp)) in codes.iter().zip(&cprimes).enumerate() {
+                for k in 0..WIDTH_BYTES {
+                    d_all[j * WIDTH_BYTES + k] = cj[k] ^ cp[k];
+                }
+            }
+            ch.send_bytes(&d_all);
+            let out = self.hasher.hash_row_batch(base, &t_rows);
+            let mut cprimes = cprimes;
+            cprimes.zeroize();
+            t_rows.zeroize();
+            return out;
+        }
+        let mut t_rows = self.extend(ch, &codes);
+        let out = self.hasher.hash_row_batch(base, &t_rows);
+        t_rows.zeroize();
+        out
+    }
+
+    /// One fresh OT extension under the given codes (one per instance):
+    /// send the masked column bundle and return the row preimages `t_j`.
+    fn extend(&mut self, ch: &mut Channel, codes: &[[u8; WIDTH_BYTES]]) -> Vec<[u8; WIDTH_BYTES]> {
+        let m = codes.len();
+        let row_bytes = m.div_ceil(8);
         // Per column: t0 = G(k0), u = G(k1) ⊕ t0 ⊕ c_i (column i of the
         // code matrix). As in IKNP, both streams for all w columns land in
         // one interleaved scratch so the expansion splits across the pool,
@@ -257,9 +487,7 @@ impl KkrtReceiver {
                 }
             });
         });
-        let out = self.hasher.hash_row_batch(base, &t_rows);
-        t_rows.zeroize();
-        out
+        t_rows
     }
 }
 
@@ -347,5 +575,72 @@ mod tests {
         let (key, got) = run_batch(vec![]);
         assert!(key.is_empty());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn banked_batches_match_sender_eval_and_fall_back_when_short() {
+        // Bank 12 instances, then draw batches of 5, 5 and 5: the first
+        // two derandomize from the bank, the third falls back to a fresh
+        // inline extension (12 - 10 < 5), mirrored on both sides.
+        let (keys, gots, _) = run_protocol(
+            |ch| {
+                let mut s =
+                    KkrtSender::setup(ch, &mut StdRng::seed_from_u64(5), TweakHasher::default());
+                let bank = s.offline(ch, 12);
+                assert_eq!(bank.remaining(), 12);
+                s.attach_bank(bank);
+                let keys = (s.key_batch(ch, 5), s.key_batch(ch, 5), s.key_batch(ch, 5));
+                assert_eq!(s.bank_remaining(), 2, "third batch must not drain the bank");
+                keys
+            },
+            |ch| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut r = KkrtReceiver::setup(ch, &mut rng, TweakHasher::default());
+                let bank = r.offline(ch, 12, &mut rng);
+                assert_eq!(bank.remaining(), 12);
+                r.attach_bank(bank);
+                let ins: Vec<Vec<u8>> = (0..5u64).map(|i| i.to_le_bytes().to_vec()).collect();
+                let refs: Vec<&[u8]> = ins.iter().map(|v| v.as_slice()).collect();
+                let gots = (
+                    r.eval_batch(ch, &refs),
+                    r.eval_batch(ch, &refs),
+                    r.eval_batch(ch, &refs),
+                );
+                assert_eq!(r.bank_remaining(), 2);
+                gots
+            },
+        );
+        for j in 0..5 {
+            let x = (j as u64).to_le_bytes();
+            assert_eq!(gots.0[j], keys.0.eval(j, &x), "banked batch 1");
+            assert_eq!(gots.1[j], keys.1.eval(j, &x), "banked batch 2");
+            assert_eq!(gots.2[j], keys.2.eval(j, &x), "inline fallback batch");
+            assert_ne!(
+                gots.0[j], gots.1[j],
+                "instance tweaks must separate batches"
+            );
+        }
+    }
+
+    #[test]
+    fn shed_to_caps_the_bank() {
+        let (_, _, _) = run_protocol(
+            |ch| {
+                let mut s =
+                    KkrtSender::setup(ch, &mut StdRng::seed_from_u64(7), TweakHasher::default());
+                let mut bank = s.offline(ch, 10);
+                bank.shed_to(3);
+                assert_eq!(bank.remaining(), 3);
+                bank.shed_to(8);
+                assert_eq!(bank.remaining(), 3, "shed never grows the bank");
+            },
+            |ch| {
+                let mut rng = StdRng::seed_from_u64(8);
+                let mut r = KkrtReceiver::setup(ch, &mut rng, TweakHasher::default());
+                let mut bank = r.offline(ch, 10, &mut rng);
+                bank.shed_to(3);
+                assert_eq!(bank.remaining(), 3);
+            },
+        );
     }
 }

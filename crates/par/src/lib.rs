@@ -251,16 +251,22 @@ impl Pool<'_> {
     }
 
     /// Split `0..len` into at most [`Pool::workers`] contiguous ranges of
-    /// at least `min_per_part` indices each (except possibly the last
-    /// remainderful split) and run `f` on each range in parallel. The
-    /// partition depends only on `len` and the worker count — never on
-    /// data — and small inputs collapse to one inline call.
+    /// at least `min_per_part` indices each and run `f` on each range in
+    /// parallel. The partition depends only on `len` and the worker count —
+    /// never on data — and small inputs collapse to one inline call.
+    ///
+    /// Floor division sizes the part count: an input shorter than
+    /// `2 * min_per_part` runs as a single inline call, so a caller's
+    /// minimum-work threshold is a real floor on per-worker work, not a
+    /// rounding suggestion. Fanning out below the threshold is exactly the
+    /// regime where dispatch overhead dominates and multicore loses to the
+    /// serial loop.
     pub fn ranges(&self, len: usize, min_per_part: usize, f: impl Fn(Range<usize>) + Sync) {
         if len == 0 {
             return;
         }
         let per = min_per_part.max(1);
-        let parts = self.workers.min(len.div_ceil(per)).max(1);
+        let parts = self.workers.min(len / per).max(1);
         if parts == 1 {
             f(0..len);
             return;

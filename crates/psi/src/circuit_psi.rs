@@ -17,10 +17,13 @@
 use rand::Rng;
 use secyan_circuit::{u64_to_bits, Circuit};
 use secyan_crypto::{RingCtx, TweakHasher};
-use secyan_gc::{evaluate_shared, garble_shared, with_shared_outputs, SharedOutputSpec};
+use secyan_gc::{
+    evaluate_shared, evaluate_shared_online, garble_shared, garble_shared_online, take_eval,
+    take_garble, with_shared_outputs, EvalMaterial, GarbleMaterial, SharedOutputSpec,
+};
 use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
 use secyan_transport::{Channel, ReadExt, WriteExt};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
 use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
@@ -37,13 +40,16 @@ pub struct PsiOutput {
     pub payload_shares: Vec<u64>,
 }
 
-/// The public parameters both parties derive identically.
-pub(crate) struct PsiParams {
+/// The public parameters both parties derive identically. Public so the
+/// offline planner (`secyan-core`'s query shapes) can reproduce the bin
+/// and degree bounds from the public relation sizes alone.
+pub struct PsiParams {
     pub bins: usize,
     pub degree: usize,
 }
 
-pub(crate) fn psi_params(receiver_size: usize, sender_size: usize) -> PsiParams {
+/// Derive the cuckoo/simple-hash parameters from the two public set sizes.
+pub fn psi_params(receiver_size: usize, sender_size: usize) -> PsiParams {
     let bins = bin_count(receiver_size);
     PsiParams {
         bins,
@@ -51,8 +57,10 @@ pub(crate) fn psi_params(receiver_size: usize, sender_size: usize) -> PsiParams 
     }
 }
 
-/// The per-bin matching circuit: shares of indicator and payload.
-pub(crate) fn matching_circuit(bins: usize, ell: usize) -> (Circuit, SharedOutputSpec) {
+/// The per-bin matching circuit: shares of indicator and payload. Public
+/// so the offline planner can pre-garble it — its dimensions depend only
+/// on the public bin count and ring width.
+pub fn matching_circuit(bins: usize, ell: usize) -> (Circuit, SharedOutputSpec) {
     let spec = SharedOutputSpec::uniform(2 * bins, ell);
     let circuit = with_shared_outputs(&spec, |b| {
         // Garbler (sender): s_b then w_b per bin; evaluator: o_b then p_b.
@@ -125,7 +133,11 @@ pub(crate) fn negotiate_simple(
 }
 
 /// Receiver (cuckoo) side of circuit PSI. `elements` must be distinct;
-/// `sender_size` is the public size of the sender's set.
+/// `sender_size` is the public size of the sender's set. `gc_bank` holds
+/// pre-received garbled tables in plan order (pass an empty deque for a
+/// single-phase run): when its front matches the matching circuit the
+/// evaluation consumes it, else the tables travel inline.
+#[allow(clippy::too_many_arguments)]
 pub fn psi_receiver(
     ch: &mut Channel,
     elements: &[u64],
@@ -134,6 +146,7 @@ pub fn psi_receiver(
     kkrt: &mut KkrtReceiver,
     ot: &mut OtReceiver,
     hasher: TweakHasher,
+    gc_bank: &mut VecDeque<EvalMaterial>,
 ) -> PsiOutput {
     let params = psi_params(elements.len(), sender_size);
     let cuckoo = negotiate_cuckoo(ch, elements, &params);
@@ -155,7 +168,10 @@ pub fn psi_receiver(
         my_bits.extend(u64_to_bits(o[b], 64));
         my_bits.extend(u64_to_bits(p[b], 64));
     }
-    let shares = evaluate_shared(ch, &circuit, &spec, &my_bits, ot, hasher);
+    let shares = match take_eval(gc_bank, &circuit) {
+        Some(m) => evaluate_shared_online(ch, &circuit, m, &spec, &my_bits, ot, hasher),
+        None => evaluate_shared(ch, &circuit, &spec, &my_bits, ot, hasher),
+    };
     let (ind_shares, payload_shares) = split_shares(shares);
     PsiOutput {
         cuckoo: Some(cuckoo),
@@ -166,7 +182,8 @@ pub fn psi_receiver(
 
 /// Sender side of circuit PSI. `items` are distinct `(element, payload)`
 /// pairs with payloads already reduced into `ring`; `receiver_size` is the
-/// public size of the receiver's set.
+/// public size of the receiver's set. `gc_bank` mirrors the receiver's:
+/// pre-garbled material in plan order, consumed when its front matches.
 #[allow(clippy::too_many_arguments)]
 pub fn psi_sender<R: Rng + ?Sized>(
     ch: &mut Channel,
@@ -177,6 +194,7 @@ pub fn psi_sender<R: Rng + ?Sized>(
     ot: &mut OtSender,
     hasher: TweakHasher,
     rng: &mut R,
+    gc_bank: &mut VecDeque<GarbleMaterial>,
 ) -> PsiOutput {
     let params = psi_params(receiver_size, items.len());
     let payload_of: HashMap<u64, u64> = items.iter().copied().collect();
@@ -212,7 +230,10 @@ pub fn psi_sender<R: Rng + ?Sized>(
         my_bits.extend(u64_to_bits(s[b], 64));
         my_bits.extend(u64_to_bits(w[b], 64));
     }
-    let shares = garble_shared(ch, &circuit, &spec, &my_bits, ot, hasher, rng);
+    let shares = match take_garble(gc_bank, &circuit) {
+        Some(m) => garble_shared_online(ch, &circuit, m, &spec, &my_bits, ot, rng),
+        None => garble_shared(ch, &circuit, &spec, &my_bits, ot, hasher, rng),
+    };
     let (ind_shares, payload_shares) = split_shares(shares);
     PsiOutput {
         cuckoo: None,
@@ -239,13 +260,32 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(21);
                 let mut kkrt = KkrtReceiver::setup(ch, &mut rng, hasher);
                 let mut ot = OtReceiver::setup(ch, &mut rng, hasher);
-                psi_receiver(ch, &x, y_len, ring, &mut kkrt, &mut ot, hasher)
+                psi_receiver(
+                    ch,
+                    &x,
+                    y_len,
+                    ring,
+                    &mut kkrt,
+                    &mut ot,
+                    hasher,
+                    &mut VecDeque::new(),
+                )
             },
             move |ch| {
                 let mut rng = StdRng::seed_from_u64(22);
                 let mut kkrt = KkrtSender::setup(ch, &mut rng, hasher);
                 let mut ot = OtSender::setup(ch, &mut rng, hasher);
-                psi_sender(ch, &y, x_len, ring, &mut kkrt, &mut ot, hasher, &mut rng)
+                psi_sender(
+                    ch,
+                    &y,
+                    x_len,
+                    ring,
+                    &mut kkrt,
+                    &mut ot,
+                    hasher,
+                    &mut rng,
+                    &mut VecDeque::new(),
+                )
             },
         );
         (r, s, ring)

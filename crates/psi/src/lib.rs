@@ -26,6 +26,8 @@ pub mod hashing;
 pub mod opprf;
 pub mod shared_payload;
 
-pub use circuit_psi::{psi_receiver, psi_sender, PsiOutput};
+pub use circuit_psi::{
+    matching_circuit, psi_params, psi_receiver, psi_sender, PsiOutput, PsiParams,
+};
 pub use hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
-pub use shared_payload::{shared_payload_psi_receiver, shared_payload_psi_sender};
+pub use shared_payload::{k_circuit, shared_payload_psi_receiver, shared_payload_psi_sender};

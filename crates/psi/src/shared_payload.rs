@@ -21,18 +21,22 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use secyan_circuit::{bits_to_u64, u64_to_bits, Builder, Circuit, Word};
 use secyan_crypto::{RingCtx, TweakHasher};
-use secyan_gc::{evaluate_circuit, garble_circuit, OutputMode};
+use secyan_gc::{
+    evaluate_circuit, evaluate_online, garble_circuit, garble_online, take_eval, take_garble,
+    EvalMaterial, GarbleMaterial, OutputMode,
+};
 use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
 use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
 use secyan_transport::Channel;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::circuit_psi::{negotiate_cuckoo, negotiate_simple, psi_params, PsiOutput};
 use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
 
 /// The k-index circuit: per bin, shares of the indicator plus the routing
-/// index k_b in the clear (toward the evaluator = PSI receiver).
-fn k_circuit(bins: usize, ell: usize) -> Circuit {
+/// index k_b in the clear (toward the evaluator = PSI receiver). Public so
+/// the offline planner can pre-garble it from the public bin count.
+pub fn k_circuit(bins: usize, ell: usize) -> Circuit {
     let mut b = Builder::new();
     // Garbler (= PSI sender): per-bin indicator masks, then s, w, d.
     let masks: Vec<Word> = (0..bins).map(|_| b.alice_word(ell)).collect();
@@ -65,7 +69,8 @@ fn k_circuit(bins: usize, ell: usize) -> Circuit {
 
 /// Receiver side (the cuckoo/X holder; also holds shares of the sender's
 /// payload vector). `my_payload_shares.len()` is the sender's public set
-/// size. Returns per-bin shares of indicator and payload.
+/// size. Returns per-bin shares of indicator and payload. `gc_bank` holds
+/// pre-received tables in plan order (empty deque for single-phase runs).
 #[allow(clippy::too_many_arguments)]
 pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     ch: &mut Channel,
@@ -77,6 +82,7 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     ot_send: &mut OtSender,
     hasher: TweakHasher,
     rng: &mut R,
+    gc_bank: &mut VecDeque<EvalMaterial>,
 ) -> PsiOutput {
     let n = my_payload_shares.len();
     let params = psi_params(elements.len(), n);
@@ -105,14 +111,25 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
         my_bits.extend(u64_to_bits(o[b], 64));
         my_bits.extend(u64_to_bits(p[b], 64));
     }
-    let out_bits = evaluate_circuit(
-        ch,
-        &circuit,
-        &my_bits,
-        ot_recv,
-        hasher,
-        OutputMode::RevealToEvaluator,
-    )
+    let out_bits = match take_eval(gc_bank, &circuit) {
+        Some(m) => evaluate_online(
+            ch,
+            &circuit,
+            m,
+            &my_bits,
+            ot_recv,
+            hasher,
+            OutputMode::RevealToEvaluator,
+        ),
+        None => evaluate_circuit(
+            ch,
+            &circuit,
+            &my_bits,
+            ot_recv,
+            hasher,
+            OutputMode::RevealToEvaluator,
+        ),
+    }
     .expect("k circuit reveals to evaluator");
     let ell = ring.bits() as usize;
     let ind_shares: Vec<u64> = (0..bins)
@@ -134,8 +151,9 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     }
 }
 
-/// Sender side (the Y holder; also holds shares of his own payload vector,
-/// aligned by index with `elements`). `receiver_size` is public.
+/// Sender side (the Y holder; also holds shares of their own payload
+/// vector, aligned by index with `elements`). `receiver_size` is public.
+/// `gc_bank` mirrors the receiver's: pre-garbled material in plan order.
 #[allow(clippy::too_many_arguments)]
 pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
     ch: &mut Channel,
@@ -148,6 +166,7 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
     ot_recv: &mut OtReceiver,
     hasher: TweakHasher,
     rng: &mut R,
+    gc_bank: &mut VecDeque<GarbleMaterial>,
 ) -> PsiOutput {
     let n = elements.len();
     assert_eq!(my_payload_shares.len(), n);
@@ -201,15 +220,25 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
         swd_bits.extend(u64_to_bits(xi1_inv[n + b] as u64, 64));
     }
     my_bits.extend(swd_bits);
-    let out = garble_circuit(
-        ch,
-        &circuit,
-        &my_bits,
-        ot_send,
-        hasher,
-        rng,
-        OutputMode::RevealToEvaluator,
-    );
+    let out = match take_garble(gc_bank, &circuit) {
+        Some(m) => garble_online(
+            ch,
+            &circuit,
+            m,
+            &my_bits,
+            ot_send,
+            OutputMode::RevealToEvaluator,
+        ),
+        None => garble_circuit(
+            ch,
+            &circuit,
+            &my_bits,
+            ot_send,
+            hasher,
+            rng,
+            OutputMode::RevealToEvaluator,
+        ),
+    };
     debug_assert!(out.is_none());
     // Step 5: second shared OEP (receiver holds ξ₂).
     let payload_shares = shared_oep_other(ch, &zprime_shares, bins, ring, ot_send, rng);
@@ -241,7 +270,16 @@ mod tests {
                 let mut ot_r = OtReceiver::setup(ch, &mut rng, hasher);
                 let mut ot_s = OtSender::setup(ch, &mut rng, hasher);
                 shared_payload_psi_receiver(
-                    ch, &x, &recv_sh, ring, &mut kkrt, &mut ot_r, &mut ot_s, hasher, &mut rng,
+                    ch,
+                    &x,
+                    &recv_sh,
+                    ring,
+                    &mut kkrt,
+                    &mut ot_r,
+                    &mut ot_s,
+                    hasher,
+                    &mut rng,
+                    &mut VecDeque::new(),
                 )
             },
             move |ch| {
@@ -252,8 +290,17 @@ mod tests {
                 let mut ot_s = OtSender::setup(ch, &mut rng, hasher);
                 let mut ot_r = OtReceiver::setup(ch, &mut rng, hasher);
                 shared_payload_psi_sender(
-                    ch, &y, x_len, &send_sh, ring, &mut kkrt, &mut ot_s, &mut ot_r, hasher,
+                    ch,
+                    &y,
+                    x_len,
+                    &send_sh,
+                    ring,
+                    &mut kkrt,
+                    &mut ot_s,
+                    &mut ot_r,
+                    hasher,
                     &mut rng,
+                    &mut VecDeque::new(),
                 )
             },
         );

@@ -20,7 +20,7 @@
 
 use crate::gen::{AggKind, Instance};
 use secyan_baseline::{naive_gc_evaluator, naive_gc_garbler, NaiveRows};
-use secyan_core::{secure_yannakakis, Session};
+use secyan_core::{run_offline, run_online, secure_yannakakis, Session};
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_relation::{naive::naive_join_aggregate, yannakakis, CountSemiring, Relation};
@@ -272,6 +272,112 @@ pub fn check_instance(inst: &Instance) -> Differential {
         secure,
         baseline,
     }
+}
+
+/// Engine 4 in phase-split mode: run the offline phase (shape-keyed
+/// precomputation), then the online phase against the banked material.
+/// Must produce results identical to [`run_secure`]; the recorded stats
+/// additionally carry the offline/online byte and round split.
+///
+/// `shed` optionally exhausts the material before the online run:
+/// `(circuits, ot_cap)` discards that many pre-garbled entries and caps
+/// the OT banks, forcing per-step inline fallback mid-online (applied
+/// symmetrically, as a real exhausted pool would be).
+pub fn run_secure_phase_split(inst: &Instance, shed: Option<(usize, usize)>) -> SecureRun {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let sizes = inst.sizes();
+    let (s2, sizes) = (sizes.clone(), sizes);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    let ((res, handle), (), stats) = run_protocol_recorded(
+        move |ch| {
+            let handle = ch.transcript_handle();
+            let mut m = run_offline(
+                ch,
+                &qa,
+                &sizes,
+                Role::Alice,
+                ring,
+                TweakHasher::default(),
+                sa,
+            );
+            if let Some((c, cap)) = shed {
+                m.shed(c, cap);
+            }
+            let res = run_online(ch, &qa, &ra, Role::Alice, ring, TweakHasher::default(), m);
+            (res, handle)
+        },
+        move |ch| {
+            let mut m = run_offline(ch, &qb, &s2, Role::Alice, ring, TweakHasher::default(), sb);
+            if let Some((c, cap)) = shed {
+                m.shed(c, cap);
+            }
+            run_online(ch, &qb, &rb, Role::Alice, ring, TweakHasher::default(), m);
+        },
+    );
+    SecureRun {
+        result: canonical_nonzero(
+            ring,
+            sorted_columns(&res.schema, res.tuples)
+                .into_iter()
+                .zip(res.values)
+                .collect(),
+        ),
+        out_size: res.out_size,
+        stats,
+        transcript: handle.messages(),
+    }
+}
+
+/// [`run_secure_phase_split`] under a transport fault plan: the fault may
+/// land in either phase, and in both cases the run must end in a typed
+/// error or a correct result — never a hang or an untyped panic.
+pub fn run_secure_phase_split_with_faults(
+    inst: &Instance,
+    plan: &FaultPlan,
+) -> Result<(Rows, CommStats), ProtocolError> {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let sizes = inst.sizes();
+    let (s2, sizes) = (sizes.clone(), sizes);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    try_run_protocol_with_faults(
+        plan,
+        move |ch| {
+            let m = run_offline(
+                ch,
+                &qa,
+                &sizes,
+                Role::Alice,
+                ring,
+                TweakHasher::default(),
+                sa,
+            );
+            run_online(ch, &qa, &ra, Role::Alice, ring, TweakHasher::default(), m)
+        },
+        move |ch| {
+            let m = run_offline(ch, &qb, &s2, Role::Alice, ring, TweakHasher::default(), sb);
+            run_online(ch, &qb, &rb, Role::Alice, ring, TweakHasher::default(), m);
+        },
+    )
+    .map(|(res, (), stats)| {
+        (
+            canonical_nonzero(
+                ring,
+                sorted_columns(&res.schema, res.tuples)
+                    .into_iter()
+                    .zip(res.values)
+                    .collect(),
+            ),
+            stats,
+        )
+    })
 }
 
 /// Run the secure protocol under a transport fault plan. `Ok` carries the

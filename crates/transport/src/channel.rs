@@ -17,6 +17,80 @@ use std::sync::{Arc, Mutex};
 /// Frame header size: payload length (`u32` LE) then sequence (`u32` LE).
 pub(crate) const HEADER: usize = 8;
 
+/// The sequence word carries the phase tag in its top two bits; the low 30
+/// bits are the per-direction sequence counter.
+const SEQ_MASK: u32 = 0x3FFF_FFFF;
+
+/// Which execution phase a frame belongs to (offline/online split).
+///
+/// Phase tags travel in the top two bits of each frame's sequence word and
+/// are validated on receive: a frame whose tag disagrees with the receiving
+/// endpoint's current phase surfaces as [`TransportError::PhaseMismatch`]
+/// instead of silently crossing the offline/online boundary. The default
+/// [`Phase::Single`] is the classic one-shot mode; `run_offline` /
+/// `run_online` in `secyan-core` switch both endpoints in lock-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase {
+    /// Classic single-phase execution (the default).
+    #[default]
+    Single,
+    /// Data-independent precomputation keyed by the public query shape.
+    Offline,
+    /// Data-dependent execution consuming precomputed material.
+    Online,
+}
+
+impl Phase {
+    fn tag(self) -> u32 {
+        match self {
+            Phase::Single => 0,
+            Phase::Offline => 1,
+            Phase::Online => 2,
+        }
+    }
+
+    fn from_tag(tag: u32) -> Option<Phase> {
+        match tag {
+            0 => Some(Phase::Single),
+            1 => Some(Phase::Offline),
+            2 => Some(Phase::Online),
+            _ => None,
+        }
+    }
+}
+
+/// A simulated network: finite bandwidth plus per-round latency, applied
+/// inside [`Channel::send`] as real sleeps on the sending thread.
+///
+/// The model is deliberately simple and conservative: every sent frame
+/// blocks its sender for `payload_bytes * 8 / bandwidth_bits_per_sec`
+/// (serialization delay; full-duplex, so simultaneous transfers in the two
+/// directions do not contend), and the first frame after a direction
+/// switch additionally blocks for `one_way_latency_us` (the propagation
+/// delay the ping-pong pattern cannot pipeline away; subsequent frames in
+/// the same direction stream behind it). Benchmarks use this to compare
+/// cold and warm executions under one declared WAN model instead of the
+/// loopback's infinite bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetModel {
+    /// Link bandwidth in bits per second (applied per direction).
+    pub bandwidth_bits_per_sec: u64,
+    /// One-way propagation delay in microseconds, paid per direction
+    /// switch.
+    pub one_way_latency_us: u64,
+}
+
+impl NetModel {
+    /// A conventional WAN point: `mbit_per_sec` Mbit/s symmetric with 1 ms
+    /// one-way latency. MPC evaluations commonly report 10–100 Mbit/s.
+    pub fn wan(mbit_per_sec: u64) -> NetModel {
+        NetModel {
+            bandwidth_bits_per_sec: mbit_per_sec * 1_000_000,
+            one_way_latency_us: 1_000,
+        }
+    }
+}
+
 /// Which of the two parties an endpoint belongs to.
 ///
 /// Following the paper's convention, *Alice* is the designated receiver of
@@ -53,6 +127,18 @@ struct Meter {
     /// Encodes the direction of the previous message so a direction switch
     /// can be detected: 0 = none yet, 1 = Alice→Bob, 2 = Bob→Alice.
     last_dir: AtomicU64,
+    /// Payload bytes sent while an endpoint was in [`Phase::Offline`].
+    offline_bytes: AtomicU64,
+    /// Payload bytes sent while an endpoint was in [`Phase::Online`].
+    online_bytes: AtomicU64,
+    /// Direction switches among offline-phase messages.
+    offline_rounds: AtomicU64,
+    /// Direction switches among online-phase messages.
+    online_rounds: AtomicU64,
+    /// `last_dir`, restricted to offline-phase traffic.
+    last_dir_offline: AtomicU64,
+    /// `last_dir`, restricted to online-phase traffic.
+    last_dir_online: AtomicU64,
 }
 
 /// A snapshot of the communication counters after (or during) a protocol run.
@@ -72,6 +158,14 @@ pub struct CommStats {
     /// wire (a "round" in the MPC sense: a maximal run of messages flowing
     /// one way).
     pub rounds: u64,
+    /// Payload bytes (both directions) sent during [`Phase::Offline`].
+    pub offline_bytes: u64,
+    /// Payload bytes (both directions) sent during [`Phase::Online`].
+    pub online_bytes: u64,
+    /// Rounds among offline-phase messages only.
+    pub offline_rounds: u64,
+    /// Rounds among online-phase messages only.
+    pub online_rounds: u64,
 }
 
 impl CommStats {
@@ -89,6 +183,10 @@ impl CommStats {
             messages_bob_to_alice: self.messages_bob_to_alice - earlier.messages_bob_to_alice,
             messages: self.messages - earlier.messages,
             rounds: self.rounds - earlier.rounds,
+            offline_bytes: self.offline_bytes - earlier.offline_bytes,
+            online_bytes: self.online_bytes - earlier.online_bytes,
+            offline_rounds: self.offline_rounds - earlier.offline_rounds,
+            online_rounds: self.online_rounds - earlier.online_rounds,
         }
     }
 }
@@ -147,6 +245,11 @@ pub struct Channel {
     send_seq: u32,
     /// Sequence number expected on the next incoming frame.
     recv_seq: u32,
+    /// Execution phase stamped on outgoing frames and demanded of incoming
+    /// ones. Both endpoints switch phases at the same protocol points.
+    phase: Phase,
+    /// Optional simulated network applied to outgoing frames.
+    net: Option<NetModel>,
 }
 
 impl std::fmt::Debug for Channel {
@@ -242,12 +345,34 @@ impl Channel {
             pending_pos: 0,
             send_seq: 0,
             recv_seq: 0,
+            phase: Phase::Single,
+            net: None,
         }
+    }
+
+    /// Install (or clear) a simulated network on this endpoint. Both
+    /// endpoints of a pair should carry the same model; see
+    /// [`crate::run_protocol_with_net`].
+    pub fn set_net_model(&mut self, net: Option<NetModel>) {
+        self.net = net;
     }
 
     /// The party this endpoint belongs to.
     pub fn role(&self) -> Role {
         self.role
+    }
+
+    /// The current execution phase (stamped on outgoing frames).
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Switch this endpoint into `phase`. The peer must make the matching
+    /// switch at the same protocol point: a frame tagged with a different
+    /// phase than the receiver's current one is rejected as
+    /// [`TransportError::PhaseMismatch`].
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
     }
 
     /// Send one message to the peer.
@@ -284,8 +409,24 @@ impl Channel {
             Role::Alice => 1,
             Role::Bob => 2,
         };
-        if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
+        let switched = self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir;
+        if switched {
             self.meter.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.phase {
+            Phase::Single => {}
+            Phase::Offline => {
+                self.meter.offline_bytes.fetch_add(len, Ordering::Relaxed);
+                if self.meter.last_dir_offline.swap(dir, Ordering::Relaxed) != dir {
+                    self.meter.offline_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Phase::Online => {
+                self.meter.online_bytes.fetch_add(len, Ordering::Relaxed);
+                if self.meter.last_dir_online.swap(dir, Ordering::Relaxed) != dir {
+                    self.meter.online_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         if let Some(transcript) = &self.transcript {
             transcript
@@ -293,10 +434,26 @@ impl Channel {
                 .expect("transcript lock poisoned")
                 .push((self.role, data.clone()));
         }
+        // Simulated network: block the sending thread for the modeled
+        // serialization delay (plus propagation on a direction switch)
+        // before the frame becomes visible to the peer.
+        if let Some(net) = self.net {
+            let bits = (data.len() as u64).saturating_mul(8);
+            let mut delay_us = bits
+                .saturating_mul(1_000_000)
+                .div_euclid(net.bandwidth_bits_per_sec.max(1));
+            if switched {
+                delay_us += net.one_way_latency_us;
+            }
+            if delay_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            }
+        }
         let mut frame = Vec::with_capacity(HEADER + data.len());
         frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&self.send_seq.to_le_bytes());
-        self.send_seq = self.send_seq.wrapping_add(1);
+        let seq_word = (self.send_seq & SEQ_MASK) | (self.phase.tag() << 30);
+        frame.extend_from_slice(&seq_word.to_le_bytes());
+        self.send_seq = self.send_seq.wrapping_add(1) & SEQ_MASK;
         frame.extend_from_slice(&data);
         if self.tx.send(frame).is_err() {
             TransportError::PeerClosed { during: "send" }.raise();
@@ -320,14 +477,26 @@ impl Channel {
         word.copy_from_slice(&frame[0..4]);
         let declared = u32::from_le_bytes(word) as usize;
         word.copy_from_slice(&frame[4..8]);
-        let seq = u32::from_le_bytes(word);
+        let seq_word = u32::from_le_bytes(word);
+        let seq = seq_word & SEQ_MASK;
         if seq != self.recv_seq {
             return Err(TransportError::OutOfOrder {
                 expected: u64::from(self.recv_seq),
                 got: u64::from(seq),
             });
         }
-        self.recv_seq = self.recv_seq.wrapping_add(1);
+        let Some(phase) = Phase::from_tag(seq_word >> 30) else {
+            return Err(TransportError::Corrupt {
+                detail: "unknown phase tag in sequence word",
+            });
+        };
+        if phase != self.phase {
+            return Err(TransportError::PhaseMismatch {
+                expected: self.phase,
+                got: phase,
+            });
+        }
+        self.recv_seq = self.recv_seq.wrapping_add(1) & SEQ_MASK;
         let got = frame.len() - HEADER;
         if got != declared {
             return Err(TransportError::Truncated {
@@ -398,6 +567,10 @@ impl Channel {
             messages_bob_to_alice: m_b2a,
             messages: m_a2b + m_b2a,
             rounds: self.meter.rounds.load(Ordering::Relaxed),
+            offline_bytes: self.meter.offline_bytes.load(Ordering::Relaxed),
+            online_bytes: self.meter.online_bytes.load(Ordering::Relaxed),
+            offline_rounds: self.meter.offline_rounds.load(Ordering::Relaxed),
+            online_rounds: self.meter.online_rounds.load(Ordering::Relaxed),
         }
     }
 
@@ -623,6 +796,87 @@ mod tests {
             a.send(vec![i]);
         }
         assert_eq!(a.recv(), vec![9]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn phase_tag_mismatch_is_detected() {
+        let (mut a, mut b) = channel_pair();
+        a.set_phase(Phase::Offline);
+        a.send(vec![1, 2]);
+        // Receiver still in Single phase: typed error, no hang.
+        assert_eq!(
+            b.try_recv().unwrap_err(),
+            TransportError::PhaseMismatch {
+                expected: Phase::Single,
+                got: Phase::Offline,
+            }
+        );
+    }
+
+    #[test]
+    fn matching_phases_roundtrip_and_meter_separately() {
+        let (mut a, mut b) = channel_pair();
+        a.set_phase(Phase::Offline);
+        b.set_phase(Phase::Offline);
+        a.send(vec![0; 10]);
+        assert_eq!(b.recv(), vec![0; 10]);
+        b.send(vec![0; 3]);
+        assert_eq!(a.recv(), vec![0; 3]);
+        a.set_phase(Phase::Online);
+        b.set_phase(Phase::Online);
+        a.send(vec![0; 5]);
+        assert_eq!(b.recv(), vec![0; 5]);
+        let stats = a.stats();
+        assert_eq!(stats.offline_bytes, 13);
+        assert_eq!(stats.online_bytes, 5);
+        assert_eq!(stats.offline_rounds, 2);
+        assert_eq!(stats.online_rounds, 1);
+        assert_eq!(stats.total_bytes(), 18);
+        assert_eq!(stats.rounds, 3);
+    }
+
+    #[test]
+    fn unknown_phase_tag_is_corrupt() {
+        let got = tampered_recv(|mut frame, out| {
+            frame[4..8].copy_from_slice(&(3u32 << 30).to_le_bytes());
+            out.send(frame).unwrap();
+        });
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::Corrupt {
+                detail: "unknown phase tag in sequence word",
+            }
+        );
+    }
+
+    #[test]
+    fn net_model_delays_sends() {
+        // 80 kbit at 1 Mbit/s = 80 ms serialization, plus 5 ms latency on
+        // the first (direction-switching) frame. Lower bound only: sleeps
+        // may overshoot, never undershoot.
+        let (mut a, mut b) = channel_pair();
+        let net = NetModel {
+            bandwidth_bits_per_sec: 1_000_000,
+            one_way_latency_us: 5_000,
+        };
+        a.set_net_model(Some(net));
+        let h = thread::spawn(move || {
+            assert_eq!(b.recv().len(), 10_000);
+            assert_eq!(b.recv().len(), 10_000);
+        });
+        let t = std::time::Instant::now();
+        a.send(vec![0u8; 10_000]);
+        assert!(
+            t.elapsed() >= std::time::Duration::from_millis(85),
+            "shaped send returned after only {:?}",
+            t.elapsed()
+        );
+        // Clearing the model restores unshaped sends.
+        a.set_net_model(None);
+        let t = std::time::Instant::now();
+        a.send(vec![0u8; 10_000]);
+        assert!(t.elapsed() < std::time::Duration::from_millis(50));
         h.join().unwrap();
     }
 

@@ -31,6 +31,13 @@ pub enum TransportError {
     OutOfOrder { expected: u64, got: u64 },
     /// A frame failed structural validation (header too short to parse).
     Corrupt { detail: &'static str },
+    /// A frame's phase tag disagrees with the receiving endpoint's current
+    /// execution phase — offline traffic arriving during the online phase
+    /// or vice versa (desynchronized phase switch, replay across phases).
+    PhaseMismatch {
+        expected: crate::channel::Phase,
+        got: crate::channel::Phase,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -49,6 +56,12 @@ impl std::fmt::Display for TransportError {
                 write!(f, "frame out of order: expected seq {expected}, got {got}")
             }
             TransportError::Corrupt { detail } => write!(f, "corrupt frame: {detail}"),
+            TransportError::PhaseMismatch { expected, got } => {
+                write!(
+                    f,
+                    "phase mismatch: endpoint in {expected:?} phase received a {got:?}-tagged frame"
+                )
+            }
         }
     }
 }

@@ -32,11 +32,13 @@ mod runner;
 mod wire;
 
 pub use channel::{
-    channel_pair, channel_pair_with_transcript, Channel, CommStats, Role, TranscriptHandle,
+    channel_pair, channel_pair_with_transcript, Channel, CommStats, NetModel, Phase, Role,
+    TranscriptHandle,
 };
 pub use error::{ProtocolError, TransportError};
 pub use fault::{fault_channel_pair, FaultKind, FaultPlan, FaultSpec};
 pub use runner::{
-    run_protocol, run_protocol_recorded, try_run_protocol, try_run_protocol_with_faults,
+    run_protocol, run_protocol_recorded, run_protocol_with_net, try_run_protocol,
+    try_run_protocol_with_faults,
 };
 pub use wire::{ReadExt, WriteExt};

@@ -14,7 +14,7 @@
 //!   [`crate::TransportError::PeerClosed`] — so a single fault terminates
 //!   both parties without deadlock.
 
-use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats};
+use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats, NetModel};
 use crate::error::{try_downcast_panic, ProtocolError, TransportError};
 use crate::fault::{fault_channel_pair, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,6 +34,28 @@ where
     RB: Send,
 {
     run_on(channel_pair(), alice, bob)
+}
+
+/// Like [`run_protocol`], but both endpoints carry the given simulated
+/// network (see [`NetModel`]): every send pays the modeled serialization
+/// and per-round propagation delay as a real sleep, so wall-clock timings
+/// taken inside the party closures reflect the declared WAN instead of
+/// loopback.
+pub fn run_protocol_with_net<FA, FB, RA, RB>(
+    net: NetModel,
+    alice: FA,
+    bob: FB,
+) -> (RA, RB, CommStats)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let (mut ca, mut cb) = channel_pair();
+    ca.set_net_model(Some(net));
+    cb.set_net_model(Some(net));
+    run_on((ca, cb), alice, bob)
 }
 
 /// Like [`run_protocol`], but on a transcript-recording channel pair

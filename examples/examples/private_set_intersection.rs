@@ -33,7 +33,16 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(1);
             let mut kkrt = secyan_ot::KkrtReceiver::setup(ch, &mut rng, hasher);
             let mut ot = secyan_ot::OtReceiver::setup(ch, &mut rng, hasher);
-            let out = psi_receiver(ch, &alice_ids, b_len, ring, &mut kkrt, &mut ot, hasher);
+            let out = psi_receiver(
+                ch,
+                &alice_ids,
+                b_len,
+                ring,
+                &mut kkrt,
+                &mut ot,
+                hasher,
+                &mut std::collections::VecDeque::new(),
+            );
             // Sum the payload shares locally: a share of the intersection
             // total. Opening just this one scalar reveals the total only.
             let my_sum = out
@@ -48,7 +57,15 @@ fn main() {
             let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
             let mut ot = secyan_ot::OtSender::setup(ch, &mut rng, hasher);
             let out = psi_sender(
-                ch, &bob_items, a_len, ring, &mut kkrt, &mut ot, hasher, &mut rng,
+                ch,
+                &bob_items,
+                a_len,
+                ring,
+                &mut kkrt,
+                &mut ot,
+                hasher,
+                &mut rng,
+                &mut std::collections::VecDeque::new(),
             );
             let my_sum = out
                 .payload_shares

@@ -13,8 +13,11 @@
 
 use secyan_crypto::RingCtx;
 use secyan_relation::{JoinTree, NaturalRing, Relation};
-use secyan_testkit::{check_instance, run_secure, scalar_of, AggKind, Instance, SecureRun};
-use secyan_transport::Role;
+use secyan_testkit::{
+    check_instance, oracle, run_secure, run_secure_phase_split, run_secure_phase_split_with_faults,
+    scalar_of, AggKind, Instance, SecureRun,
+};
+use secyan_transport::{FaultKind, FaultPlan, Role};
 
 /// One direction's wire stream: the sender's messages in program order.
 /// The *global* interleaving of the two directions is scheduler timing,
@@ -58,6 +61,118 @@ fn differential_sweep_chain_family_exercises_baseline() {
         baseline_runs, 16,
         "every chain-family instance must exercise the circuit baseline"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Offline/online phase split (DESIGN.md §11).
+// ---------------------------------------------------------------------------
+
+/// Every generated instance, run as offline-then-online, must produce a
+/// result identical to the single-phase run, with the traffic split
+/// reported per phase and the bulk of it shifted offline.
+#[test]
+fn phase_split_sweep_matches_single_phase() {
+    for seed in (0..24).chain([1001, 1002]) {
+        let inst = Instance::generate(seed);
+        let single = run_secure(&inst);
+        let split = run_secure_phase_split(&inst, None);
+        assert_eq!(
+            split.result,
+            single.result,
+            "phase-split result diverged from single-phase on {}",
+            inst.describe()
+        );
+        assert_eq!(split.out_size, single.out_size);
+        assert!(
+            split.stats.offline_bytes > 0 && split.stats.online_bytes > 0,
+            "both phases must carry tagged traffic on {}",
+            inst.describe()
+        );
+        // The online phase must be strictly cheaper than doing everything
+        // at query time: at minimum the session bootstrap and the banked
+        // OT extensions moved offline. (It is NOT always below the offline
+        // bytes — a full-join instance garbles its data-dependent product
+        // tree inline online, which no shape-keyed plan can foresee.)
+        assert!(
+            split.stats.online_bytes < single.stats.total_bytes(),
+            "online phase of {} is no cheaper than single-phase \
+             (online {} vs single {})",
+            inst.describe(),
+            split.stats.online_bytes,
+            single.stats.total_bytes()
+        );
+    }
+}
+
+/// The chain family (scalar aggregates, single-survivor reveal path)
+/// through the phase split.
+#[test]
+fn phase_split_chain_family_matches_single_phase() {
+    for seed in 0..8 {
+        let inst = Instance::generate_chain(seed);
+        let single = run_secure(&inst);
+        let split = run_secure_phase_split(&inst, None);
+        assert_eq!(split.result, single.result, "{}", inst.describe());
+    }
+}
+
+/// A pool exhausted mid-online — pre-garbled entries consumed, OT banks
+/// nearly dry — must degrade to per-step inline fallback on both parties
+/// at once, still producing the correct result (slower, never wrong, never
+/// hung). Sweeps partial and total exhaustion.
+#[test]
+fn pool_exhaustion_mid_online_falls_back_correctly() {
+    for seed in [1, 5, 9] {
+        let inst = Instance::generate(seed);
+        let expected = oracle(&inst);
+        for (label, shed) in [
+            ("one circuit + capped OTs", (1, 64)),
+            ("all circuits, empty banks", (usize::MAX >> 1, 0)),
+        ] {
+            let run = run_secure_phase_split(&inst, Some(shed));
+            assert_eq!(
+                run.result,
+                expected,
+                "exhausted pool ({label}) corrupted the result on {}",
+                inst.describe()
+            );
+        }
+    }
+}
+
+/// Transport faults landing in *either* phase of a split run must surface
+/// as typed errors — never hangs, never untyped panics. Early indices hit
+/// the offline bootstrap; indices near the horizon hit the online phase.
+#[test]
+fn phase_split_faults_surface_typed_errors_in_both_phases() {
+    let inst = Instance::generate(1);
+    let clean = run_secure_phase_split(&inst, None);
+    for dir in [Role::Alice, Role::Bob] {
+        // This direction's own message horizon — a fault indexed past it
+        // would never fire.
+        let horizon = match dir {
+            Role::Alice => clean.stats.messages_alice_to_bob,
+            Role::Bob => clean.stats.messages_bob_to_alice,
+        };
+        for (phase, index) in [
+            ("offline", 0),
+            ("offline", 4),
+            ("online", horizon.saturating_sub(2)),
+        ] {
+            for kind in [FaultKind::Truncate, FaultKind::Disconnect] {
+                let plan = FaultPlan::single(dir, index, kind);
+                match run_secure_phase_split_with_faults(&inst, &plan) {
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                    Ok(_) => panic!(
+                        "{kind:?} on {dir:?} message {index} ({phase} phase) \
+                         did not disrupt the split run"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 /// Nightly-style deep run: 1000 instances. Not part of the gating CI job

@@ -109,10 +109,7 @@ fn aes_and_sha256_garblings_agree() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 6,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 6 })]
 
     /// Property form: for random inputs, Aes and Sha256 garblings agree on
     /// the decoded outputs and on the transcript length sequence.

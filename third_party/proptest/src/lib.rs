@@ -11,6 +11,9 @@
 //! rather than 256, keeping the offline CI suite fast; per-block
 //! `#![proptest_config(...)]` overrides work as usual.
 
+// Strategy trait objects mirror the real crate's signatures verbatim.
+#![allow(clippy::type_complexity)]
+
 /// Configuration for a `proptest!` block. Only `cases` is modelled.
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -124,7 +127,10 @@ pub mod strategy {
 
     impl<T> Union<T> {
         pub fn new(variants: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Union<T> {
-            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            assert!(
+                !variants.is_empty(),
+                "prop_oneof! needs at least one variant"
+            );
             Union { variants }
         }
     }
@@ -235,17 +241,26 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> SizeRange {
             assert!(r.end > r.start, "empty size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
@@ -262,7 +277,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -283,7 +301,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Eq + Hash,
     {
-        HashSetStrategy { element, size: size.into() }
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for HashSetStrategy<S>

@@ -348,9 +348,9 @@ pub mod rngs {
             let mut out = [0u8; 32];
             rng.fill_bytes(&mut out);
             let expected = [
-                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53,
-                0x86, 0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36,
-                0xef, 0xcc, 0x8b, 0x77, 0x0d, 0xc7,
+                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+                0xbd, 0x28, 0xbd, 0xd2, 0x19, 0xb8, 0xa0, 0x8d, 0xed, 0x1a, 0xa8, 0x36, 0xef, 0xcc,
+                0x8b, 0x77, 0x0d, 0xc7,
             ];
             assert_eq!(out, expected);
         }
@@ -385,10 +385,7 @@ pub mod rngs {
             let mut a = StdRng::from_entropy();
             let mut b = StdRng::from_entropy();
             // 128-bit collision between two OS-entropy seeds: never.
-            assert_ne!(
-                (a.next_u64(), a.next_u64()),
-                (b.next_u64(), b.next_u64())
-            );
+            assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
         }
     }
 }
