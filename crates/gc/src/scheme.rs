@@ -209,9 +209,12 @@ fn garble_levels(
                 );
                 [wg ^ we, tg, te]
             });
-            for (and, r) in level.ands.iter().zip(&results) {
-                zero[and.out] = r[0];
-                tables[and.and_idx] = (r[1], r[2]);
+            // Indexed by position rather than zipped with `results`: the
+            // gate descriptors are public topology and must not alias the
+            // secret label buffer in the dataflow (xtask taint).
+            for (i, and) in level.ands.iter().enumerate() {
+                zero[and.out] = results[i][0];
+                tables[and.and_idx] = (results[i][1], results[i][2]);
             }
             // The staging buffer holds output zero-labels — key material.
             results.zeroize();

@@ -191,8 +191,9 @@ impl CommStats {
     }
 }
 
-/// Shared transcript buffer: `(sender, payload bytes)` per message.
-type Transcript = Arc<Mutex<Vec<(Role, Vec<u8>)>>>;
+/// Shared transcript buffer: `(sender, sender's phase, payload bytes)` per
+/// message.
+type Transcript = Arc<Mutex<Vec<(Role, Phase, Vec<u8>)>>>;
 
 /// A handle onto a recording channel pair's transcript that outlives the
 /// endpoints. Obtain one with [`Channel::transcript_handle`] before moving
@@ -210,7 +211,12 @@ impl TranscriptHandle {
     /// Full transcript so far: `(sender, payload)` per message, in wire
     /// order.
     pub fn messages(&self) -> Vec<(Role, Vec<u8>)> {
-        self.inner.lock().expect("transcript lock poisoned").clone()
+        self.inner
+            .lock()
+            .expect("transcript lock poisoned")
+            .iter()
+            .map(|(role, _, payload)| (*role, payload.clone()))
+            .collect()
     }
 
     /// Per-message lengths, in wire order (the obliviousness view).
@@ -219,7 +225,20 @@ impl TranscriptHandle {
             .lock()
             .expect("transcript lock poisoned")
             .iter()
-            .map(|(role, payload)| (*role, payload.len()))
+            .map(|(role, _, payload)| (*role, payload.len()))
+            .collect()
+    }
+
+    /// Per-message lengths with the sender's phase, in wire order. Phase
+    /// transitions are protocol-synchronized (a mismatched frame is
+    /// rejected on receive), so filtering by phase yields each phase's
+    /// transcript shape — the per-phase obliviousness view.
+    pub fn phased_lengths(&self) -> Vec<(Role, Phase, usize)> {
+        self.inner
+            .lock()
+            .expect("transcript lock poisoned")
+            .iter()
+            .map(|(role, phase, payload)| (*role, *phase, payload.len()))
             .collect()
     }
 }
@@ -429,10 +448,11 @@ impl Channel {
             }
         }
         if let Some(transcript) = &self.transcript {
-            transcript
-                .lock()
-                .expect("transcript lock poisoned")
-                .push((self.role, data.clone()));
+            transcript.lock().expect("transcript lock poisoned").push((
+                self.role,
+                self.phase,
+                data.clone(),
+            ));
         }
         // Simulated network: block the sending thread for the modeled
         // serialization delay (plus propagation on a direction switch)

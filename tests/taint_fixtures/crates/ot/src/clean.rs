@@ -1,0 +1,44 @@
+//! Clean code in the secret scope: none of this may be flagged. Each item
+//! is the hygienic twin of a seeded violation, plus the suppression path.
+
+/// The *length* of an exposed value is public shape — branching on it is
+/// fine (`.len()` / `.is_empty()` / `.capacity()` launder size, not value).
+pub fn branch_on_public_len(s: Secret<Vec<u8>>) -> usize {
+    let n = s.expose().len();
+    if n > 0 {
+        return n;
+    }
+    0
+}
+
+/// Loop bounds from public shape metadata.
+pub fn loop_public(counts: &[usize]) -> usize {
+    let mut acc = 0;
+    for n in counts {
+        acc += n;
+    }
+    acc
+}
+
+/// Indexing with a public counter is fine, even on a table that also
+/// stores masked data.
+pub fn index_public(table: &[u8], round: usize) -> u8 {
+    table[round % table.len()]
+}
+
+/// Constant-time use of a secret: XOR-fold without branch, loop, or index.
+pub fn fold_secret(s: Secret<u64>, acc: u64) -> u64 {
+    let x = s.expose();
+    acc ^ x
+}
+
+/// Reviewed declassification: the finding is real but justified, so an
+/// inline suppression keeps it out of the report.
+pub fn reviewed_declass(s: Secret<u64>) -> u64 {
+    let out = s.expose();
+    // taint-ok: protocol output, declassified by design in this fixture.
+    if out == 0 {
+        return 1;
+    }
+    out
+}

@@ -1,0 +1,63 @@
+//! Seeded taint violations in the secret scope: every annotated line must
+//! be flagged by `cargo xtask taint --fixtures`, and nothing else may fire.
+//! Each item has a hygienic twin in `clean.rs`.
+
+/// Two-hop flow: the exposed value moves through two `let`s before the
+/// branch — invisible to line-local ct-lint, caught by the dataflow pass.
+pub fn branch_on_secret(s: Secret<u64>) -> u64 {
+    let a = s.expose();
+    let b = a + 1;
+    // taint-expect: T-BRANCH
+    if b > 0 {
+        return 1;
+    }
+    0
+}
+
+/// Secret loop trip count: iteration count is timing-visible.
+pub fn loop_on_secret(s: Secret<usize>) -> usize {
+    let n = s.expose();
+    let mut acc = 0;
+    // taint-expect: T-LOOP
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}
+
+/// Secret table index: the memory address leaks through the cache.
+pub fn index_on_secret(s: Secret<usize>, table: &[u8]) -> u8 {
+    let i = s.expose();
+    // taint-expect: T-INDEX
+    table[i]
+}
+
+/// Marker-named parameters taint in secret-scope crates even without an
+/// explicit source call.
+pub fn marker_branch(delta: u128) -> u128 {
+    // taint-expect: T-BRANCH
+    if delta & 1 == 1 {
+        return 3;
+    }
+    0
+}
+
+/// Match on a secret (the scrutinee is a branch) and index through the arm
+/// binding (the binding inherits the scrutinee's taint).
+pub fn match_on_secret(s: Secret<Option<usize>>, v: &[u8]) -> u8 {
+    let o = s.expose();
+    // taint-expect: T-BRANCH
+    match o {
+        // taint-expect: T-INDEX
+        Some(i) => v[i],
+        None => 0,
+    }
+}
+
+/// Taint survives a closure boundary: the iterator receiver feeds the
+/// closure parameter.
+pub fn closure_branch(s: Secret<Vec<u64>>) -> u64 {
+    let vals = s.expose();
+    // taint-expect: T-BRANCH
+    vals.iter().map(|x| if *x > 0 { 1 } else { 0 }).sum()
+}

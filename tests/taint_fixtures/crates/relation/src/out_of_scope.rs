@@ -1,0 +1,20 @@
+//! Outside the secret-scope crates, marker-named identifiers are ordinary
+//! public values (a relation's join `key` is public metadata, not a
+//! cryptographic key): nothing here may be flagged.
+
+/// Branching on a join key during plan construction is fine.
+pub fn pick_side(key: u64, share: u64) -> u64 {
+    if key > share {
+        return key - share;
+    }
+    share - key
+}
+
+/// Loops and indexing over marker-named publics are fine too.
+pub fn sum_shares(shares: &[u64]) -> u64 {
+    let mut acc = 0;
+    for i in 0..shares.len() {
+        acc += shares[i];
+    }
+    acc
+}

@@ -5,9 +5,10 @@
 //! structure — a direct, mechanical check of the property the paper's
 //! security argument rests on.
 
+use secyan_core::{run_offline, run_online};
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_relation::{JoinTree, NaturalRing, Relation};
-use secyan_transport::{run_protocol, run_protocol_recorded, Role};
+use secyan_transport::{run_protocol, run_protocol_recorded, CommStats, Phase, Role};
 
 fn strings(v: &[&str]) -> Vec<String> {
     v.iter().map(|s| s.to_string()).collect()
@@ -119,6 +120,134 @@ fn all_dummy_database_is_indistinguishable() {
     for (ma, mb) in t_real.iter().zip(&t_dummy) {
         assert_eq!(ma, mb);
     }
+}
+
+/// Run the Example-1.1-shaped query in explicit offline/online phase-split
+/// mode; return the per-message `(sender, phase, length)` transcript and
+/// the communication stats.
+fn phased_transcript_of(
+    r1_rows: Vec<(Vec<u64>, u64)>,
+    r2_rows: Vec<(Vec<u64>, u64)>,
+    r3_rows: Vec<(Vec<u64>, u64)>,
+) -> (Vec<(Role, Phase, usize)>, CommStats) {
+    let ring = NaturalRing::paper_default();
+    let sizes = vec![r1_rows.len(), r2_rows.len(), r3_rows.len()];
+    let r1 = Relation::from_rows(ring, strings(&["person"]), r1_rows);
+    let r2 = Relation::from_rows(ring, strings(&["person", "disease"]), r2_rows);
+    let r3 = Relation::from_rows(ring, strings(&["disease", "class"]), r3_rows);
+    let query = secyan_core::SecureQuery::new(
+        vec![
+            strings(&["person"]),
+            strings(&["person", "disease"]),
+            strings(&["disease", "class"]),
+        ],
+        vec![Role::Alice, Role::Bob, Role::Alice],
+        JoinTree::chain(3),
+        strings(&["class"]),
+    );
+    let q2 = query.clone();
+    let s2 = sizes.clone();
+    let (handle, (), stats) = run_protocol_recorded(
+        move |ch| {
+            let handle = ch.transcript_handle();
+            let m = run_offline(
+                ch,
+                &query,
+                &sizes,
+                Role::Alice,
+                RingCtx::new(32),
+                TweakHasher::default(),
+                1,
+            );
+            run_online(
+                ch,
+                &query,
+                &[Some(r1), None, Some(r3)],
+                Role::Alice,
+                RingCtx::new(32),
+                TweakHasher::default(),
+                m,
+            );
+            handle
+        },
+        move |ch| {
+            let m = run_offline(
+                ch,
+                &q2,
+                &s2,
+                Role::Alice,
+                RingCtx::new(32),
+                TweakHasher::default(),
+                2,
+            );
+            run_online(
+                ch,
+                &q2,
+                &[None, Some(r2), None],
+                Role::Alice,
+                RingCtx::new(32),
+                TweakHasher::default(),
+                m,
+            );
+        },
+    );
+    (handle.phased_lengths(), stats)
+}
+
+/// Per-phase obliviousness: in phase-split mode, the offline transcript
+/// (which sees only public sizes) *and* the online transcript (which sees
+/// the private data) must each be shape-identical across databases of the
+/// same public shape — not just their concatenation. A length leak that
+/// moved bytes between phases while preserving totals would be caught
+/// here and nowhere else.
+#[test]
+fn per_phase_transcripts_depend_only_on_public_sizes() {
+    let (t_a, stats_a) = phased_transcript_of(
+        vec![(vec![1], 10), (vec![2], 20), (vec![3], 30)],
+        vec![
+            (vec![1, 1], 5),
+            (vec![2, 1], 6),
+            (vec![3, 2], 7),
+            (vec![1, 2], 8),
+        ],
+        vec![(vec![1, 100], 1), (vec![2, 200], 1)],
+    );
+    let (t_b, stats_b) = phased_transcript_of(
+        vec![(vec![91], 1), (vec![92], 1), (vec![93], 1)],
+        vec![
+            (vec![77, 5], 50),
+            (vec![78, 5], 60),
+            (vec![79, 6], 70),
+            (vec![80, 6], 80),
+        ],
+        vec![(vec![40, 300], 1), (vec![41, 300], 1)],
+    );
+    // Phase-split runs must tag every frame offline or online.
+    assert!(
+        t_a.iter().all(|(_, p, _)| *p != Phase::Single),
+        "untagged frame in a phase-split run"
+    );
+    let shape = |t: &[(Role, Phase, usize)], p: Phase| -> Vec<(Role, usize)> {
+        t.iter()
+            .filter(|(_, q, _)| *q == p)
+            .map(|(r, _, n)| (*r, *n))
+            .collect()
+    };
+    let off_a = shape(&t_a, Phase::Offline);
+    let off_b = shape(&t_b, Phase::Offline);
+    let on_a = shape(&t_a, Phase::Online);
+    let on_b = shape(&t_b, Phase::Online);
+    assert!(
+        !off_a.is_empty() && !on_a.is_empty(),
+        "both phases must communicate ({} offline, {} online messages)",
+        off_a.len(),
+        on_a.len()
+    );
+    assert_eq!(off_a, off_b, "offline transcript shape differs");
+    assert_eq!(on_a, on_b, "online transcript shape differs");
+    // Round structure of each phase is equally data-independent.
+    assert_eq!(stats_a.offline_rounds, stats_b.offline_rounds);
+    assert_eq!(stats_a.online_rounds, stats_b.online_rounds);
 }
 
 /// Rounds must depend only on the query, not the data size — the paper's

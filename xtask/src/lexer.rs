@@ -132,10 +132,19 @@ impl ScannedFile {
                 State::Str => match c {
                     '\\' => {
                         cur_string.push(c);
-                        if let Some(n) = next {
-                            cur_string.push(n);
+                        // An escaped newline (string line continuation) must
+                        // not be consumed here: the physical line still ends,
+                        // and the top-of-loop newline branch emits the line
+                        // break. Consuming it desynchronizes every following
+                        // line number (findings, fixtures, test masks).
+                        if next == Some('\n') {
+                            i += 1;
+                        } else {
+                            if let Some(n) = next {
+                                cur_string.push(n);
+                            }
+                            i += 2;
                         }
-                        i += 2;
                     }
                     '"' => {
                         cur_code.push('"');
@@ -159,7 +168,9 @@ impl ScannedFile {
                 }
                 State::Char => match c {
                     '\\' => {
-                        i += 2;
+                        // Same escaped-newline guard as in strings: never
+                        // consume a `\n` inside an escape skip.
+                        i += if next == Some('\n') { 1 } else { 2 };
                     }
                     '\'' => {
                         cur_code.push('\'');
@@ -348,6 +359,97 @@ mod tests {
     fn nested_block_comments() {
         let s = ScannedFile::scan("a /* x /* y */ z */ b");
         assert_eq!(s.code[0], "a   b");
+    }
+
+    /// Every scan must produce exactly one code/comment/string entry per
+    /// source line — downstream line numbers (findings, `ct-expect:`
+    /// fixtures) depend on it. Checks the channel lengths against the raw
+    /// newline count.
+    fn assert_line_sync(src: &str) {
+        let want = src.split('\n').count();
+        let s = ScannedFile::scan(src);
+        assert_eq!(s.code.len(), want, "code lines desynced for {src:?}");
+        assert_eq!(s.comments.len(), want, "comment lines desynced");
+        assert_eq!(s.strings.len(), want, "string lines desynced");
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_sync() {
+        // A `\` before the newline continues the string literal onto the
+        // next line; the newline must still produce a line break in the
+        // scanned channels.
+        let src = "let a = \"x\\\ny\";\nlet seed = 1;\n";
+        assert_line_sync(src);
+        let s = ScannedFile::scan(src);
+        // `let seed = 1;` must land on line 3 (index 2), not shift up.
+        assert!(s.code[2].contains("seed"));
+    }
+
+    #[test]
+    fn multi_line_raw_string_keeps_line_sync() {
+        let src = "let a = r#\"one\ntwo\nthree\"#;\nlet key = 9;\n";
+        assert_line_sync(src);
+        let s = ScannedFile::scan(src);
+        assert!(s.code[3].contains("key"));
+        // The raw string body must live in the string channel, not code.
+        assert!(s.strings[1].contains("two"));
+        assert!(!s.code[1].contains("two"));
+    }
+
+    #[test]
+    fn raw_string_with_comment_markers_inside() {
+        let src = "let a = r#\"// not a comment /* nor this\"#; let b = 1;";
+        let s = ScannedFile::scan(src);
+        assert!(s.code[0].contains("let b = 1;"), "code: {:?}", s.code[0]);
+        assert!(s.comments[0].is_empty());
+    }
+
+    #[test]
+    fn two_raw_strings_one_line() {
+        let s = ScannedFile::scan("f(r#\"a\"#, r\"b\"); g();");
+        assert!(s.code[0].contains("g();"));
+        assert_eq!(s.strings[0], "ab");
+    }
+
+    #[test]
+    fn block_comment_with_quote_inside() {
+        let src = "/* \"unclosed */ let x = 1;\nlet y = 2;\n";
+        assert_line_sync(src);
+        let s = ScannedFile::scan(src);
+        assert!(s.code[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn string_with_comment_opener_inside() {
+        let s = ScannedFile::scan("let s = \"/* //\"; let y = 2;");
+        assert!(s.code[0].contains("let y = 2;"));
+        assert!(s.comments[0].is_empty());
+    }
+
+    #[test]
+    fn nested_block_comment_spanning_lines() {
+        let src = "a /* x\n/* y\n*/ z\n*/ b\nc\n";
+        assert_line_sync(src);
+        let s = ScannedFile::scan(src);
+        assert!(s.code[3].contains('b'));
+        assert!(s.code[4].contains('c'));
+        assert!(!s.code[2].contains('z'), "still inside depth-2 comment");
+    }
+
+    #[test]
+    fn char_literal_escapes() {
+        let src = "let a = '\\''; let b = '\\\\'; let c = '\\u{41}'; done();";
+        let s = ScannedFile::scan(src);
+        assert!(s.code[0].contains("done();"), "code: {:?}", s.code[0]);
+    }
+
+    #[test]
+    fn raw_string_followed_by_line_comment() {
+        let src = "let a = r\"body\"; // trailing seed note\nlet b = 1;\n";
+        assert_line_sync(src);
+        let s = ScannedFile::scan(src);
+        assert!(s.comments[0].contains("trailing"));
+        assert!(s.code[1].contains("let b"));
     }
 
     #[test]

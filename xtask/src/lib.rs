@@ -14,7 +14,10 @@
 //! `cargo test -p xtask`.
 
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 use rules::Finding;
 use std::collections::BTreeMap;
@@ -26,7 +29,7 @@ const SOURCE_ROOTS: &[&str] = &["crates", "examples", "tests", "xtask"];
 
 /// Path fragments that are never linted (fixtures are linted only by the
 /// dedicated fixtures mode; `target` holds build products).
-const EXCLUDED: &[&str] = &["ct_lint_fixtures", "target"];
+const EXCLUDED: &[&str] = &["ct_lint_fixtures", "taint_fixtures", "target"];
 
 /// Recursively collect `.rs` files under `dir`, paths relative to `root`.
 fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
@@ -73,6 +76,24 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
+/// Run the taint pass (see [`taint`]) over the whole workspace tree rooted
+/// at `root`. Returns findings in path/line order.
+pub fn taint_workspace(root: &Path, cfg: &taint::TaintConfig) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in SOURCE_ROOTS {
+        collect_rs(root, &root.join(sub), &mut files);
+    }
+    let mut findings = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        findings.extend(taint::taint_source(&rel_str, &src, cfg));
+    }
+    Ok(findings)
+}
+
 /// Parse a baseline file into key → allowed-count.
 pub fn parse_baseline(text: &str) -> BTreeMap<String, usize> {
     let mut map = BTreeMap::new();
@@ -112,13 +133,15 @@ pub fn diff_baseline(findings: Vec<Finding>, baseline: &BTreeMap<String, usize>)
     BaselineDiff { new, stale }
 }
 
-/// Serialize findings as a baseline file body.
-pub fn render_baseline(findings: &[Finding]) -> String {
-    let mut out = String::from(
-        "# ct-lint baseline: reviewed, justified findings the lint tolerates.\n\
+/// Serialize findings as a baseline file body. `tool` names the xtask
+/// subcommand (`ct-lint` / `taint`) and `ok_tag` the inline suppression
+/// comment tag (`ct-ok:` / `taint-ok:`) quoted in the header.
+pub fn render_baseline(tool: &str, ok_tag: &str, findings: &[Finding]) -> String {
+    let mut out = format!(
+        "# {tool} baseline: reviewed, justified findings the lint tolerates.\n\
          # One finding per line: rule<TAB>path<TAB>normalized snippet.\n\
-         # Regenerate with `cargo xtask ct-lint --update-baseline`; new code\n\
-         # must come in clean (or carry an inline `ct-ok:` justification).\n",
+         # Regenerate with `cargo xtask {tool} --update-baseline`; new code\n\
+         # must come in clean (or carry an inline `// {ok_tag}` justification).\n",
     );
     for f in findings {
         out.push_str(&f.key());
@@ -127,16 +150,34 @@ pub fn render_baseline(findings: &[Finding]) -> String {
     out
 }
 
-/// Fixture check: lint every `.rs` file under `dir` and verify the
-/// `ct-expect: <RULE>...` annotations. An annotation on line N expects each
-/// named rule to fire on line N+1; any finding without a matching
-/// annotation is an error (false positive), any annotation without its
-/// finding is an error (false negative). Returns problem descriptions.
+/// Fixture check against the ct-lint rules and `ct-expect:` annotations.
+/// See [`check_fixtures_with`].
+pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<String>> {
+    check_fixtures_with(dir, "ct-expect:", &|rel, src| lint_source(rel, src))
+}
+
+/// Fixture check against the taint rules and `taint-expect:` annotations.
+/// See [`check_fixtures_with`].
+pub fn check_taint_fixtures(dir: &Path, cfg: &taint::TaintConfig) -> std::io::Result<Vec<String>> {
+    check_fixtures_with(dir, "taint-expect:", &|rel, src| {
+        taint::taint_source(rel, src, cfg)
+    })
+}
+
+/// Fixture check: lint every `.rs` file under `dir` with `lint` and verify
+/// the `<expect_tag> <RULE>...` annotations. An annotation on line N
+/// expects each named rule to fire on line N+1; any finding without a
+/// matching annotation is an error (false positive), any annotation without
+/// its finding is an error (false negative). Returns problem descriptions.
 ///
 /// Paths are taken relative to `dir`, so the fixture tree mirrors the
 /// workspace layout (`<dir>/crates/ot/src/...` lints with the scoping of
 /// `crates/ot/src/...`).
-pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<String>> {
+pub fn check_fixtures_with(
+    dir: &Path,
+    expect_tag: &str,
+    lint: &dyn Fn(&str, &str) -> Vec<Finding>,
+) -> std::io::Result<Vec<String>> {
     let mut files = Vec::new();
     collect_rs(dir, dir, &mut files);
     let mut problems = Vec::new();
@@ -149,14 +190,13 @@ pub fn check_fixtures(dir: &Path) -> std::io::Result<Vec<String>> {
             .replace(std::path::MAIN_SEPARATOR, "/");
         saw_any = true;
         let scan = lexer::ScannedFile::scan(&src);
-        let raw: Vec<&str> = src.lines().collect();
-        let findings = rules::lint_scanned(&rel_str, &scan, &raw);
+        let findings = lint(&rel_str, &src);
         // Gather expectations: (line, rule) pairs, where line is the line
         // *after* the annotation comment.
         let mut expected: Vec<(usize, String, bool)> = Vec::new();
         for (i, comment) in scan.comments.iter().enumerate() {
-            if let Some(pos) = comment.find("ct-expect:") {
-                for rule in comment[pos + "ct-expect:".len()..].split_whitespace() {
+            if let Some(pos) = comment.find(expect_tag) {
+                for rule in comment[pos + expect_tag.len()..].split_whitespace() {
                     expected.push((i + 2, rule.to_string(), false));
                 }
             }
@@ -215,7 +255,7 @@ mod tests {
             line: 10,
             snippet: "seed == other".into(),
         };
-        let body = render_baseline(std::slice::from_ref(&f));
+        let body = render_baseline("ct-lint", "ct-ok:", std::slice::from_ref(&f));
         let map = parse_baseline(&body);
         let diff = diff_baseline(vec![f], &map);
         assert!(diff.new.is_empty());

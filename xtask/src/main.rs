@@ -3,102 +3,177 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::taint::TaintConfig;
 use xtask::{
-    check_fixtures, diff_baseline, find_workspace_root, lint_workspace, parse_baseline,
-    render_baseline,
+    check_fixtures, check_taint_fixtures, diff_baseline, find_workspace_root, lint_workspace,
+    parse_baseline, render_baseline, sarif, taint_workspace,
 };
 
 const USAGE: &str = "\
-Usage: cargo xtask ct-lint [options]
+Usage: cargo xtask <ct-lint|taint> [options]
 
 Secret-hygiene static analysis over the workspace sources.
 
-Options:
-  --update-baseline   rewrite ct-lint.allow from the current findings
-  --fixtures          self-test against tests/ct_lint_fixtures annotations
-  --root <dir>        workspace root (default: auto-detected)
+  ct-lint   token-level constant-time rules (R-EQ, R-BRANCH, R-DEBUG,
+            R-INDEX, R-UNSAFE), baseline ct-lint.allow
+  taint     intraprocedural secret-taint dataflow + communication-shape
+            rules (T-BRANCH, T-LOOP, T-INDEX, T-COMM, D-PAR), baseline
+            taint.allow
 
-Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/IO error.";
+Options:
+  --update-baseline   rewrite the command's .allow file from current findings
+  --fixtures          self-test against the command's fixture annotations
+  --root <dir>        workspace root (default: auto-detected)
+  --sarif <path>      also write findings as SARIF 2.1.0 (for CI upload)
+  --source <name>     (taint) add a taint-source function name; repeatable
+
+Exit codes: 0 clean, 1 findings / stale baseline / fixture mismatch,
+2 usage or IO error.";
+
+struct Opts {
+    update: bool,
+    fixtures: bool,
+    root: Option<PathBuf>,
+    sarif: Option<PathBuf>,
+    extra_sources: Vec<String>,
+}
+
+fn parse_opts(args: &[String], taint_mode: bool) -> Result<Opts, String> {
+    let mut opts = Opts {
+        update: false,
+        fixtures: false,
+        root: None,
+        sarif: None,
+        extra_sources: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--update-baseline" => opts.update = true,
+            "--fixtures" => opts.fixtures = true,
+            "--root" => match it.next() {
+                Some(p) => opts.root = Some(PathBuf::from(p)),
+                None => return Err("--root needs a path".into()),
+            },
+            "--sarif" => match it.next() {
+                Some(p) => opts.sarif = Some(PathBuf::from(p)),
+                None => return Err("--sarif needs a path".into()),
+            },
+            "--source" if taint_mode => match it.next() {
+                Some(s) => opts.extra_sources.push(s.clone()),
+                None => return Err("--source needs a function name".into()),
+            },
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
+    let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "ct-lint" {
-        eprintln!("unknown command `{cmd}`\n{USAGE}");
-        return ExitCode::from(2);
-    }
-    let mut update = false;
-    let mut fixtures = false;
-    let mut root_arg: Option<PathBuf> = None;
-    let mut it = args.iter().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--update-baseline" => update = true,
-            "--fixtures" => fixtures = true,
-            "--root" => match it.next() {
-                Some(p) => root_arg = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root needs a path\n{USAGE}");
-                    return ExitCode::from(2);
-                }
-            },
-            other => {
-                eprintln!("unknown option `{other}`\n{USAGE}");
-                return ExitCode::from(2);
-            }
+    let taint_mode = match cmd {
+        "ct-lint" => false,
+        "taint" => true,
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            return ExitCode::from(2);
         }
-    }
+    };
+    let opts = match parse_opts(&args[1..], taint_mode) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
-    let root = root_arg.or_else(|| {
+    let root = opts.root.clone().or_else(|| {
         let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
         find_workspace_root(here.parent().unwrap_or(&here))
     });
     let Some(root) = root else {
-        eprintln!("ct-lint: could not locate the workspace root");
+        eprintln!("{cmd}: could not locate the workspace root");
         return ExitCode::from(2);
     };
 
-    if fixtures {
-        let dir = root.join("tests/ct_lint_fixtures");
-        return match check_fixtures(&dir) {
+    let mut cfg = TaintConfig::default();
+    cfg.sources.extend(opts.extra_sources.iter().cloned());
+
+    // Tool-specific wiring: fixture directory, baseline file, suppression
+    // tag, and the remediation hint printed on failure.
+    let (fixture_dir, baseline_file, ok_tag, hint) = if taint_mode {
+        (
+            "tests/taint_fixtures",
+            "taint.allow",
+            "taint-ok:",
+            "Route the length through public shape metadata (QueryShape / \
+             declared sizes), pad to a public bound, or suppress a reviewed \
+             exception with an inline `// taint-ok: <reason>`.",
+        )
+    } else {
+        (
+            "tests/ct_lint_fixtures",
+            "ct-lint.allow",
+            "ct-ok:",
+            "Fix with the ct_eq/ct_select/Secret APIs in secyan-crypto::secret, \
+             suppress a reviewed exception with an inline `// ct-ok: <reason>`, \
+             or (for bulk legacy code) re-run with --update-baseline and \
+             justify the diff in review.",
+        )
+    };
+
+    if opts.fixtures {
+        let dir = root.join(fixture_dir);
+        let result = if taint_mode {
+            check_taint_fixtures(&dir, &cfg)
+        } else {
+            check_fixtures(&dir)
+        };
+        return match result {
             Ok(problems) if problems.is_empty() => {
-                println!("ct-lint fixtures: all seeded violations caught, no false positives");
+                println!("{cmd} fixtures: all seeded violations caught, no false positives");
                 ExitCode::SUCCESS
             }
             Ok(problems) => {
                 for p in &problems {
-                    eprintln!("ct-lint fixtures: {p}");
+                    eprintln!("{cmd} fixtures: {p}");
                 }
-                eprintln!("ct-lint fixtures: {} problem(s)", problems.len());
+                eprintln!("{cmd} fixtures: {} problem(s)", problems.len());
                 ExitCode::from(1)
             }
             Err(e) => {
-                eprintln!("ct-lint fixtures: {e}");
+                eprintln!("{cmd} fixtures: {e}");
                 ExitCode::from(2)
             }
         };
     }
 
-    let findings = match lint_workspace(&root) {
+    let findings = if taint_mode {
+        taint_workspace(&root, &cfg)
+    } else {
+        lint_workspace(&root)
+    };
+    let findings = match findings {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("ct-lint: {e}");
+            eprintln!("{cmd}: {e}");
             return ExitCode::from(2);
         }
     };
 
-    let baseline_path = root.join("ct-lint.allow");
-    if update {
-        let body = render_baseline(&findings);
+    let baseline_path = root.join(baseline_file);
+    if opts.update {
+        let body = render_baseline(cmd, ok_tag, &findings);
         if let Err(e) = std::fs::write(&baseline_path, body) {
-            eprintln!("ct-lint: writing {}: {e}", baseline_path.display());
+            eprintln!("{cmd}: writing {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
         println!(
-            "ct-lint: wrote {} entries to {}",
+            "{cmd}: wrote {} entries to {}",
             findings.len(),
             baseline_path.display()
         );
@@ -109,17 +184,29 @@ fn main() -> ExitCode {
         Ok(text) => parse_baseline(&text),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
         Err(e) => {
-            eprintln!("ct-lint: reading {}: {e}", baseline_path.display());
+            eprintln!("{cmd}: reading {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
     };
     let diff = diff_baseline(findings, &baseline);
-    for k in &diff.stale {
-        eprintln!("ct-lint: stale baseline entry (prune it): {k}");
+
+    if let Some(path) = &opts.sarif {
+        let doc = sarif::render(&format!("secyan-{cmd}"), &diff.new);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("{cmd}: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("{cmd}: wrote SARIF to {}", path.display());
     }
-    if diff.new.is_empty() {
+
+    // Stale entries are a hard failure: the baseline must describe the code
+    // as it is, or the diff it tolerates silently drifts.
+    for k in &diff.stale {
+        eprintln!("{cmd}: stale {baseline_file} entry matches nothing (prune it): {k}");
+    }
+    if diff.new.is_empty() && diff.stale.is_empty() {
         println!(
-            "ct-lint: clean ({} baselined exception(s))",
+            "{cmd}: clean ({} baselined exception(s))",
             baseline.values().sum::<usize>()
         );
         return ExitCode::SUCCESS;
@@ -127,12 +214,15 @@ fn main() -> ExitCode {
     for f in &diff.new {
         eprintln!("{} {}:{}: {}", f.rule, f.path, f.line, f.snippet);
     }
-    eprintln!(
-        "ct-lint: {} new finding(s). Fix with the ct_eq/ct_select/Secret APIs in \
-         secyan-crypto::secret, suppress a reviewed exception with an inline \
-         `// ct-ok: <reason>`, or (for bulk legacy code) re-run with \
-         --update-baseline and justify the diff in review.",
-        diff.new.len()
-    );
+    if !diff.new.is_empty() {
+        eprintln!("{cmd}: {} new finding(s). {hint}", diff.new.len());
+    }
+    if !diff.stale.is_empty() {
+        eprintln!(
+            "{cmd}: {} stale baseline entr(ies) — regenerate with --update-baseline \
+             or delete the dead lines.",
+            diff.stale.len()
+        );
+    }
     ExitCode::from(1)
 }
