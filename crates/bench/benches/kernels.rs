@@ -1,0 +1,138 @@
+//! Criterion benchmarks of the SIMD kernel layer: each kernel measured
+//! on its scalar arm and its SIMD arm (flipped in-process through
+//! `secyan_crypto::cpu::set_force_scalar`), so the accelerated/portable
+//! ratio is visible directly in the report. The acceptance bars for the
+//! kernel layer — ≥4x on the movemask transpose, ≥2x on batched GF(2^64)
+//! interpolation — are read off these groups; `BENCH_kernels.json`
+//! (written by `profile_ops`) records the same comparison as a tracked
+//! artifact.
+//!
+//! The worker pool is pinned to one thread for every measurement: these
+//! are kernel benchmarks, and the pool partitioning is benchmarked
+//! separately (`profile_ops` threads sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use secyan_crypto::cpu;
+use secyan_crypto::gf64::{self, Gf64};
+use secyan_crypto::transpose::BitMatrix;
+use secyan_par as par;
+
+/// Run `f` under one dispatch arm, restoring env-driven dispatch after.
+fn with_arm<T>(force_scalar: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = cpu::override_lock();
+    cpu::set_force_scalar(force_scalar);
+    let out = f();
+    cpu::clear_force_scalar();
+    out
+}
+
+const ARMS: [(&str, bool); 2] = [("scalar", true), ("simd", false)];
+
+fn bench_transpose(c: &mut Criterion) {
+    par::set_threads(1);
+    let mut g = c.benchmark_group("kernel_transpose");
+    for (rows, cols) in [(1024usize, 1024usize), (4096, 4096)] {
+        let m = BitMatrix::from_fn(rows, cols, |r, c| (r * 31 + c * 7) % 3 == 0);
+        g.throughput(Throughput::Bytes((rows * cols / 8) as u64));
+        for (arm, force) in ARMS {
+            g.bench_function(BenchmarkId::new(arm, format!("{rows}x{cols}")), |b| {
+                with_arm(force, || b.iter(|| m.transpose()));
+            });
+        }
+    }
+    g.finish();
+    par::set_threads(0);
+}
+
+fn bench_gf64(c: &mut Criterion) {
+    par::set_threads(1);
+    let mut g = c.benchmark_group("kernel_gf64");
+
+    // Elementwise multiply: the primitive under both poly kernels.
+    let n = 1usize << 14;
+    let ys: Vec<Gf64> = (0..n as u64)
+        .map(|i| Gf64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1))
+        .collect();
+    g.throughput(Throughput::Elements(n as u64));
+    for (arm, force) in ARMS {
+        g.bench_function(BenchmarkId::new(arm, format!("mul_slice_{n}")), |b| {
+            let mut xs = ys.clone();
+            with_arm(force, || {
+                b.iter(|| {
+                    gf64::mul_slice(&mut xs, &ys);
+                    xs[0]
+                })
+            });
+        });
+    }
+
+    // Newton interpolation through 24 points (the OPPRF hint degree),
+    // 64 bins per iteration.
+    let bins: Vec<Vec<(Gf64, Gf64)>> = (0..64u64)
+        .map(|b| {
+            (0..24u64)
+                .map(|i| {
+                    let x = (b * 24 + i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    (Gf64(x), Gf64(x ^ b))
+                })
+                .collect()
+        })
+        .collect();
+    g.throughput(Throughput::Elements(64));
+    for (arm, force) in ARMS {
+        g.bench_function(BenchmarkId::new(arm, "interpolate_deg24_x64"), |b| {
+            with_arm(force, || {
+                b.iter(|| {
+                    bins.iter()
+                        .map(|pts| gf64::poly_interpolate(pts).len())
+                        .sum::<usize>()
+                })
+            });
+        });
+    }
+
+    // Lockstep Horner over 2048 bins of degree 24: the OPPRF evaluation
+    // shape.
+    let flat: Vec<Gf64> = (0..2048u64 * 24)
+        .map(|i| Gf64(i.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+        .collect();
+    let xs: Vec<Gf64> = (0..2048u64).map(|i| Gf64(i * 3 + 1)).collect();
+    g.throughput(Throughput::Elements(2048));
+    for (arm, force) in ARMS {
+        g.bench_function(BenchmarkId::new(arm, "poly_eval_batch_2048x24"), |b| {
+            with_arm(force, || b.iter(|| gf64::poly_eval_batch(&flat, 24, &xs)));
+        });
+    }
+    g.finish();
+    par::set_threads(0);
+}
+
+fn bench_aes(c: &mut Criterion) {
+    par::set_threads(1);
+    let mut g = c.benchmark_group("kernel_aes");
+    let n = 1usize << 14;
+    let key = secyan_crypto::aes::Aes128::new([7u8; 16]);
+    g.throughput(Throughput::Elements(n as u64));
+    for (arm, force) in ARMS {
+        g.bench_function(BenchmarkId::new(arm, format!("encrypt_many_{n}")), |b| {
+            let mut blocks: Vec<u128> = (0..n as u128)
+                .map(|i| i.wrapping_mul(0xdead_beef))
+                .collect();
+            with_arm(force, || {
+                b.iter(|| {
+                    key.encrypt_blocks(&mut blocks);
+                    blocks[0]
+                })
+            });
+        });
+    }
+    g.finish();
+    par::set_threads(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transpose, bench_gf64, bench_aes
+}
+criterion_main!(benches);

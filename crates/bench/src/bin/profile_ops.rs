@@ -12,6 +12,8 @@ use secyan_transport::run_protocol;
 use std::time::Instant;
 
 fn main() {
+    profile_kernels();
+    profile_thresholds();
     profile_hashers();
     profile_parallel();
     profile_online();
@@ -164,6 +166,230 @@ fn main() {
     );
     let _ = u64_to_bits(0, 1);
     let _ = Builder::new();
+}
+
+/// Time each SIMD kernel against its forced-scalar arm and write
+/// `BENCH_kernels.json`. Arms are flipped in-process via
+/// `cpu::set_force_scalar`, so one binary measures both; the `features`
+/// and `cpus` fields record exactly what the numbers were taken on — a
+/// speedup is only meaningful where the probe says the SIMD arm actually
+/// ran. The pool is pinned to 1 thread throughout so the numbers isolate
+/// the kernels from the band partitioning measured elsewhere.
+fn profile_kernels() {
+    use secyan_crypto::cpu;
+    use secyan_crypto::gf64::{self, Gf64};
+    use secyan_crypto::transpose::BitMatrix;
+    use secyan_par as par;
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let feats = cpu::features();
+    par::set_threads(1);
+
+    // Median-of-reps nanoseconds for one arm of one kernel.
+    let time_arm = |force: bool, reps: usize, f: &mut dyn FnMut()| -> f64 {
+        cpu::set_force_scalar(force);
+        let mut runs = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            runs.push(t.elapsed().as_secs_f64() * 1e9);
+        }
+        cpu::clear_force_scalar();
+        runs.sort_by(|a, b| a.total_cmp(b));
+        runs[runs.len() / 2]
+    };
+
+    let mut entries: Vec<(&str, f64, f64)> = Vec::new();
+
+    // 1. Bit-matrix transpose, 4096x4096 (2 MiB): movemask kernel vs the
+    // reference bit loop.
+    let m = BitMatrix::from_fn(4096, 4096, |r, c| (r * 31 + c * 7) % 3 == 0);
+    let tr = |force| {
+        time_arm(force, 5, &mut || {
+            std::hint::black_box(m.transpose());
+        })
+    };
+    entries.push(("transpose_4096x4096", tr(true), tr(false)));
+
+    // 2. GF(2^64) elementwise multiply, 65536 elements: 4-way interleaved
+    // CLMUL with deferred reduction vs the shift-and-add scalar field op.
+    let ys: Vec<Gf64> = (0..1u64 << 16)
+        .map(|i| Gf64(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1))
+        .collect();
+    let mut xs = ys.clone();
+    let mut mul = |force| {
+        time_arm(force, 20, &mut || {
+            gf64::mul_slice(&mut xs, &ys);
+            std::hint::black_box(xs[0]);
+        })
+    };
+    entries.push(("gf64_mul_slice_65536", mul(true), mul(false)));
+
+    // 3. Newton interpolation through 24 points, 256 bins per rep: the
+    // OPPRF hint-generation inner loop.
+    let bins: Vec<Vec<(Gf64, Gf64)>> = (0..256u64)
+        .map(|b| {
+            (0..24u64)
+                .map(|i| {
+                    let x = (b * 24 + i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    (Gf64(x), Gf64(x ^ b))
+                })
+                .collect()
+        })
+        .collect();
+    let interp = |force| {
+        time_arm(force, 5, &mut || {
+            for pts in &bins {
+                std::hint::black_box(gf64::poly_interpolate(pts));
+            }
+        })
+    };
+    entries.push(("gf64_interpolate_deg24_x256", interp(true), interp(false)));
+
+    // 4. Lockstep Horner over 2048 bins of degree 24: the OPPRF hint
+    // evaluation inner loop.
+    let flat: Vec<Gf64> = (0..2048u64 * 24)
+        .map(|i| Gf64(i.wrapping_mul(0x2545_f491_4f6c_dd1d)))
+        .collect();
+    let exs: Vec<Gf64> = (0..2048u64).map(|i| Gf64(i * 3 + 1)).collect();
+    let eval = |force| {
+        time_arm(force, 20, &mut || {
+            std::hint::black_box(gf64::poly_eval_batch(&flat, 24, &exs));
+        })
+    };
+    entries.push(("gf64_poly_eval_batch_2048x24", eval(true), eval(false)));
+
+    // 5. Fixed-key AES over 65536 blocks: the 8-wide software-pipelined
+    // AES-NI path vs the portable T-table implementation.
+    let mut blocks: Vec<u128> = (0..1u128 << 16)
+        .map(|i| i.wrapping_mul(0xdead_beef))
+        .collect();
+    let key = secyan_crypto::aes::Aes128::new([7u8; 16]);
+    let mut aes = |force| {
+        time_arm(force, 10, &mut || {
+            key.encrypt_blocks(&mut blocks);
+            std::hint::black_box(blocks[0]);
+        })
+    };
+    entries.push(("aes_encrypt_many_65536", aes(true), aes(false)));
+
+    par::set_threads(0);
+
+    let mut json = format!(
+        "{{\n  \"cpus\": {cpus},\n  \"features\": {{\"sse2\": {}, \"ssse3\": {}, \"avx2\": {}, \
+\"pclmulqdq\": {}, \"aes\": {}}},\n  \"forced_scalar_env\": {},\n  \"kernels\": {{\n",
+        feats.sse2,
+        feats.ssse3,
+        feats.avx2,
+        feats.pclmulqdq,
+        feats.aes,
+        cpu::force_scalar(),
+    );
+    for (i, (name, scalar_ns, simd_ns)) in entries.iter().enumerate() {
+        let speedup = scalar_ns / simd_ns;
+        println!(
+            "kernel {name}: scalar {:.0} us, simd {:.0} us ({speedup:.2}x)",
+            scalar_ns / 1e3,
+            simd_ns / 1e3
+        );
+        json.push_str(&format!(
+            "    \"{name}\": {{\"scalar_ns\": {scalar_ns:.0}, \"simd_ns\": {simd_ns:.0}, \
+\"speedup\": {speedup:.2}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}
+
+/// Threads-vs-work microbench for the pooled phases, validating the
+/// dispatch thresholds: below each threshold the 4-thread timing must
+/// match the 1-thread timing (no dispatch happens, so no overhead), and
+/// a 1-thread run must never lose to the old always-dispatch behaviour.
+/// Printed only — the numbers feed threshold tuning, not the tracked
+/// JSON artifacts (they are machine-load sensitive).
+fn profile_thresholds() {
+    use secyan_circuit::Builder;
+    use secyan_crypto::transpose::BitMatrix;
+    use secyan_par as par;
+
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let time_at = |threads: usize, reps: usize, f: &mut dyn FnMut()| -> f64 {
+        par::set_threads(threads);
+        let mut runs = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t = Instant::now();
+            f();
+            runs.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+        par::set_threads(0);
+        median(runs)
+    };
+
+    // Transpose around PAR_MIN_OUT_BYTES: 8 KiB (below), 32 KiB (at),
+    // 512 KiB (above).
+    for (rows, cols) in [(128usize, 512usize), (128, 2048), (1024, 4096)] {
+        let m = BitMatrix::from_fn(rows, cols, |r, c| (r + c) % 5 == 0);
+        let run = |t| {
+            time_at(t, 9, &mut || {
+                std::hint::black_box(m.transpose());
+            })
+        };
+        let (t1, t4) = (run(1), run(4));
+        println!(
+            "threshold transpose {rows}x{cols} ({} B out): t1 {t1:.1} us, t4 {t4:.1} us \
+             (t4/t1 {:.2})",
+            rows * cols / 8,
+            t4 / t1
+        );
+    }
+
+    // Garbling: a width-1 AND chain (levels never reach the pool bar —
+    // 4 threads must cost the same as 1) vs a wide level-parallel
+    // circuit.
+    let hasher = TweakHasher::default();
+    let narrow = {
+        let mut b = Builder::new();
+        let mut w = b.alice_input();
+        let xs: Vec<_> = (0..8192).map(|_| b.bob_input()).collect();
+        for x in xs {
+            w = b.and(w, x);
+        }
+        b.output(w);
+        b.finish()
+    };
+    let wide = {
+        let mut b = Builder::new();
+        let xs: Vec<_> = (0..16).map(|_| b.alice_word(32)).collect();
+        let ys: Vec<_> = (0..16).map(|_| b.bob_word(32)).collect();
+        let words: Vec<_> = xs.iter().zip(&ys).map(|(x, y)| b.mul_words(x, y)).collect();
+        for w in &words {
+            b.output_word(w);
+        }
+        b.finish()
+    };
+    for (name, circ) in [("narrow-chain", &narrow), ("wide-mul", &wide)] {
+        let run = |t| {
+            time_at(t, 5, &mut || {
+                let mut rng = StdRng::seed_from_u64(9);
+                std::hint::black_box(
+                    secyan_gc::scheme::garble(circ, hasher, &mut rng)
+                        .tables
+                        .len(),
+                );
+            })
+        };
+        let (t1, t4) = (run(1), run(4));
+        println!(
+            "threshold garble {name} ({} ANDs): t1 {t1:.1} us, t4 {t4:.1} us (t4/t1 {:.2})",
+            circ.and_count(),
+            t4 / t1
+        );
+    }
 }
 
 /// Time the worker-pool hot paths (IKNP extension, OPPRF hint

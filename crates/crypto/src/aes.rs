@@ -23,6 +23,13 @@
 /// Number of round keys (AES-128: 10 rounds + initial whitening).
 const ROUND_KEYS: usize = 11;
 
+/// The batch width the hardware path pipelines per dispatch: 8 AESENC
+/// chains in flight covers the instruction's latency on every AES-NI core
+/// shipped to date. Callers that assemble their own batches (the hashers,
+/// OT row hashing, KKRT masking) should size buffers in multiples of this
+/// so the round loops always present full batches.
+pub const PIPELINE_WIDTH: usize = 8;
+
 /// GF(2^8) multiplication modulo x^8 + x^4 + x^3 + x + 1.
 const fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
@@ -117,15 +124,13 @@ pub struct Aes128 {
     rk: [u32; 4 * ROUND_KEYS],
     /// Round keys as raw bytes (hardware path loads these directly).
     rk_bytes: [[u8; 16]; ROUND_KEYS],
-    /// Whether the AES-NI path is available (detected once per key setup).
-    use_ni: bool,
 }
 
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
         f.debug_struct("Aes128")
-            .field("use_ni", &self.use_ni)
+            .field("use_ni", &crate::cpu::features().aes)
             .finish()
     }
 }
@@ -153,18 +158,16 @@ impl Aes128 {
                 out[4 * c..4 * c + 4].copy_from_slice(&rk[4 * r + c].to_be_bytes());
             }
         }
-        Aes128 {
-            rk,
-            rk_bytes,
-            use_ni: ni::available(),
-        }
+        Aes128 { rk, rk_bytes }
     }
 
-    /// Encrypt one 16-byte block.
+    /// Encrypt one 16-byte block. Dispatch is per call (a relaxed atomic
+    /// load via [`crate::cpu::features`]), so `SECYAN_FORCE_SCALAR` and the
+    /// test override apply even to long-lived keys like [`fixed_key`].
     pub fn encrypt(&self, block: [u8; 16]) -> [u8; 16] {
-        if self.use_ni {
-            // Safety: `use_ni` is only set when the `aes` feature was
-            // detected on this CPU.
+        #[cfg(target_arch = "x86_64")]
+        if crate::cpu::features().aes {
+            // SAFETY: gated on the runtime CPUID probe (aes+sse2).
             return unsafe { ni::encrypt1(&self.rk_bytes, block) };
         }
         self.encrypt_soft(block)
@@ -178,11 +181,13 @@ impl Aes128 {
     }
 
     /// Encrypt every block of `xs` in place (the batched hot-path entry:
-    /// independent blocks overlap in the pipeline, and the hardware path
-    /// dispatches 8 at a time).
+    /// independent blocks overlap in the pipeline; the hardware path runs
+    /// [`PIPELINE_WIDTH`]-wide software-pipelined rounds, with the
+    /// remainder still pipelined at widths 4/2/1).
     pub fn encrypt_blocks(&self, xs: &mut [u128]) {
-        if self.use_ni {
-            // Safety: gated on the runtime `aes` feature detection.
+        #[cfg(target_arch = "x86_64")]
+        if crate::cpu::features().aes {
+            // SAFETY: gated on the runtime CPUID probe (aes+sse2).
             unsafe { ni::encrypt_many(&self.rk_bytes, xs) };
             return;
         }
@@ -270,17 +275,14 @@ pub fn fixed_key() -> &'static Aes128 {
     })
 }
 
-/// Hardware AES on x86_64. Every function is gated on runtime detection of
-/// the `aes` target feature; on other architectures the module degrades to
-/// "unavailable" and the T-table path runs everywhere.
+/// Hardware AES on x86_64. Feature gating lives in [`crate::cpu`]: every
+/// entry point here assumes the caller checked `cpu::features().aes`. On
+/// other architectures the module is absent and the T-table path runs
+/// everywhere.
 #[cfg(target_arch = "x86_64")]
 mod ni {
     use super::ROUND_KEYS;
     use std::arch::x86_64::*;
-
-    pub fn available() -> bool {
-        std::arch::is_x86_feature_detected!("aes")
-    }
 
     #[inline]
     fn load_keys(rk: &[[u8; 16]; ROUND_KEYS]) -> [__m128i; ROUND_KEYS] {
@@ -318,78 +320,76 @@ mod ni {
         }
     }
 
-    /// Encrypt a slice of blocks, 8 at a time so independent AESENC chains
-    /// fill the execution ports.
+    /// Software-pipelined rounds at compile-time width `W`: all `W` states
+    /// advance through each round together, so `W` independent AESENC
+    /// dependency chains are in flight at once.
     ///
     /// # Safety
     ///
     /// The caller must have verified the `aes` target feature is available
-    /// (check [`available`]).
+    /// (check [`crate::cpu::features`]).
     #[target_feature(enable = "aes")]
-    pub unsafe fn encrypt_many(rk: &[[u8; 16]; ROUND_KEYS], xs: &mut [u128]) {
-        let k = load_keys(rk);
+    unsafe fn encrypt_w<const W: usize>(k: &[__m128i; ROUND_KEYS], chunk: &mut [u128]) {
+        debug_assert_eq!(chunk.len(), W);
         // SAFETY: the enclosing fn's contract guarantees the `aes` feature;
         // every load/store dereferences a `&u128`/`&mut u128` from the
-        // slice, which is valid and exclusive for the iteration.
+        // chunk, which is valid and exclusive for the call.
         unsafe {
-            let mut chunks = xs.chunks_exact_mut(8);
-            for chunk in &mut chunks {
-                let mut b = [_mm_setzero_si128(); 8];
-                for (dst, src) in b.iter_mut().zip(chunk.iter()) {
-                    *dst = _mm_loadu_si128(src as *const u128 as *const __m128i);
-                }
+            let mut b = [_mm_setzero_si128(); W];
+            for (dst, src) in b.iter_mut().zip(chunk.iter()) {
+                *dst = _mm_loadu_si128(src as *const u128 as *const __m128i);
+            }
+            for lane in b.iter_mut() {
+                *lane = _mm_xor_si128(*lane, k[0]);
+            }
+            for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
                 for lane in b.iter_mut() {
-                    *lane = _mm_xor_si128(*lane, k[0]);
-                }
-                for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
-                    for lane in b.iter_mut() {
-                        *lane = _mm_aesenc_si128(*lane, *key);
-                    }
-                }
-                for lane in b.iter_mut() {
-                    *lane = _mm_aesenclast_si128(*lane, k[ROUND_KEYS - 1]);
-                }
-                for (dst, src) in chunk.iter_mut().zip(b.iter()) {
-                    _mm_storeu_si128(dst as *mut u128 as *mut __m128i, *src);
+                    *lane = _mm_aesenc_si128(*lane, *key);
                 }
             }
-            for x in chunks.into_remainder() {
-                let mut b = _mm_loadu_si128(x as *const u128 as *const __m128i);
-                b = _mm_xor_si128(b, k[0]);
-                for key in k.iter().take(ROUND_KEYS - 1).skip(1) {
-                    b = _mm_aesenc_si128(b, *key);
-                }
-                b = _mm_aesenclast_si128(b, k[ROUND_KEYS - 1]);
-                _mm_storeu_si128(x as *mut u128 as *mut __m128i, b);
+            for lane in b.iter_mut() {
+                *lane = _mm_aesenclast_si128(*lane, k[ROUND_KEYS - 1]);
+            }
+            for (dst, src) in chunk.iter_mut().zip(b.iter()) {
+                _mm_storeu_si128(dst as *mut u128 as *mut __m128i, *src);
             }
         }
     }
-}
 
-#[cfg(not(target_arch = "x86_64"))]
-mod ni {
-    use super::ROUND_KEYS;
-
-    pub fn available() -> bool {
-        false
-    }
-
+    /// Encrypt a slice of blocks: [`super::PIPELINE_WIDTH`]-wide pipelined
+    /// groups, then a remainder that stays pipelined at widths 4/2/1
+    /// instead of serializing block-at-a-time.
+    ///
     /// # Safety
     ///
-    /// Never callable: [`available`] returns false on this target, so the
-    /// dispatcher cannot select this path. (Signature mirrors the x86_64
-    /// variant.)
-    pub unsafe fn encrypt1(_rk: &[[u8; 16]; ROUND_KEYS], _block: [u8; 16]) -> [u8; 16] {
-        unreachable!("AES-NI path selected on a non-x86_64 target")
-    }
-
-    /// # Safety
-    ///
-    /// Never callable: [`available`] returns false on this target, so the
-    /// dispatcher cannot select this path. (Signature mirrors the x86_64
-    /// variant.)
-    pub unsafe fn encrypt_many(_rk: &[[u8; 16]; ROUND_KEYS], _xs: &mut [u128]) {
-        unreachable!("AES-NI path selected on a non-x86_64 target")
+    /// The caller must have verified the `aes` target feature is available
+    /// (check [`crate::cpu::features`]).
+    #[target_feature(enable = "aes")]
+    pub unsafe fn encrypt_many(rk: &[[u8; 16]; ROUND_KEYS], xs: &mut [u128]) {
+        let k = load_keys(rk);
+        let mut rest = xs;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at_mut(8);
+            // SAFETY: forwarded from this function's own contract.
+            unsafe { encrypt_w::<8>(&k, chunk) };
+            rest = tail;
+        }
+        if rest.len() >= 4 {
+            let (chunk, tail) = rest.split_at_mut(4);
+            // SAFETY: forwarded from this function's own contract.
+            unsafe { encrypt_w::<4>(&k, chunk) };
+            rest = tail;
+        }
+        if rest.len() >= 2 {
+            let (chunk, tail) = rest.split_at_mut(2);
+            // SAFETY: forwarded from this function's own contract.
+            unsafe { encrypt_w::<2>(&k, chunk) };
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            // SAFETY: forwarded from this function's own contract.
+            unsafe { encrypt_w::<1>(&k, rest) };
+        }
     }
 }
 
@@ -463,6 +463,29 @@ mod tests {
             let singles: Vec<u128> = batch.iter().map(|&x| aes.encrypt_u128(x)).collect();
             aes.encrypt_blocks(&mut batch);
             assert_eq!(batch, singles, "batch size {n}");
+        }
+    }
+
+    /// The wide pipeline must equal the forced-scalar (T-table) arm on
+    /// every chunk shape, including the 4/2/1 pipelined remainders.
+    #[test]
+    fn wide_pipeline_matches_forced_scalar() {
+        let _guard = crate::cpu::override_lock();
+        let aes = fixed_key();
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 31, 64] {
+            let mk = |_: ()| -> Vec<u128> {
+                (0..n as u128)
+                    .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c834))
+                    .collect()
+            };
+            crate::cpu::set_force_scalar(true);
+            let mut want = mk(());
+            aes.encrypt_blocks(&mut want);
+            crate::cpu::set_force_scalar(false);
+            let mut got = mk(());
+            aes.encrypt_blocks(&mut got);
+            crate::cpu::clear_force_scalar();
+            assert_eq!(got, want, "batch size {n}");
         }
     }
 

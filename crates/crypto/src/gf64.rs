@@ -56,51 +56,44 @@ impl Gf64 {
 
 /// 64×64 carry-less multiply → 128-bit product `(lo, hi)`.
 ///
-/// Dispatches to the hardware `pclmulqdq` instruction when the CPU has it
-/// (detected once at first use), else the portable windowed fallback. The
-/// two paths are bit-exact — asserted by the KATs below — so the choice is
-/// purely a speed matter: one instruction vs. ~16 table lookups per
-/// multiply, on the OPPRF interpolation hot path.
+/// Dispatches to the hardware `pclmulqdq` instruction when
+/// [`crate::cpu::features`] reports it, else the portable windowed
+/// fallback. The two paths are bit-exact — asserted by the KATs below —
+/// so the choice is purely a speed matter: one instruction vs. ~16 table
+/// lookups per multiply, on the OPPRF interpolation hot path.
 fn clmul(a: u64, b: u64) -> (u64, u64) {
     #[cfg(target_arch = "x86_64")]
     {
-        if pclmul::available() {
-            // SAFETY: gated on runtime detection of pclmulqdq+sse2.
+        if crate::cpu::features().pclmulqdq {
+            // SAFETY: gated on the runtime CPUID probe (pclmulqdq+sse2).
             return unsafe { pclmul::clmul(a, b) };
         }
     }
     clmul_scalar(a, b)
 }
 
-/// Hardware carry-less multiply (x86_64 `pclmulqdq`), behind runtime
-/// feature detection with a cached result.
+/// One multiply on the portable path only — the guaranteed-scalar arm the
+/// batch fallbacks use so they never re-dispatch per element.
+fn mul_scalar_one(a: u64, b: u64) -> u64 {
+    let (lo, hi) = clmul_scalar(a, b);
+    let (flo, fhi) = clmul_scalar(hi, POLY);
+    let (flo2, _) = clmul_scalar(fhi, POLY);
+    lo ^ flo ^ flo2
+}
+
+/// Hardware carry-less multiply kernels (x86_64 `pclmulqdq`). Feature
+/// gating lives in [`crate::cpu`]; everything here assumes the caller
+/// checked `cpu::features().pclmulqdq`.
 #[cfg(target_arch = "x86_64")]
 mod pclmul {
-    use std::sync::atomic::{AtomicU8, Ordering};
-
-    /// 0 = unprobed, 1 = available, 2 = unavailable.
-    static STATE: AtomicU8 = AtomicU8::new(0);
-
-    #[inline]
-    pub fn available() -> bool {
-        match STATE.load(Ordering::Relaxed) {
-            1 => true,
-            2 => false,
-            _ => {
-                let yes = std::arch::is_x86_feature_detected!("pclmulqdq")
-                    && std::arch::is_x86_feature_detected!("sse2");
-                STATE.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
-                yes
-            }
-        }
-    }
+    use super::{Gf64, POLY};
+    use core::arch::x86_64::*;
 
     /// # Safety
     /// Caller must ensure `pclmulqdq` and `sse2` are supported (see
-    /// [`available`]).
+    /// [`crate::cpu::features`]).
     #[target_feature(enable = "pclmulqdq", enable = "sse2")]
     pub unsafe fn clmul(a: u64, b: u64) -> (u64, u64) {
-        use std::arch::x86_64::*;
         let va = _mm_set_epi64x(0, a as i64);
         let vb = _mm_set_epi64x(0, b as i64);
         let prod = _mm_clmulepi64_si128::<0x00>(va, vb);
@@ -108,6 +101,127 @@ mod pclmul {
         // High half via unpack (SSE2) — avoids an SSE4.1 extract.
         let hi = _mm_cvtsi128_si64(_mm_unpackhi_epi64(prod, prod)) as u64;
         (lo, hi)
+    }
+
+    /// Four independent field multiplies, interleaved so the three
+    /// `pclmulqdq` rounds (product, first fold, second fold) of all four
+    /// lanes overlap in the pipeline instead of serializing behind the
+    /// instruction's latency. Reduction is deferred: all four 128-bit
+    /// products are formed first, then every product is folded modulo
+    /// x^64 + x^4 + x^3 + x + 1.
+    ///
+    /// # Safety
+    /// Caller must ensure `pclmulqdq` and `sse2` are supported.
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    pub unsafe fn mul4(a: &[Gf64; 4], b: &[Gf64; 4]) -> [Gf64; 4] {
+        let vpoly = _mm_set_epi64x(0, POLY as i64);
+        let mut p = [_mm_setzero_si128(); 4];
+        for (pi, (ai, bi)) in p.iter_mut().zip(a.iter().zip(b.iter())) {
+            let va = _mm_set_epi64x(0, ai.0 as i64);
+            let vb = _mm_set_epi64x(0, bi.0 as i64);
+            *pi = _mm_clmulepi64_si128::<0x00>(va, vb);
+        }
+        // First fold: f1 = hi(p) · POLY (imm 0x01 selects p's high qword).
+        let mut f1 = [_mm_setzero_si128(); 4];
+        for (fi, pi) in f1.iter_mut().zip(p.iter()) {
+            *fi = _mm_clmulepi64_si128::<0x01>(*pi, vpoly);
+        }
+        // Second fold (hi(f1) ≤ 4 bits, so hi(f2) = 0) and combine: the
+        // reduced value is lo(p) ^ lo(f1) ^ lo(f2).
+        let mut out = [Gf64::ZERO; 4];
+        for (oi, (pi, fi)) in out.iter_mut().zip(p.iter().zip(f1.iter())) {
+            let f2 = _mm_clmulepi64_si128::<0x01>(*fi, vpoly);
+            let r = _mm_xor_si128(_mm_xor_si128(*pi, *fi), f2);
+            *oi = Gf64(_mm_cvtsi128_si64(r) as u64);
+        }
+        out
+    }
+
+    /// `xs[i] <- xs[i] * ys[i]` over the hardware path, 4-wide.
+    ///
+    /// # Safety
+    /// Caller must ensure `pclmulqdq` and `sse2` are supported.
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    pub unsafe fn mul_slice(xs: &mut [Gf64], ys: &[Gf64]) {
+        let n4 = xs.len() / 4 * 4;
+        for i in (0..n4).step_by(4) {
+            let a = [xs[i], xs[i + 1], xs[i + 2], xs[i + 3]];
+            let b = [ys[i], ys[i + 1], ys[i + 2], ys[i + 3]];
+            // SAFETY: same features as this function's own contract.
+            let r = unsafe { mul4(&a, &b) };
+            xs[i..i + 4].copy_from_slice(&r);
+        }
+        for i in n4..xs.len() {
+            // SAFETY: same features as this function's own contract.
+            let (lo, hi) = unsafe { clmul(xs[i].0, ys[i].0) };
+            // SAFETY: same features as this function's own contract.
+            let (flo, fhi) = unsafe { clmul(hi, POLY) };
+            // SAFETY: same features as this function's own contract.
+            let (flo2, _) = unsafe { clmul(fhi, POLY) };
+            xs[i] = Gf64(lo ^ flo ^ flo2);
+        }
+    }
+
+    /// `xs[i] <- xs[i] * k` over the hardware path, 4-wide.
+    ///
+    /// # Safety
+    /// Caller must ensure `pclmulqdq` and `sse2` are supported.
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    pub unsafe fn mul_slice_by(xs: &mut [Gf64], k: Gf64) {
+        let ks = [k; 4];
+        let n4 = xs.len() / 4 * 4;
+        for i in (0..n4).step_by(4) {
+            let a = [xs[i], xs[i + 1], xs[i + 2], xs[i + 3]];
+            // SAFETY: same features as this function's own contract.
+            let r = unsafe { mul4(&a, &ks) };
+            xs[i..i + 4].copy_from_slice(&r);
+        }
+        for x in xs[n4..].iter_mut() {
+            // SAFETY: same features as this function's own contract.
+            let (lo, hi) = unsafe { clmul(x.0, k.0) };
+            // SAFETY: same features as this function's own contract.
+            let (flo, fhi) = unsafe { clmul(hi, POLY) };
+            // SAFETY: same features as this function's own contract.
+            let (flo2, _) = unsafe { clmul(fhi, POLY) };
+            *x = Gf64(lo ^ flo ^ flo2);
+        }
+    }
+}
+
+/// Elementwise field product: `xs[i] <- xs[i] * ys[i]`.
+///
+/// The hardware arm runs 4-way interleaved `pclmulqdq` with deferred
+/// reduction — one dispatch decision per *slice*, not per multiply. The
+/// portable arm uses the windowed scalar multiply directly (again no
+/// per-element dispatch). Both arms are bit-exact.
+pub fn mul_slice(xs: &mut [Gf64], ys: &[Gf64]) {
+    assert_eq!(xs.len(), ys.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::cpu::features().pclmulqdq {
+            // SAFETY: gated on the runtime CPUID probe (pclmulqdq+sse2).
+            unsafe { pclmul::mul_slice(xs, ys) };
+            return;
+        }
+    }
+    for (x, y) in xs.iter_mut().zip(ys) {
+        *x = Gf64(mul_scalar_one(x.0, y.0));
+    }
+}
+
+/// Uniform field product: `xs[i] <- xs[i] * k`. Same dispatch contract as
+/// [`mul_slice`].
+pub fn mul_slice_by(xs: &mut [Gf64], k: Gf64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::cpu::features().pclmulqdq {
+            // SAFETY: gated on the runtime CPUID probe (pclmulqdq+sse2).
+            unsafe { pclmul::mul_slice_by(xs, k) };
+            return;
+        }
+    }
+    for x in xs.iter_mut() {
+        *x = Gf64(mul_scalar_one(x.0, k.0));
     }
 }
 
@@ -163,6 +277,27 @@ pub fn poly_eval(coeffs: &[Gf64], x: Gf64) -> Gf64 {
     acc
 }
 
+/// Evaluate many same-degree polynomials, each at its own point, by
+/// running all the Horner recurrences in lockstep over [`mul_slice`].
+///
+/// `coeffs_flat` holds `xs.len()` polynomials of `degree` coefficients
+/// each (low-degree first), polynomial `b` at
+/// `coeffs_flat[b * degree .. (b + 1) * degree]` — exactly the flat OPPRF
+/// hint layout. Returns `out[b] = p_b(xs[b])`, equal to per-polynomial
+/// [`poly_eval`] bit-for-bit; the batching only removes the per-multiply
+/// dispatch and exposes 4-way CLMUL interleaving.
+pub fn poly_eval_batch(coeffs_flat: &[Gf64], degree: usize, xs: &[Gf64]) -> Vec<Gf64> {
+    assert_eq!(coeffs_flat.len(), degree * xs.len());
+    let mut acc = vec![Gf64::ZERO; xs.len()];
+    for j in (0..degree).rev() {
+        mul_slice(&mut acc, xs);
+        for (b, a) in acc.iter_mut().enumerate() {
+            *a = a.add(coeffs_flat[b * degree + j]);
+        }
+    }
+    acc
+}
+
 /// Batch inversion (Montgomery's trick): one field inversion plus 3(n−1)
 /// multiplications for n nonzero elements. Inversion costs ~127 muls, so
 /// this is the difference between O(n²) and O(n) inversions in the
@@ -210,32 +345,39 @@ pub fn poly_interpolate(points: &[(Gf64, Gf64)]) -> Vec<Gf64> {
         }
     }
     let invs = batch_invert(&dens);
-    // Newton coefficients c_k = f[x_0..x_k].
+    // Newton coefficients c_k = f[x_0..x_k]. Each level's updates are
+    // independent across i, so the level is one batched elementwise
+    // multiply (subtraction == addition over GF(2)).
     let mut table: Vec<Gf64> = points.iter().map(|&(_, y)| y).collect();
     let mut newton = vec![table[0]];
     let mut off = 0;
     for level in 1..n {
-        for i in 0..n - level {
-            let num = table[i + 1].add(table[i]); // subtraction == addition
-            table[i] = num.mul(invs[off + i]);
+        let w = n - level;
+        for i in 0..w {
+            table[i] = table[i + 1].add(table[i]);
         }
-        off += n - level;
+        mul_slice(&mut table[..w], &invs[off..off + w]);
+        off += w;
         newton.push(table[0]);
     }
     // Expand the Newton form into monomial coefficients:
     // p(x) = c_0 + (x - x_0)(c_1 + (x - x_1)(c_2 + ...)).
+    // Per step: coeffs <- coeffs * (x - x_k) + c_k, i.e. one uniform
+    // batched multiply by x_k followed by a shifted XOR of the pre-step
+    // coefficients (saved in `scratch`; over GF(2), -x_k == x_k).
     let mut coeffs = vec![Gf64::ZERO; n];
+    let mut scratch = vec![Gf64::ZERO; n];
     coeffs[0] = newton[n - 1];
     let mut deg = 0;
     for k in (0..n - 1).rev() {
-        // coeffs <- coeffs * (x - x_k) + c_k  ; over GF(2), -x_k == x_k.
         let xk = points[k].0;
         deg += 1;
-        for i in (1..=deg).rev() {
-            let lower = coeffs[i - 1];
-            coeffs[i] = coeffs[i].mul(xk).add(lower);
+        scratch[..deg].copy_from_slice(&coeffs[..deg]);
+        mul_slice_by(&mut coeffs[..=deg], xk);
+        for i in 1..=deg {
+            coeffs[i] = coeffs[i].add(scratch[i - 1]);
         }
-        coeffs[0] = coeffs[0].mul(xk).add(newton[k]);
+        coeffs[0] = coeffs[0].add(newton[k]);
     }
     coeffs
 }
@@ -282,7 +424,7 @@ mod tests {
     #[cfg(target_arch = "x86_64")]
     #[test]
     fn clmul_hardware_matches_scalar() {
-        if !pclmul::available() {
+        if !crate::cpu::features().pclmulqdq {
             eprintln!("pclmulqdq not available; hardware path untested here");
             return;
         }
@@ -302,11 +444,89 @@ mod tests {
             let a = rng.gen::<u64>();
             let b = rng.gen::<u64>();
             assert_eq!(
-                // SAFETY: pclmul::available() checked at function entry.
+                // SAFETY: pclmulqdq presence checked at function entry.
                 unsafe { pclmul::clmul(a, b) },
                 clmul_scalar(a, b),
                 "{a:#x}·{b:#x}"
             );
+        }
+    }
+
+    /// The batched slice primitives must match per-element `Gf64::mul` on
+    /// both arms, including the KAT vectors and ragged (non-multiple-of-4)
+    /// lengths that exercise the kernel remainders.
+    #[test]
+    fn batch_ops_match_scalar() {
+        let _guard = crate::cpu::override_lock();
+        let mut rng = StdRng::seed_from_u64(9);
+        let edge = [0u64, 1, 2, u64::MAX, 1 << 63, 0x8000_0000_0000_0001];
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 64, 65] {
+            let xs: Vec<Gf64> = (0..len)
+                .map(|i| {
+                    if i < edge.len() {
+                        Gf64(edge[i])
+                    } else {
+                        Gf64(rng.gen())
+                    }
+                })
+                .collect();
+            let ys: Vec<Gf64> = (0..len).map(|_| Gf64(rng.gen())).collect();
+            let k = Gf64(rng.gen());
+            let want_mul: Vec<Gf64> = xs.iter().zip(&ys).map(|(x, y)| x.mul(*y)).collect();
+            let want_by: Vec<Gf64> = xs.iter().map(|x| x.mul(k)).collect();
+            for force in [false, true] {
+                crate::cpu::set_force_scalar(force);
+                let mut got = xs.clone();
+                mul_slice(&mut got, &ys);
+                assert_eq!(got, want_mul, "mul_slice len={len} force={force}");
+                let mut got = xs.clone();
+                mul_slice_by(&mut got, k);
+                assert_eq!(got, want_by, "mul_slice_by len={len} force={force}");
+            }
+            crate::cpu::clear_force_scalar();
+        }
+    }
+
+    /// Lockstep Horner over many bins equals per-bin `poly_eval`, on both
+    /// dispatch arms.
+    #[test]
+    fn poly_eval_batch_matches_single() {
+        let _guard = crate::cpu::override_lock();
+        let mut rng = StdRng::seed_from_u64(10);
+        for (bins, degree) in [(0usize, 5usize), (1, 1), (3, 4), (7, 24), (33, 11)] {
+            let flat: Vec<Gf64> = (0..bins * degree).map(|_| Gf64(rng.gen())).collect();
+            let xs: Vec<Gf64> = (0..bins).map(|_| Gf64(rng.gen())).collect();
+            let want: Vec<Gf64> = (0..bins)
+                .map(|b| poly_eval(&flat[b * degree..(b + 1) * degree], xs[b]))
+                .collect();
+            for force in [false, true] {
+                crate::cpu::set_force_scalar(force);
+                let got = poly_eval_batch(&flat, degree, &xs);
+                assert_eq!(got, want, "bins={bins} degree={degree} force={force}");
+            }
+            crate::cpu::clear_force_scalar();
+        }
+    }
+
+    /// Interpolation output is identical on the forced-scalar and SIMD
+    /// arms (it is one deterministic function either way).
+    #[test]
+    fn interpolation_arms_agree() {
+        let _guard = crate::cpu::override_lock();
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [1usize, 2, 3, 5, 8, 24, 40] {
+            let points: Vec<(Gf64, Gf64)> = (1..=n as u64)
+                .map(|x| (Gf64(x.wrapping_mul(0x9e37_79b9_7f4a_7c15)), Gf64(rng.gen())))
+                .collect();
+            crate::cpu::set_force_scalar(true);
+            let want = poly_interpolate(&points);
+            crate::cpu::set_force_scalar(false);
+            let got = poly_interpolate(&points);
+            crate::cpu::clear_force_scalar();
+            assert_eq!(got, want, "n={n}");
+            for &(x, y) in &points {
+                assert_eq!(poly_eval(&got, x), y);
+            }
         }
     }
 

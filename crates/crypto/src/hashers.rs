@@ -18,7 +18,7 @@
 //! [`TweakHasher::hash4`], …) hoist the key schedule and dispatch out of
 //! the per-gate loop and hand the kernel 4–8 independent blocks per call.
 
-use crate::aes::fixed_key;
+use crate::aes::{fixed_key, PIPELINE_WIDTH};
 use crate::block::Block;
 use crate::secret::Zeroize;
 use crate::sha256::{digest_to_u64, Sha256};
@@ -233,6 +233,47 @@ impl TweakHasher {
         }
     }
 
+    /// Hash every block of `xs`, block `j` under its own `tweaks[j]`, into
+    /// `out`. This is the fully general batched shape: the level-parallel
+    /// garbler/evaluator use it to hand the AES kernel a whole level's
+    /// worth of gate hashes (4 per AND garbling, 2 evaluating) as one
+    /// contiguous batch instead of one 4-block dispatch per gate. Serial
+    /// by design — it is called from inside `secyan-par` workers, which
+    /// must never nest a pool.
+    pub fn hash_each_into(self, xs: &[Block], tweaks: &[u64], out: &mut [Block]) {
+        assert_eq!(xs.len(), tweaks.len(), "hash_each wants aligned slices");
+        assert_eq!(xs.len(), out.len(), "hash_each wants aligned slices");
+        match self {
+            TweakHasher::Aes => {
+                let mut sig: Vec<u128> = xs.iter().map(|x| sigma(x.0)).collect();
+                let mut buf: Vec<u128> = sig
+                    .iter()
+                    .zip(tweaks)
+                    .map(|(&s, &t)| s ^ t as u128)
+                    .collect();
+                fixed_key().encrypt_blocks(&mut buf);
+                for (o, (&c, &s)) in out.iter_mut().zip(buf.iter().zip(&sig)) {
+                    *o = Block(c ^ s);
+                }
+                // The scratch holds σ(label) images — label material.
+                sig.zeroize();
+                buf.zeroize();
+            }
+            _ => {
+                for (o, (&x, &t)) in out.iter_mut().zip(xs.iter().zip(tweaks)) {
+                    *o = self.hash(x, t);
+                }
+            }
+        }
+    }
+
+    /// Allocating wrapper around [`TweakHasher::hash_each_into`].
+    pub fn hash_each(self, xs: &[Block], tweaks: &[u64]) -> Vec<Block> {
+        let mut out = vec![Block(0); xs.len()];
+        self.hash_each_into(xs, tweaks, &mut out);
+        out
+    }
+
     /// Hash a wide row (N bytes, N a multiple of 16) down to 64 bits under
     /// a tweak — the KKRT OPRF output masking. The AES variant chains the
     /// single-key Matyas–Meyer–Oseas compression h' = π(h ⊕ m) ⊕ h ⊕ m
@@ -255,9 +296,10 @@ impl TweakHasher {
 
     /// Batched [`TweakHasher::hash_row`]: row `j` hashes under tweak
     /// `tweak_base + j`. The AES variant advances all chains of a chunk of
-    /// 8 rows together, so every kernel dispatch carries 8 independent
-    /// blocks; large batches additionally split rows across the worker
-    /// pool (each row's chain is independent of its neighbours).
+    /// [`PIPELINE_WIDTH`] rows together, so every kernel dispatch carries
+    /// a full pipeline of independent blocks; large batches additionally
+    /// split rows across the worker pool (each row's chain is independent
+    /// of its neighbours).
     pub fn hash_row_batch<const N: usize>(self, tweak_base: u64, rows: &[[u8; N]]) -> Vec<u64> {
         let mut out = vec![0u64; rows.len()];
         par::with_pool_if(
@@ -286,13 +328,14 @@ impl TweakHasher {
             TweakHasher::Aes => {
                 assert_eq!(N % 16, 0, "row length must be a multiple of 16");
                 let mut pos = 0;
-                let mut h: Vec<u128> = Vec::with_capacity(8);
-                let mut t = vec![0u128; 8];
-                for (c, chunk) in rows.chunks(8).enumerate() {
+                let mut h: Vec<u128> = Vec::with_capacity(PIPELINE_WIDTH);
+                let mut t = vec![0u128; PIPELINE_WIDTH];
+                for (c, chunk) in rows.chunks(PIPELINE_WIDTH).enumerate() {
                     h.clear();
                     h.extend(
-                        (0..chunk.len())
-                            .map(|j| tweak_base.wrapping_add((c * 8 + j) as u64) as u128),
+                        (0..chunk.len()).map(|j| {
+                            tweak_base.wrapping_add((c * PIPELINE_WIDTH + j) as u64) as u128
+                        }),
                     );
                     for k in 0..N / 16 {
                         for (j, row) in chunk.iter().enumerate() {
@@ -454,6 +497,18 @@ mod tests {
             let (p0, p1) = h.hash_pair(Block(9), 2, Block(8), 3);
             assert_eq!(p0, h.hash(Block(9), 2));
             assert_eq!(p1, h.hash(Block(8), 3));
+        }
+    }
+
+    #[test]
+    fn hash_each_equals_per_element_hash() {
+        for h in ALL {
+            let xs: Vec<Block> = (0..23u128).map(|i| Block(i * 31 + 2)).collect();
+            let tweaks: Vec<u64> = (0..23u64).map(|i| i.wrapping_mul(0x7777) ^ 5).collect();
+            let got = h.hash_each(&xs, &tweaks);
+            for j in 0..xs.len() {
+                assert_eq!(got[j], h.hash(xs[j], tweaks[j]), "{h:?} element {j}");
+            }
         }
     }
 

@@ -13,6 +13,9 @@
 //!   group hosts the Chou–Orlandi base OT. Simulation-grade (see DESIGN.md).
 //! * [`gf64`] — the binary field GF(2^64) plus polynomial interpolation,
 //!   used by the OPPRF hint encoding in circuit PSI.
+//! * [`cpu`] — the single runtime feature probe behind every SIMD kernel
+//!   (movemask transpose, batched CLMUL, AES-NI pipelining), with a
+//!   `SECYAN_FORCE_SCALAR` override for differential testing.
 //! * [`transpose`] — bit-matrix transposition for IKNP OT extension.
 //! * [`share`] — additive secret sharing over Z_{2^ℓ} (§5.1 of the paper).
 //! * [`aes`] — a from-scratch fixed-key AES-128 kernel (FIPS-197), the
@@ -26,6 +29,7 @@
 
 pub mod aes;
 pub mod block;
+pub mod cpu;
 pub mod gf64;
 pub mod hashers;
 pub mod mersenne;
@@ -38,5 +42,7 @@ pub mod transpose;
 pub use block::Block;
 pub use hashers::TweakHasher;
 pub use prg::Prg;
-pub use secret::{ct_select_bytes, CtChoice, CtEq, CtSelect, Secret, SecretBlock, Zeroize};
+pub use secret::{
+    ct_select_bytes, zeroize_bytes, CtChoice, CtEq, CtSelect, Secret, SecretBlock, Zeroize,
+};
 pub use share::RingCtx;

@@ -11,8 +11,10 @@ use secyan_crypto::{Block, CtChoice, CtEq, Secret, TweakHasher, Zeroize};
 use secyan_par as par;
 
 /// Minimum AND-gate count before garbling/evaluation builds a level
-/// schedule and fans the per-level AND gates out across the worker pool.
-/// Below this the serial gate loop wins.
+/// schedule. The levelized path batches every level's gate hashes into
+/// one wide AES dispatch (`TweakHasher::hash_each`), which already wins
+/// at a single thread; below this the per-gate serial loop's lack of
+/// schedule-building overhead wins.
 const GC_PAR_MIN_ANDS: usize = 512;
 
 /// Minimum AND gates handed to one worker within a level. One garbled AND
@@ -22,6 +24,15 @@ const GC_PAR_MIN_ANDS: usize = 512;
 /// this threshold run inline on the calling thread (`Pool::ranges`
 /// collapses to one part), which keeps the 1-thread path from ever losing.
 const GC_ANDS_PER_PART: usize = 2048;
+
+/// Spawn pool workers only if some level is at least this wide. Spawning
+/// is the expensive part (thread create + park/wake per level): a circuit
+/// whose widest level still collapses to one part would pay it for
+/// nothing — exactly the "garbling 0.44x at 4 threads" regression the
+/// bench history recorded when the old code spawned on total AND count.
+fn schedule_worth_pool(sched: &LevelSchedule) -> bool {
+    sched.levels.iter().map(|l| l.ands.len()).max().unwrap_or(0) >= 2 * GC_ANDS_PER_PART
+}
 
 /// Garbler-side result of garbling a circuit.
 ///
@@ -111,7 +122,10 @@ pub fn garble<R: Rng + ?Sized>(circuit: &Circuit, hasher: TweakHasher, rng: &mut
     }
     let n_ands = circuit.and_count() as usize;
     let mut tables = vec![(Block::ZERO, Block::ZERO); n_ands];
-    if par::threads() > 1 && n_ands >= GC_PAR_MIN_ANDS {
+    // The levelized path pays off even at one thread (full AES batches per
+    // level); whether it also *spawns workers* is decided inside from the
+    // schedule's widest level.
+    if n_ands >= GC_PAR_MIN_ANDS {
         garble_levels(circuit, hasher, delta, &mut zero, &mut tables);
     } else {
         let mut and_idx = 0u64;
@@ -155,13 +169,25 @@ fn garble_and(
     hasher: TweakHasher,
     and_idx: u64,
 ) -> (Block, Block, Block, Block) {
-    let pa = CtChoice::from_bool(wa0.lsb());
-    let pb = CtChoice::from_bool(wb0.lsb());
     let j_g = 2 * and_idx;
     let j_e = 2 * and_idx + 1;
     // All four hashes of the gate in one kernel dispatch.
-    let [h_a0, h_a1, h_b0, h_b1] =
-        hasher.hash4([wa0, wa0 ^ delta, wb0, wb0 ^ delta], [j_g, j_g, j_e, j_e]);
+    let h = hasher.hash4([wa0, wa0 ^ delta, wb0, wb0 ^ delta], [j_g, j_g, j_e, j_e]);
+    garble_and_from_hashes(wa0, wb0, delta, h)
+}
+
+/// The algebra of one garbled AND given its four precomputed hashes
+/// (`[H(wa0,j_g), H(wa1,j_g), H(wb0,j_e), H(wb1,j_e)]`). Split out so the
+/// levelized path can hash a whole level in one batch first.
+fn garble_and_from_hashes(
+    wa0: Block,
+    wb0: Block,
+    delta: Block,
+    h: [Block; 4],
+) -> (Block, Block, Block, Block) {
+    let pa = CtChoice::from_bool(wa0.lsb());
+    let pb = CtChoice::from_bool(wb0.lsb());
+    let [h_a0, h_a1, h_b0, h_b1] = h;
     // Generator half-gate.
     let t_g = h_a0 ^ h_a1 ^ delta.ct_masked(pb);
     let w_g = h_a0 ^ t_g.ct_masked(pa);
@@ -185,7 +211,7 @@ fn garble_levels(
     tables: &mut [(Block, Block)],
 ) {
     let sched = LevelSchedule::build(circuit);
-    par::with_pool(|pool| {
+    par::with_pool_if(par::threads() > 1 && schedule_worth_pool(&sched), |pool| {
         for level in &sched.levels {
             for &gi in &level.free {
                 match circuit.gates[gi] {
@@ -198,16 +224,32 @@ fn garble_levels(
                 continue;
             }
             let zero_ro: &[Block] = zero;
-            // [w_out, t_g, t_e] per AND, in level order.
-            let mut results: Vec<[Block; 3]> = pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
-                let (wg, we, tg, te) = garble_and(
-                    zero_ro[and.a],
-                    zero_ro[and.b],
-                    delta,
-                    hasher,
-                    and.and_idx as u64,
-                );
-                [wg ^ we, tg, te]
+            // [w_out, t_g, t_e] per AND, in level order. Each worker
+            // assembles its chunk's 4-per-gate hash inputs into one flat
+            // batch so the AES kernel sees full pipelines, then applies
+            // the half-gates algebra per gate.
+            let mut results: Vec<[Block; 3]> = vec![[Block::ZERO; 3]; level.ands.len()];
+            pool.chunks_mut(&mut results, 1, GC_ANDS_PER_PART, |off, chunk| {
+                let ands = &level.ands[off..off + chunk.len()];
+                let mut xs: Vec<Block> = Vec::with_capacity(4 * ands.len());
+                let mut tweaks: Vec<u64> = Vec::with_capacity(4 * ands.len());
+                for and in ands {
+                    let (wa0, wb0) = (zero_ro[and.a], zero_ro[and.b]);
+                    let j_g = 2 * and.and_idx as u64;
+                    xs.extend([wa0, wa0 ^ delta, wb0, wb0 ^ delta]);
+                    tweaks.extend([j_g, j_g, j_g + 1, j_g + 1]);
+                }
+                let mut hs = hasher.hash_each(&xs, &tweaks);
+                for (i, and) in ands.iter().enumerate() {
+                    let h: [Block; 4] = hs[4 * i..4 * i + 4].try_into().expect("4 hashes");
+                    let (wg, we, tg, te) =
+                        garble_and_from_hashes(zero_ro[and.a], zero_ro[and.b], delta, h);
+                    chunk[i] = [wg ^ we, tg, te];
+                }
+                // The staging buffers hold labels and their hashes — key
+                // material.
+                xs.zeroize();
+                hs.zeroize();
             });
             // Indexed by position rather than zipped with `results`: the
             // gate descriptors are public topology and must not alias the
@@ -235,7 +277,9 @@ pub fn eval(
     assert_eq!(tables.tables.len() as u64, circuit.and_count());
     let mut wires = vec![Block::ZERO; circuit.num_wires];
     wires[..n_in].copy_from_slice(input_labels);
-    if par::threads() > 1 && tables.tables.len() >= GC_PAR_MIN_ANDS {
+    // Mirrors `garble`: levelize for batching whenever the circuit is big
+    // enough; worker spawning is a separate, width-based decision inside.
+    if tables.tables.len() >= GC_PAR_MIN_ANDS {
         eval_levels(circuit, tables, hasher, &mut wires);
     } else {
         let mut and_idx = 0u64;
@@ -277,6 +321,19 @@ fn eval_and(
     let j_g = 2 * and_idx;
     let j_e = 2 * and_idx + 1;
     let (h_g, h_e) = hasher.hash_pair(wa, j_g, wb, j_e);
+    eval_and_from_hashes(wa, wb, t_g, t_e, h_g, h_e)
+}
+
+/// The algebra of one evaluated AND given its two precomputed hashes.
+/// Split out so the levelized path can hash a whole level in one batch.
+fn eval_and_from_hashes(
+    wa: Block,
+    wb: Block,
+    t_g: Block,
+    t_e: Block,
+    h_g: Block,
+    h_e: Block,
+) -> Block {
     let w_g = h_g ^ t_g.ct_masked(CtChoice::from_bool(wa.lsb()));
     let w_e = h_e ^ (t_e ^ wa).ct_masked(CtChoice::from_bool(wb.lsb()));
     w_g ^ w_e
@@ -289,7 +346,7 @@ fn eval_and(
 /// the wire values match the serial loop bit for bit.
 fn eval_levels(circuit: &Circuit, tables: &EvalTables, hasher: TweakHasher, wires: &mut [Block]) {
     let sched = LevelSchedule::build(circuit);
-    par::with_pool(|pool| {
+    par::with_pool_if(par::threads() > 1 && schedule_worth_pool(&sched), |pool| {
         for level in &sched.levels {
             for &gi in &level.free {
                 match circuit.gates[gi] {
@@ -302,8 +359,33 @@ fn eval_levels(circuit: &Circuit, tables: &EvalTables, hasher: TweakHasher, wire
                 continue;
             }
             let wires_ro: &[Block] = wires;
-            let mut results: Vec<Block> = pool.map(&level.ands, GC_ANDS_PER_PART, |_, and| {
-                eval_and(wires_ro, tables, and.a, and.b, and.and_idx as u64, hasher)
+            // Each worker hashes its chunk's 2-per-gate inputs as one flat
+            // batch (full AES pipelines), then applies the table algebra.
+            let mut results: Vec<Block> = vec![Block::ZERO; level.ands.len()];
+            pool.chunks_mut(&mut results, 1, GC_ANDS_PER_PART, |off, chunk| {
+                let ands = &level.ands[off..off + chunk.len()];
+                let mut xs: Vec<Block> = Vec::with_capacity(2 * ands.len());
+                let mut tweaks: Vec<u64> = Vec::with_capacity(2 * ands.len());
+                for and in ands {
+                    let j_g = 2 * and.and_idx as u64;
+                    xs.extend([wires_ro[and.a], wires_ro[and.b]]);
+                    tweaks.extend([j_g, j_g + 1]);
+                }
+                let mut hs = hasher.hash_each(&xs, &tweaks);
+                for (i, and) in ands.iter().enumerate() {
+                    let (t_g, t_e) = tables.tables[and.and_idx];
+                    chunk[i] = eval_and_from_hashes(
+                        wires_ro[and.a],
+                        wires_ro[and.b],
+                        t_g,
+                        t_e,
+                        hs[2 * i],
+                        hs[2 * i + 1],
+                    );
+                }
+                // Labels and their hashes are wire-value-correlated; scrub.
+                xs.zeroize();
+                hs.zeroize();
             });
             for (and, &r) in level.ands.iter().zip(&results) {
                 wires[and.out] = r;

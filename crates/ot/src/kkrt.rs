@@ -16,7 +16,7 @@ use crate::iknp::{BLOCKS_PER_PART, COLS_PER_PART, OT_PAR_MIN};
 use rand::Rng;
 use secyan_crypto::sha256::Sha256;
 use secyan_crypto::transpose::BitMatrix;
-use secyan_crypto::{CtChoice, Prg, Secret, TweakHasher, Zeroize};
+use secyan_crypto::{zeroize_bytes, CtChoice, Prg, Secret, TweakHasher, Zeroize};
 use secyan_par as par;
 use secyan_transport::{Channel, WriteExt};
 
@@ -448,8 +448,20 @@ impl KkrtReceiver {
         // bits derive from the receiver's private inputs, so fold them in
         // without branching on them.
         let mut cols = vec![0u8; WIDTH * 2 * row_bytes];
+        // Column i of the code matrix is needed per worker. Rather than
+        // extracting it bit-by-bit inside every column's loop (w · m bit
+        // ops), transpose the whole m×w code matrix ONCE through the SIMD
+        // kernel and hand each worker its column as a ready byte slice.
+        // The transpose runs before the pool dispatch below, so its own
+        // internal parallelism never nests.
+        let mut code_mat = BitMatrix::zero(m, WIDTH);
+        for (j, cj) in codes.iter().enumerate() {
+            code_mat.row_mut(j).copy_from_slice(cj);
+        }
+        let mut code_cols = code_mat.transpose(); // w rows of m bits
+        zeroize_bytes(code_mat.as_bytes_mut());
         par::with_pool_if(par::threads() > 1 && m >= OT_PAR_MIN, |pool| {
-            let codes_ref = &codes;
+            let code_cols_ref = &code_cols;
             pool.zip_chunks_mut(
                 &mut self.prgs,
                 &mut cols,
@@ -459,15 +471,15 @@ impl KkrtReceiver {
                     let (t0, u) = chunk.split_at_mut(row_bytes);
                     prg0.fill(t0);
                     prg1.fill(u);
-                    for (j, cj) in codes_ref.iter().enumerate() {
-                        u[j / 8] ^= (cj[i / 8] >> (i % 8) & 1) << (j % 8);
-                    }
-                    for k in 0..row_bytes {
-                        u[k] ^= t0[k];
+                    for ((uk, &t0k), &ck) in u.iter_mut().zip(&*t0).zip(code_cols_ref.row(i)) {
+                        *uk ^= t0k ^ ck;
                     }
                 },
             );
         });
+        // The code bits derive from the receiver's private inputs; scrub
+        // the transposed copy once every column has folded it in.
+        zeroize_bytes(code_cols.as_bytes_mut());
         let mut t = BitMatrix::zero(WIDTH, m);
         let mut u_all = vec![0u8; WIDTH * row_bytes];
         for i in 0..WIDTH {

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use secyan_crypto::gf64::{poly_eval, poly_interpolate, Gf64};
+use secyan_crypto::gf64::{poly_eval_batch, poly_interpolate, Gf64};
 use secyan_crypto::sha256::{digest_to_u64, Sha256};
 use secyan_crypto::Zeroize;
 use secyan_ot::{KkrtReceiver, KkrtSender};
@@ -167,16 +167,31 @@ pub fn opprf_evaluate(
     let oprf_out = kkrt.eval_batch(ch, &refs);
     let salt = ch.recv_u64();
     let hint_words = ch.recv_u64_vec(bins * degree);
-    // Each bin's hint evaluates independently; order-preserving map.
-    par::with_pool_if(par::threads() > 1 && bins >= 2 * BINS_PER_PART, |pool| {
-        pool.map(queries, BINS_PER_PART, |b, &q| {
-            let coeffs: Vec<Gf64> = hint_words[b * degree..(b + 1) * degree]
-                .iter()
-                .map(|&w| Gf64(w))
-                .collect();
-            oprf_out[b] ^ poly_eval(&coeffs, x_coord(salt, q)).0
-        })
-    })
+    let go_par = par::threads() > 1 && bins >= 2 * BINS_PER_PART;
+    // Each bin's hint evaluates independently. The x-coordinates (SHA per
+    // bin) map across the pool, then each worker runs lockstep Horner over
+    // its contiguous slab of bins via the batched GF(2^64) kernel — the
+    // per-bin coefficient Vec and per-multiply dispatch of the old loop
+    // are gone. The wire layout is already flat `[b*degree..(b+1)*degree]`.
+    let xs: Vec<Gf64> = par::with_pool_if(go_par, |pool| {
+        pool.map(queries, BINS_PER_PART, |_, &q| x_coord(salt, q))
+    });
+    let coeffs: Vec<Gf64> = hint_words.iter().map(|&w| Gf64(w)).collect();
+    let mut out = vec![0u64; bins];
+    par::with_pool_if(go_par, |pool| {
+        pool.chunks_mut(&mut out, 1, BINS_PER_PART, |off, chunk| {
+            let n = chunk.len();
+            let evals = poly_eval_batch(
+                &coeffs[off * degree..(off + n) * degree],
+                degree,
+                &xs[off..off + n],
+            );
+            for ((o, e), &f) in chunk.iter_mut().zip(&evals).zip(&oprf_out[off..off + n]) {
+                *o = f ^ e.0;
+            }
+        });
+    });
+    out
 }
 
 #[cfg(test)]
