@@ -12,11 +12,18 @@ use secyan_transport::run_protocol;
 use std::time::Instant;
 
 fn main() {
+    // `--quick`: CI bench-smoke mode. Runs only the online phase-split
+    // profile (1 rep, loopback, no BENCH file writes) and exits non-zero
+    // if the chain3 round counts regress past the recorded budgets.
+    if std::env::args().any(|a| a == "--quick") {
+        profile_online(true);
+        return;
+    }
     profile_kernels();
     profile_thresholds();
     profile_hashers();
     profile_parallel();
-    profile_online();
+    profile_online(false);
 
     let ring = RingCtx::new(32);
     let hasher = TweakHasher::default();
@@ -535,12 +542,19 @@ fn profile_parallel() {
 /// next to the numbers they shaped. Medians of `REPS` runs on a chain
 /// query whose shape the planner covers completely; byte counters come
 /// from the phase-tagged transport metering.
-fn profile_online() {
+fn profile_online(quick: bool) {
     use secyan_core::{run_offline, run_online, secure_yannakakis, SecureQuery, Session};
     use secyan_relation::{JoinTree, NaturalRing, Relation};
     use secyan_transport::{run_protocol_with_net, NetModel, Role};
 
     const REPS: usize = 5;
+    // Round budgets for the chain3 instance below. The counts are
+    // public-shape-determined (the protocol is oblivious), so any change
+    // is a code change, not noise; `tests/tests/rounds.rs` pins the same
+    // numbers. A regression past these fails the bench-smoke CI job.
+    const ONLINE_SUPER_ROUND_BUDGET: u64 = 16;
+    const OFFLINE_SUPER_ROUND_BUDGET: u64 = 11;
+    let reps = if quick { 1 } else { REPS };
     let ring = RingCtx::new(64);
     let hasher = TweakHasher::default();
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -646,16 +660,39 @@ fn profile_online() {
         )
     };
 
-    let (local_cold_ms, local_warm_ms, stats, cold_bytes, cold_rounds) = sweep(None, REPS, 1000);
+    let (local_cold_ms, local_warm_ms, stats, cold_bytes, cold_rounds) = sweep(None, reps, 1000);
     let offline_bytes = stats.offline_bytes;
     let online_bytes = stats.online_bytes;
     let online_rounds = stats.online_rounds;
+    let super_rounds = stats.super_rounds;
+    let online_super_rounds = stats.online_super_rounds;
+    let offline_super_rounds = stats.offline_super_rounds;
     let local_speedup = local_cold_ms / local_warm_ms;
     println!(
         "online phase split (loopback): cold {local_cold_ms:.1} ms, warm {local_warm_ms:.1} ms \
          ({local_speedup:.1}x), cold {cold_bytes} B / {cold_rounds} rounds, \
-         offline {offline_bytes} B / online {online_bytes} B ({online_rounds} rounds)"
+         offline {offline_bytes} B / online {online_bytes} B \
+         ({online_rounds} rounds, {online_super_rounds} super-rounds online / \
+         {offline_super_rounds} offline)"
     );
+    if online_super_rounds > ONLINE_SUPER_ROUND_BUDGET
+        || offline_super_rounds > OFFLINE_SUPER_ROUND_BUDGET
+    {
+        eprintln!(
+            "round-count regression: online {online_super_rounds} super-rounds \
+             (budget {ONLINE_SUPER_ROUND_BUDGET}), offline {offline_super_rounds} \
+             (budget {OFFLINE_SUPER_ROUND_BUDGET})"
+        );
+        std::process::exit(1);
+    }
+    if quick {
+        println!(
+            "bench-smoke: round budgets hold \
+             (online {online_super_rounds}/{ONLINE_SUPER_ROUND_BUDGET}, \
+             offline {offline_super_rounds}/{OFFLINE_SUPER_ROUND_BUDGET})"
+        );
+        return;
+    }
 
     // The headline numbers: the same sweep under a declared WAN. The cold
     // path must push every garbled table and OT/OPRF extension through the
@@ -678,7 +715,9 @@ fn profile_online() {
 \"local_warm_ms\": {local_warm_ms:.2},\n  \"local_speedup\": {local_speedup:.2},\n  \
 \"cold_bytes\": {cold_bytes},\n  \"cold_rounds\": {cold_rounds},\n  \
 \"offline_bytes\": {offline_bytes},\n  \"online_bytes\": {online_bytes},\n  \
-\"online_rounds\": {online_rounds}\n}}\n",
+\"online_rounds\": {online_rounds},\n  \"super_rounds\": {super_rounds},\n  \
+\"online_super_rounds\": {online_super_rounds},\n  \
+\"offline_super_rounds\": {offline_super_rounds}\n}}\n",
         bw = net.bandwidth_bits_per_sec,
         lat = net.one_way_latency_us,
     );

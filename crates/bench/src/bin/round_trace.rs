@@ -1,0 +1,74 @@
+//! Dev tool: dump the per-message wire trace of the chain3 warm (online)
+//! path, grouped into rounds (maximal same-direction runs), so round-
+//! compression work can see exactly where each direction switch comes from.
+
+use secyan_core::{run_offline, run_online, SecureQuery};
+use secyan_crypto::{RingCtx, TweakHasher};
+use secyan_relation::{JoinTree, NaturalRing, Relation};
+use secyan_transport::{run_protocol_captured, Phase, Role};
+
+fn main() {
+    let ring = RingCtx::new(64);
+    let hasher = TweakHasher::default();
+    let strings = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+    let (n1, n2, n3) = (24u64, 48u64, 24u64);
+    let query = SecureQuery::new(
+        vec![strings(&["a"]), strings(&["a", "b"]), strings(&["b"])],
+        vec![Role::Alice, Role::Bob, Role::Alice],
+        JoinTree::chain(3),
+        Vec::new(),
+    );
+    let nat = NaturalRing(ring);
+    let r1 = Relation::from_rows(
+        nat,
+        strings(&["a"]),
+        (0..n1).map(|i| (vec![i], i % 7 + 1)).collect(),
+    );
+    let r2 = Relation::from_rows(
+        nat,
+        strings(&["a", "b"]),
+        (0..n2).map(|i| (vec![i % n1, i % 31], i % 5 + 1)).collect(),
+    );
+    let r3 = Relation::from_rows(
+        nat,
+        strings(&["b"]),
+        (0..n3).map(|i| (vec![i % 31], i % 3 + 1)).collect(),
+    );
+    let sizes = [n1 as usize, n2 as usize, n3 as usize];
+    let alice_rels = vec![Some(r1), None, Some(r3)];
+    let bob_rels = vec![None, Some(r2), None];
+    let (qa, qb) = (query.clone(), query.clone());
+
+    let (_, _, stats, handle) = run_protocol_captured(
+        move |ch| {
+            let m = run_offline(ch, &qa, &sizes, Role::Alice, ring, hasher, 42);
+            let v = run_online(ch, &qa, &alice_rels, Role::Alice, ring, hasher, m).values;
+            std::hint::black_box(v);
+        },
+        move |ch| {
+            let m = run_offline(ch, &qb, &sizes, Role::Alice, ring, hasher, 1042);
+            run_online(ch, &qb, &bob_rels, Role::Alice, ring, hasher, m);
+        },
+    );
+    println!(
+        "stats: online_bytes={} online_rounds={} online_super_rounds={} offline_super_rounds={} super_rounds={}",
+        stats.online_bytes,
+        stats.online_rounds,
+        stats.online_super_rounds,
+        stats.offline_super_rounds,
+        stats.super_rounds
+    );
+    let mut round = 0usize;
+    let mut last: Option<Role> = None;
+    for (role, phase, len) in handle.phased_lengths() {
+        if phase != Phase::Online {
+            continue;
+        }
+        if last != Some(role) {
+            round += 1;
+            last = Some(role);
+            println!("--- online round {round} ({role:?} ->)");
+        }
+        println!("    {role:?} {len} B");
+    }
+}

@@ -108,6 +108,34 @@ pub fn oblivious_project_agg(
             plain_annots: None,
         };
     }
+    // Linear fast path: a grand total (empty grouping) under SUM is linear
+    // in the annotations, so each party folds its own shares locally —
+    // zero communication, zero rounds. Dummy annotations are shares of 0,
+    // so folding them in is harmless. The single real output row sits at
+    // the public last position; every other row is a dummy whose shares
+    // reconstruct to 0, matching the merge-chain output contract.
+    if attrs.is_empty() && kind == AggKind::Sum {
+        let total = rel
+            .annot_shares
+            .iter()
+            .fold(0u64, |acc, &v| sess.ring.add(acc, v));
+        let mut shares = vec![0u64; n];
+        shares[n - 1] = total;
+        return SecureRelation {
+            schema: Vec::new(),
+            owner: rel.owner,
+            tuples: rel.is_mine(sess).then(|| vec![Vec::new(); n]),
+            dummy: rel.is_mine(sess).then(|| {
+                let mut d = vec![true; n];
+                d[n - 1] = false;
+                d
+            }),
+            size: n,
+            annot_shares: shares,
+            is_plain: false,
+            plain_annots: None,
+        };
+    }
     let (circuit, spec) = merge_circuit(n, ell, kind);
     if rel.is_mine(sess) {
         let pos = rel.positions(attrs);

@@ -123,17 +123,17 @@ fn reduce_and_semijoin(
     assert_eq!(my_relations.len(), query.len());
     let tree = &query.tree;
     let root = tree.root();
-    // Load.
-    let mut rels: Vec<SecureRelation> = (0..query.len())
+    // Load: one batched declaration round for every relation in the plan.
+    let specs: Vec<_> = (0..query.len())
         .map(|i| {
-            SecureRelation::load(
-                sess,
+            (
                 query.owners[i],
                 query.schemas[i].clone(),
                 my_relations[i].as_ref(),
             )
         })
         .collect();
+    let mut rels: Vec<SecureRelation> = SecureRelation::load_all(sess, specs);
     let mut removed = vec![false; query.len()];
     let mut kept_below = vec![false; query.len()];
 

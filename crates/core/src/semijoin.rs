@@ -21,9 +21,13 @@ use crate::session::Session;
 use crate::srel::{dummy_key, SecureRelation};
 use secyan_circuit::{u64_to_bits, Circuit, Word};
 use secyan_gc::{with_shared_outputs, SharedOutputSpec};
-use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
+use secyan_oep::{
+    shared_oep_other, shared_oep_perm_holder, shared_oep_perm_holder_begin,
+    shared_oep_perm_holder_finish,
+};
 use secyan_psi::{
-    psi_receiver, psi_sender, shared_payload_psi_receiver, shared_payload_psi_sender,
+    psi_receiver_begin, psi_receiver_finish, psi_sender, shared_payload_psi_receiver_begin,
+    shared_payload_psi_receiver_finish, shared_payload_psi_sender, CuckooTable,
 };
 use std::collections::HashMap;
 
@@ -57,6 +61,24 @@ pub(crate) fn product_circuit(n: usize, ell: usize, v_plain: bool) -> (Circuit, 
             .collect()
     });
     (circuit, spec)
+}
+
+/// Map each R_F row to the cuckoo bin holding its join key (bin 0 for
+/// dummy rows — their annotation is 0, so the product kills the payload).
+fn route_rows(cuckoo: &CuckooTable, key_of_row: &[Option<u64>]) -> Vec<usize> {
+    let mut bin_of_key: HashMap<u64, usize> = HashMap::new();
+    for (b, slot) in cuckoo.bins.iter().enumerate() {
+        if let Some(e) = slot {
+            bin_of_key.insert(*e, b);
+        }
+    }
+    key_of_row
+        .iter()
+        .map(|k| match k {
+            Some(k) => *bin_of_key.get(k).expect("key was cuckoo-placed"),
+            None => 0,
+        })
+        .collect()
 }
 
 /// Run the product circuit. `my_v`: my v-inputs (plain values for the
@@ -185,19 +207,34 @@ pub fn oblivious_reduce_join(
                 x.push(dummy_key(nonce ^ 0x5eed, pad));
                 pad += 1;
             }
-            let psi = if rg.is_plain {
-                psi_receiver(
+            // Begin the PSI: once the cuckoo table is fixed (before the
+            // PSI completes), ξ is derivable, so the ξ-OEP's OT
+            // corrections ride the same outbound super-frame as the PSI's.
+            // The sender consumes them in this order: PSI first, outer
+            // OEP last — matching the staging order here.
+            if rg.is_plain {
+                let psi = psi_receiver_begin(
                     sess.ch,
                     &x,
                     rg.size,
                     sess.ring,
                     &mut sess.kkrt_recv,
                     &mut sess.ot_recv,
-                    sess.hasher,
                     &mut sess.gc_eval,
+                );
+                let bins = psi.cuckoo().bins.len();
+                let xi = route_rows(psi.cuckoo(), &key_of_row);
+                let oep = shared_oep_perm_holder_begin(sess.ch, &xi, bins, &mut sess.ot_recv);
+                let psi = psi_receiver_finish(sess.ch, psi, &mut sess.ot_recv, sess.hasher);
+                shared_oep_perm_holder_finish(
+                    sess.ch,
+                    oep,
+                    &psi.payload_shares,
+                    sess.ring,
+                    &mut sess.ot_recv,
                 )
             } else {
-                shared_payload_psi_receiver(
+                let psi = shared_payload_psi_receiver_begin(
                     sess.ch,
                     &x,
                     &rg.annot_shares,
@@ -208,28 +245,20 @@ pub fn oblivious_reduce_join(
                     sess.hasher,
                     &mut sess.rng,
                     &mut sess.gc_eval,
+                );
+                let bins = psi.cuckoo().bins.len();
+                let xi = route_rows(psi.cuckoo(), &key_of_row);
+                let oep = shared_oep_perm_holder_begin(sess.ch, &xi, bins, &mut sess.ot_recv);
+                let psi =
+                    shared_payload_psi_receiver_finish(sess.ch, psi, sess.ring, &mut sess.ot_recv);
+                shared_oep_perm_holder_finish(
+                    sess.ch,
+                    oep,
+                    &psi.payload_shares,
+                    sess.ring,
+                    &mut sess.ot_recv,
                 )
-            };
-            let cuckoo = psi.cuckoo.as_ref().expect("receiver side");
-            let mut bin_of_key: HashMap<u64, usize> = HashMap::new();
-            for (b, slot) in cuckoo.bins.iter().enumerate() {
-                if let Some(e) = slot {
-                    bin_of_key.insert(*e, b);
-                }
             }
-            let xi: Vec<usize> = (0..n)
-                .map(|i| match key_of_row[i] {
-                    Some(k) => *bin_of_key.get(&k).expect("key was cuckoo-placed"),
-                    None => 0, // dummy row: any bin; v = 0 kills the product
-                })
-                .collect();
-            shared_oep_perm_holder(
-                sess.ch,
-                &xi,
-                &psi.payload_shares,
-                sess.ring,
-                &mut sess.ot_recv,
-            )
         } else {
             // R_G owner: PSI sender.
             debug_assert!(rg.is_mine(sess));

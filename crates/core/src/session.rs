@@ -17,7 +17,9 @@ use std::collections::VecDeque;
 /// output. Instances this workspace evaluates are far smaller; anything
 /// larger is a malformed (or malicious) peer trying to drive a huge
 /// allocation, and is rejected with a typed error before allocating.
-pub const MAX_DECLARED_SIZE: u64 = 1 << 28;
+/// Tied to the transport's super-frame bound: a declaration the transport
+/// could never carry the payload for is rejected at the same threshold.
+pub const MAX_DECLARED_SIZE: u64 = secyan_transport::MAX_FRAME_SIZE as u64;
 
 /// Receive a peer-declared public size and validate it against
 /// [`MAX_DECLARED_SIZE`] before the caller allocates proportionally to it.

@@ -39,6 +39,10 @@ pub struct SecureRelation {
     pub plain_annots: Option<Vec<u64>>,
 }
 
+/// One batched-load entry: public owner and schema, plus the relation
+/// itself at the owner's position (`None` on the other side).
+pub type RelationSpec<'a> = (Role, Vec<String>, Option<&'a Relation<NaturalRing>>);
+
 impl SecureRelation {
     /// Load an owner-local annotated relation into the protocol. Only the
     /// public size travels; the annotations stay owner-known (`is_plain`)
@@ -53,32 +57,93 @@ impl SecureRelation {
     ) -> SecureRelation {
         if sess.role() == owner {
             let rel = rel.expect("owner must supply the relation");
-            assert_eq!(rel.schema, schema);
-            let size = rel.len();
-            sess.ch.send_u64(size as u64);
-            let plain: Vec<u64> = rel.annots.iter().map(|&v| sess.ring.reduce(v)).collect();
-            SecureRelation {
-                schema,
-                owner,
-                tuples: Some(rel.tuples.clone()),
-                dummy: Some(vec![false; size]),
-                size,
-                annot_shares: vec![0; size],
-                is_plain: true,
-                plain_annots: Some(plain),
-            }
+            sess.ch.send_u64(rel.len() as u64);
+            Self::from_owned(sess, owner, schema, rel)
         } else {
             let size = crate::session::recv_declared_size(sess.ch, "relation");
-            SecureRelation {
-                schema,
-                owner,
-                tuples: None,
-                dummy: None,
-                size,
-                annot_shares: vec![0; size],
-                is_plain: true,
-                plain_annots: None,
+            Self::from_declared(owner, schema, size)
+        }
+    }
+
+    /// Load several relations in one declaration round: every size this
+    /// side owns is staged before any peer declaration is received, so all
+    /// size messages of one direction coalesce into a single super-frame
+    /// instead of ping-ponging once per relation. Both parties call this
+    /// with the same public `(owner, schema)` sequence; owners pass
+    /// `Some(relation)` at their positions.
+    pub fn load_all(sess: &mut Session, specs: Vec<RelationSpec<'_>>) -> Vec<SecureRelation> {
+        // Both parties arrive here with dependency-free declarations — a
+        // simultaneous round. If both staged eagerly, the two opening
+        // sends would race and the round meters would depend on thread
+        // scheduling. Deterministic rule: only the plan-first relation's
+        // owner declares eagerly; the peer defers each declaration to its
+        // slot in pass 2, by which point it has already blocked on the
+        // eager side's super-frame (its first slot is a receive). The
+        // deferred declarations still coalesce — they stage ahead of
+        // whatever this side sends next in the same direction.
+        let i_go_first = specs
+            .first()
+            .is_none_or(|(owner, ..)| sess.role() == *owner);
+        if i_go_first {
+            // Pass 1: stage every owned size, in plan order.
+            for (owner, _, rel) in &specs {
+                if sess.role() == *owner {
+                    let rel = rel.expect("owner must supply the relation");
+                    sess.ch.send_u64(rel.len() as u64);
+                }
             }
+        }
+        // Pass 2: build; the peer's declarations arrive in plan order.
+        specs
+            .into_iter()
+            .map(|(owner, schema, rel)| {
+                if sess.role() == owner {
+                    let rel = rel.expect("owner must supply the relation");
+                    if !i_go_first {
+                        sess.ch.send_u64(rel.len() as u64);
+                    }
+                    Self::from_owned(sess, owner, schema, rel)
+                } else {
+                    let size = crate::session::recv_declared_size(sess.ch, "relation");
+                    Self::from_declared(owner, schema, size)
+                }
+            })
+            .collect()
+    }
+
+    /// Owner-side constructor (size already declared on the wire).
+    fn from_owned(
+        sess: &mut Session,
+        owner: Role,
+        schema: Vec<String>,
+        rel: &Relation<NaturalRing>,
+    ) -> SecureRelation {
+        assert_eq!(rel.schema, schema);
+        let size = rel.len();
+        let plain: Vec<u64> = rel.annots.iter().map(|&v| sess.ring.reduce(v)).collect();
+        SecureRelation {
+            schema,
+            owner,
+            tuples: Some(rel.tuples.clone()),
+            dummy: Some(vec![false; size]),
+            size,
+            annot_shares: vec![0; size],
+            is_plain: true,
+            plain_annots: Some(plain),
+        }
+    }
+
+    /// Non-owner-side constructor from the declared public size.
+    fn from_declared(owner: Role, schema: Vec<String>, size: usize) -> SecureRelation {
+        SecureRelation {
+            schema,
+            owner,
+            tuples: None,
+            dummy: None,
+            size,
+            annot_shares: vec![0; size],
+            is_plain: true,
+            plain_annots: None,
         }
     }
 

@@ -22,12 +22,12 @@ pub mod scheme;
 pub mod shares;
 
 pub use protocol::{
-    circuit_digest, evaluate_circuit, evaluate_offline, evaluate_online, garble_circuit,
-    garble_offline, garble_online, take_eval, take_garble, EvalMaterial, GarbleMaterial,
-    OutputMode,
+    circuit_digest, evaluate_begin, evaluate_circuit, evaluate_finish, evaluate_offline,
+    evaluate_online, garble_circuit, garble_offline, garble_online, take_eval, take_garble,
+    EvalMaterial, EvalPending, GarbleMaterial, OutputMode,
 };
 pub use scheme::{EvalTables, Garbling};
 pub use shares::{
-    evaluate_shared, evaluate_shared_online, garble_shared, garble_shared_online,
-    with_shared_outputs, SharedInput, SharedOutputSpec,
+    evaluate_shared, evaluate_shared_begin, evaluate_shared_finish, evaluate_shared_online,
+    garble_shared, garble_shared_online, with_shared_outputs, SharedInput, SharedOutputSpec,
 };

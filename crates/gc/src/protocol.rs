@@ -197,24 +197,59 @@ pub fn evaluate_offline(ch: &mut Channel, circuit: &Circuit) -> EvalMaterial {
     }
 }
 
-/// Online half of [`evaluate_circuit`], against material produced by
-/// [`evaluate_offline`] for the same circuit.
-pub fn evaluate_online(
+/// Evaluator-side in-flight state between [`evaluate_begin`] and
+/// [`evaluate_finish`]: the OT pads drawn for the evaluator's choice bits
+/// and the tables (pre-received, or `None` when they travel inline and
+/// will be received at finish time).
+pub struct EvalPending {
+    material: Option<EvalMaterial>,
+    pads: Vec<Block>,
+}
+
+/// First half of the evaluator protocol: stage the OT correction bits for
+/// `my_inputs` and return without blocking. Everything the evaluator must
+/// *send* for this circuit is staged here, so a caller can stage further
+/// dependency-free messages (e.g. the OSN corrections of a follow-up OEP
+/// whose routing is already known) into the same outbound super-frame
+/// before [`evaluate_finish`] blocks on the garbler. The garbler reads the
+/// corrections inside `ot.send_blocks` only after staging tables, labels
+/// and decode bits, so per-direction FIFO order is unchanged.
+pub fn evaluate_begin(
     ch: &mut Channel,
     circuit: &Circuit,
-    material: EvalMaterial,
+    material: Option<EvalMaterial>,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+) -> EvalPending {
+    assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
+    if let Some(m) = &material {
+        assert_eq!(
+            m.digest,
+            circuit_digest(circuit),
+            "pre-received tables are for a different circuit"
+        );
+    }
+    let pads = ot.begin_recv(ch, my_inputs);
+    EvalPending { material, pads }
+}
+
+/// Second half of the evaluator protocol: receive tables (when they travel
+/// inline), garbler labels, decode bits and the OT correction messages,
+/// then evaluate. Receive-only until the optional color-bit reply.
+pub fn evaluate_finish(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    pending: EvalPending,
     my_inputs: &[bool],
     ot: &mut OtReceiver,
     hasher: TweakHasher,
     mode: OutputMode,
 ) -> Option<Vec<bool>> {
-    assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
-    assert_eq!(
-        material.digest,
-        circuit_digest(circuit),
-        "pre-received tables are for a different circuit"
-    );
-    let tables = material.tables;
+    let EvalPending { material, pads } = pending;
+    let tables = match material {
+        Some(m) => m.tables,
+        None => evaluate_offline(ch, circuit).tables,
+    };
     let garbler_labels: Vec<Block> = ch
         .recv_u128_vec(circuit.alice_inputs)
         .into_iter()
@@ -225,7 +260,7 @@ pub fn evaluate_online(
     } else {
         None
     };
-    let my_labels = ot.recv_blocks(ch, my_inputs);
+    let my_labels = ot.finish_recv_blocks(ch, &pads, my_inputs);
     let mut labels = garbler_labels;
     labels.extend(my_labels);
     let out_labels = eval(circuit, &tables, &labels, hasher);
@@ -234,6 +269,25 @@ pub fn evaluate_online(
         ch.send_bool_slice(&colors);
     }
     decode.map(|d| colors.iter().zip(&d).map(|(&c, &dd)| c ^ dd).collect())
+}
+
+/// Online half of [`evaluate_circuit`], against material produced by
+/// [`evaluate_offline`] for the same circuit. Implemented as
+/// [`evaluate_begin`] + [`evaluate_finish`]: the OT correction bits are
+/// staged *before* blocking on the garbler's labels, so one GC evaluation
+/// costs a single ping-pong on the wire instead of three direction
+/// switches.
+pub fn evaluate_online(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    material: EvalMaterial,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+    mode: OutputMode,
+) -> Option<Vec<bool>> {
+    let pending = evaluate_begin(ch, circuit, Some(material), my_inputs, ot);
+    evaluate_finish(ch, circuit, pending, my_inputs, ot, hasher, mode)
 }
 
 /// Garbler side. `my_inputs` are the cleartext values of the circuit's
@@ -261,9 +315,12 @@ pub fn garble_circuit<R: Rng + ?Sized>(
 /// Bob (evaluator) input wires. Returns the outputs if `mode` reveals them
 /// to the evaluator, else `None`.
 ///
-/// Implemented as [`evaluate_offline`] immediately followed by
-/// [`evaluate_online`] — wire-identical to the historical single-phase
-/// protocol.
+/// Implemented as [`evaluate_begin`] + [`evaluate_finish`] with inline
+/// tables: the OT corrections are staged before the tables are received,
+/// matching the banked path's round structure. Per-direction message
+/// order (and hence the transcript content) is unchanged from the
+/// historical single-phase protocol; only the direction interleaving
+/// tightens.
 pub fn evaluate_circuit(
     ch: &mut Channel,
     circuit: &Circuit,
@@ -272,9 +329,8 @@ pub fn evaluate_circuit(
     hasher: TweakHasher,
     mode: OutputMode,
 ) -> Option<Vec<bool>> {
-    assert_eq!(my_inputs.len(), circuit.bob_inputs, "evaluator input arity");
-    let material = evaluate_offline(ch, circuit);
-    evaluate_online(ch, circuit, material, my_inputs, ot, hasher, mode)
+    let pending = evaluate_begin(ch, circuit, None, my_inputs, ot);
+    evaluate_finish(ch, circuit, pending, my_inputs, ot, hasher, mode)
 }
 
 #[cfg(test)]

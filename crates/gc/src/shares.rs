@@ -23,8 +23,8 @@ use secyan_ot::{OtReceiver, OtSender};
 use secyan_transport::Channel;
 
 use crate::protocol::{
-    evaluate_circuit, evaluate_online, garble_circuit, garble_online, EvalMaterial, GarbleMaterial,
-    OutputMode,
+    evaluate_begin, evaluate_finish, garble_circuit, garble_online, EvalMaterial, EvalPending,
+    GarbleMaterial, OutputMode,
 };
 
 /// A secret-shared ℓ-bit input: one word from each party.
@@ -174,6 +174,45 @@ fn draw_masks<R: Rng + ?Sized>(
     (mask_bits, shares)
 }
 
+/// First half of the shared-output evaluator: stage the OT corrections
+/// for `my_inputs` (send-only — see [`evaluate_begin`]) so further
+/// dependency-free messages can share the outbound super-frame before
+/// [`evaluate_shared_finish`] blocks on the garbler. Pass the pre-received
+/// tables when the circuit was planned offline, `None` for inline tables.
+pub fn evaluate_shared_begin(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    material: Option<EvalMaterial>,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+) -> EvalPending {
+    evaluate_begin(ch, circuit, material, my_inputs, ot)
+}
+
+/// Second half of the shared-output evaluator: receive and evaluate,
+/// returning the evaluator's arithmetic shares, one per output word.
+pub fn evaluate_shared_finish(
+    ch: &mut Channel,
+    circuit: &Circuit,
+    pending: EvalPending,
+    spec: &SharedOutputSpec,
+    my_inputs: &[bool],
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+) -> Vec<u64> {
+    let bits = evaluate_finish(
+        ch,
+        circuit,
+        pending,
+        my_inputs,
+        ot,
+        hasher,
+        OutputMode::RevealToEvaluator,
+    )
+    .expect("shared-output circuits reveal to the evaluator");
+    unpack_shares(spec, &bits)
+}
+
 /// Evaluator side of a shared-output circuit. Returns the evaluator's
 /// arithmetic shares, one per output word.
 pub fn evaluate_shared(
@@ -184,16 +223,8 @@ pub fn evaluate_shared(
     ot: &mut OtReceiver,
     hasher: TweakHasher,
 ) -> Vec<u64> {
-    let bits = evaluate_circuit(
-        ch,
-        circuit,
-        my_inputs,
-        ot,
-        hasher,
-        OutputMode::RevealToEvaluator,
-    )
-    .expect("shared-output circuits reveal to the evaluator");
-    unpack_shares(spec, &bits)
+    let pending = evaluate_shared_begin(ch, circuit, None, my_inputs, ot);
+    evaluate_shared_finish(ch, circuit, pending, spec, my_inputs, ot, hasher)
 }
 
 /// Online-phase variant of [`evaluate_shared`]: the tables were received
@@ -207,17 +238,8 @@ pub fn evaluate_shared_online(
     ot: &mut OtReceiver,
     hasher: TweakHasher,
 ) -> Vec<u64> {
-    let bits = evaluate_online(
-        ch,
-        circuit,
-        material,
-        my_inputs,
-        ot,
-        hasher,
-        OutputMode::RevealToEvaluator,
-    )
-    .expect("shared-output circuits reveal to the evaluator");
-    unpack_shares(spec, &bits)
+    let pending = evaluate_shared_begin(ch, circuit, Some(material), my_inputs, ot);
+    evaluate_shared_finish(ch, circuit, pending, spec, my_inputs, ot, hasher)
 }
 
 /// Split the revealed masked-output bits back into per-word shares.

@@ -12,7 +12,7 @@
 //! values — constant rounds, Õ(n log n) traffic for the whole network.
 
 use rand::Rng;
-use secyan_crypto::{RingCtx, Zeroize};
+use secyan_crypto::{Block, RingCtx, Zeroize};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_par as par;
 use secyan_transport::{Channel, ReadExt, WriteExt};
@@ -161,23 +161,48 @@ fn holder_stage(
     }
 }
 
-/// Alice's side: walk the masked values through the network using her
-/// routing. Returns Alice's output shares.
-pub fn osn_perm_holder(
+/// Routing-holder state between [`osn_perm_holder_begin`] and
+/// [`osn_perm_holder_finish`]: the OT choice bits (switch controls) and
+/// their staged pads.
+pub struct OsnPending {
+    choices: Vec<bool>,
+    pads: Vec<Block>,
+}
+
+/// First half of the routing-holder side: stage the OT correction bits
+/// for every switch. Send-only — the routing is known before any incoming
+/// data, so the corrections ride the current outbound super-frame, and a
+/// caller may stage further dependency-free messages before
+/// [`osn_perm_holder_finish`] blocks on the masked values. The value
+/// holder reads the corrections inside `ot.send_bytes` only after staging
+/// init + pairs, so per-direction FIFO order is unchanged.
+pub fn osn_perm_holder_begin(
     ch: &mut Channel,
-    net: &EpNetwork,
     routing: &EpRouting,
-    ring: RingCtx,
     ot: &mut OtReceiver,
-) -> Vec<u64> {
-    let width = net.width();
-    let mut vals = ch.recv_u64_vec(width);
-    // Choice bits in the same order Bob built the messages.
+) -> OsnPending {
     let mut choices: Vec<bool> = Vec::new();
     choices.extend_from_slice(&routing.p1_bits);
     choices.extend_from_slice(&routing.dup_bits[1..]);
     choices.extend_from_slice(&routing.p2_bits);
-    let corrections = ot.recv_bytes(ch, &choices, 16);
+    let pads = ot.begin_recv(ch, &choices);
+    OsnPending { choices, pads }
+}
+
+/// Second half of the routing-holder side: receive the masked values and
+/// correction messages, then walk the network. Receive-only.
+pub fn osn_perm_holder_finish(
+    ch: &mut Channel,
+    net: &EpNetwork,
+    routing: &EpRouting,
+    pending: OsnPending,
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    let width = net.width();
+    let OsnPending { choices, pads } = pending;
+    let mut vals = ch.recv_u64_vec(width);
+    let corrections = ot.finish_recv_bytes(ch, &pads, &choices, 16);
     let n_p1 = net.p1.switches().len();
     let n_dup = width - 1;
     par::with_pool_if(par::threads() > 1 && width >= OSN_PAR_MIN_WIDTH, |pool| {
@@ -211,6 +236,20 @@ pub fn osn_perm_holder(
     });
     vals.truncate(net.n_out);
     vals
+}
+
+/// Alice's side: walk the masked values through the network using her
+/// routing. Returns Alice's output shares. Implemented as
+/// [`osn_perm_holder_begin`] + [`osn_perm_holder_finish`].
+pub fn osn_perm_holder(
+    ch: &mut Channel,
+    net: &EpNetwork,
+    routing: &EpRouting,
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    let pending = osn_perm_holder_begin(ch, routing, ot);
+    osn_perm_holder_finish(ch, net, routing, pending, ring, ot)
 }
 
 /// One permutation stage on the routing holder's side, mirroring

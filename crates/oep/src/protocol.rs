@@ -16,8 +16,8 @@ use secyan_crypto::RingCtx;
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_transport::Channel;
 
-use crate::network::EpNetwork;
-use crate::osn::{osn_perm_holder, osn_value_holder};
+use crate::network::{EpNetwork, EpRouting};
+use crate::osn::{osn_perm_holder_begin, osn_perm_holder_finish, osn_value_holder, OsnPending};
 
 /// Plain OEP, value-holder side (Bob). Returns Bob's output shares.
 pub fn oep_value_holder<R: Rng + ?Sized>(
@@ -32,6 +32,50 @@ pub fn oep_value_holder<R: Rng + ?Sized>(
     osn_value_holder(ch, &net, values, ring, ot, rng)
 }
 
+/// Permutation-holder state between [`oep_perm_holder_begin`] and
+/// [`oep_perm_holder_finish`]: the derived network, routing, ξ, and the
+/// staged OSN corrections.
+pub struct OepPending {
+    net: EpNetwork,
+    routing: EpRouting,
+    xi: Vec<usize>,
+    osn: OsnPending,
+}
+
+/// First half of the permutation-holder side: derive the network from the
+/// public dimensions, route ξ through it, and stage the OT correction
+/// bits. Send-only — the caller can stage further dependency-free
+/// messages (e.g. a later operator's corrections) into the same outbound
+/// super-frame before [`oep_perm_holder_finish`] blocks on the value
+/// holder's masked values.
+pub fn oep_perm_holder_begin(
+    ch: &mut Channel,
+    xi: &[usize],
+    n_in: usize,
+    ot: &mut OtReceiver,
+) -> OepPending {
+    let net = EpNetwork::new(n_in, xi.len());
+    let routing = net.route(xi);
+    let osn = osn_perm_holder_begin(ch, &routing, ot);
+    OepPending {
+        net,
+        routing,
+        xi: xi.to_vec(),
+        osn,
+    }
+}
+
+/// Second half of the permutation-holder side: receive and walk the
+/// network. Receive-only.
+pub fn oep_perm_holder_finish(
+    ch: &mut Channel,
+    pending: OepPending,
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    osn_perm_holder_finish(ch, &pending.net, &pending.routing, pending.osn, ring, ot)
+}
+
 /// Plain OEP, permutation-holder side (Alice). `xi[o]` is the input index
 /// feeding output `o`; `n_in` is Bob's (public) vector length. Returns
 /// Alice's output shares.
@@ -42,9 +86,40 @@ pub fn oep_perm_holder(
     ring: RingCtx,
     ot: &mut OtReceiver,
 ) -> Vec<u64> {
-    let net = EpNetwork::new(n_in, xi.len());
-    let routing = net.route(xi);
-    osn_perm_holder(ch, &net, &routing, ring, ot)
+    let pending = oep_perm_holder_begin(ch, xi, n_in, ot);
+    oep_perm_holder_finish(ch, pending, ring, ot)
+}
+
+/// First half of the shared-OEP permutation-holder side: identical wire
+/// behavior to [`oep_perm_holder_begin`]; the share addition happens at
+/// finish time.
+pub fn shared_oep_perm_holder_begin(
+    ch: &mut Channel,
+    xi: &[usize],
+    n_in: usize,
+    ot: &mut OtReceiver,
+) -> OepPending {
+    oep_perm_holder_begin(ch, xi, n_in, ot)
+}
+
+/// Second half of the shared-OEP permutation-holder side: finish the OSN
+/// walk and locally add the ξ-permutation of `my_shares`.
+pub fn shared_oep_perm_holder_finish(
+    ch: &mut Channel,
+    pending: OepPending,
+    my_shares: &[u64],
+    ring: RingCtx,
+    ot: &mut OtReceiver,
+) -> Vec<u64> {
+    assert_eq!(my_shares.len(), pending.net.n_in, "share vector arity");
+    let xi = pending.xi.clone();
+    let fresh = oep_perm_holder_finish(ch, pending, ring, ot);
+    // Locally add the permutation of her own shares (she knows ξ).
+    fresh
+        .iter()
+        .zip(&xi)
+        .map(|(&f, &src)| ring.add(f, my_shares[src]))
+        .collect()
 }
 
 /// Shared OEP, permutation-holder side: Alice holds ξ *and* her shares of
@@ -56,13 +131,8 @@ pub fn shared_oep_perm_holder(
     ring: RingCtx,
     ot: &mut OtReceiver,
 ) -> Vec<u64> {
-    let fresh = oep_perm_holder(ch, xi, my_shares.len(), ring, ot);
-    // Locally add the permutation of her own shares (she knows ξ).
-    fresh
-        .iter()
-        .zip(xi)
-        .map(|(&f, &src)| ring.add(f, my_shares[src]))
-        .collect()
+    let pending = shared_oep_perm_holder_begin(ch, xi, my_shares.len(), ot);
+    shared_oep_perm_holder_finish(ch, pending, my_shares, ring, ot)
 }
 
 /// Shared OEP, other side: Bob holds only his shares of the input vector.

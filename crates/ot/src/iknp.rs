@@ -459,11 +459,26 @@ impl OtReceiver {
         out
     }
 
-    /// Receive chosen 128-bit messages. The unchosen branch is read too and
-    /// discarded via [`CtSelect`], so memory access does not index on the
-    /// choice bit.
-    pub fn recv_blocks(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
-        let pads = self.draw_pads(ch, choices);
+    /// First half of a receive: draw the pads for `choices`. This is
+    /// *send-only* on the receiver side (banked: packed correction bits;
+    /// fresh: the masked column bundle), so it can be staged before other
+    /// incoming traffic is read — protocol layers use this to batch all
+    /// receiver-side OT corrections of a round into one super-frame before
+    /// blocking on the sender's replies. Finish with
+    /// [`OtReceiver::finish_recv_blocks`] / [`OtReceiver::finish_recv_bytes`]
+    /// in the same order relative to the peer's sends.
+    pub fn begin_recv(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
+        self.draw_pads(ch, choices)
+    }
+
+    /// Second half of [`OtReceiver::begin_recv`] for 128-bit messages:
+    /// read the masked pairs and unmask the chosen one.
+    pub fn finish_recv_blocks(
+        &mut self,
+        ch: &mut Channel,
+        pads: &[Block],
+        choices: &[bool],
+    ) -> Vec<Block> {
         let masked = ch.recv_u128_vec(choices.len() * 2);
         choices
             .iter()
@@ -476,11 +491,15 @@ impl OtReceiver {
             .collect()
     }
 
-    /// Receive chosen byte-string messages of known length `len`. Both
-    /// candidate strings are unmasked and the result selected bytewise, so
-    /// neither control flow nor access pattern depends on the choice bits.
-    pub fn recv_bytes(&mut self, ch: &mut Channel, choices: &[bool], len: usize) -> Vec<Vec<u8>> {
-        let pads = self.draw_pads(ch, choices);
+    /// Second half of [`OtReceiver::begin_recv`] for byte-string messages
+    /// of known length `len`.
+    pub fn finish_recv_bytes(
+        &mut self,
+        ch: &mut Channel,
+        pads: &[Block],
+        choices: &[bool],
+        len: usize,
+    ) -> Vec<Vec<u8>> {
         let raw = ch.recv_bytes(choices.len() * 2 * len);
         choices
             .iter()
@@ -492,6 +511,22 @@ impl OtReceiver {
                 mask_bytes(&picked, pads[j])
             })
             .collect()
+    }
+
+    /// Receive chosen 128-bit messages. The unchosen branch is read too and
+    /// discarded via [`CtSelect`], so memory access does not index on the
+    /// choice bit.
+    pub fn recv_blocks(&mut self, ch: &mut Channel, choices: &[bool]) -> Vec<Block> {
+        let pads = self.begin_recv(ch, choices);
+        self.finish_recv_blocks(ch, &pads, choices)
+    }
+
+    /// Receive chosen byte-string messages of known length `len`. Both
+    /// candidate strings are unmasked and the result selected bytewise, so
+    /// neither control flow nor access pattern depends on the choice bits.
+    pub fn recv_bytes(&mut self, ch: &mut Channel, choices: &[bool], len: usize) -> Vec<Vec<u8>> {
+        let pads = self.begin_recv(ch, choices);
+        self.finish_recv_bytes(ch, &pads, choices, len)
     }
 }
 

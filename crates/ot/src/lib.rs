@@ -20,4 +20,4 @@ pub mod iknp;
 pub mod kkrt;
 
 pub use iknp::{OtReceiver, OtRecvBank, OtSendBank, OtSender};
-pub use kkrt::{KkrtReceiver, KkrtRecvBank, KkrtSendBank, KkrtSender};
+pub use kkrt::{KkrtReceiver, KkrtRecvBank, KkrtSendBank, KkrtSender, KkrtSenderKey};

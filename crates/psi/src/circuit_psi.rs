@@ -18,15 +18,17 @@ use rand::Rng;
 use secyan_circuit::{u64_to_bits, Circuit};
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_gc::{
-    evaluate_shared, evaluate_shared_online, garble_shared, garble_shared_online, take_eval,
-    take_garble, with_shared_outputs, EvalMaterial, GarbleMaterial, SharedOutputSpec,
+    evaluate_shared_begin, evaluate_shared_finish, garble_shared, garble_shared_online, take_eval,
+    take_garble, with_shared_outputs, EvalMaterial, EvalPending, GarbleMaterial, SharedOutputSpec,
 };
-use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
+use secyan_ot::{KkrtReceiver, KkrtSender, KkrtSenderKey, OtReceiver, OtSender};
 use secyan_transport::{Channel, ReadExt, WriteExt};
 use std::collections::{HashMap, VecDeque};
 
 use crate::hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
-use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
+use crate::opprf::{
+    opprf_evaluate_begin, opprf_evaluate_finish, opprf_program_with_key, OpprfEval, PsiItem,
+};
 
 /// Per-party result of a circuit PSI: one entry per cuckoo bin.
 #[derive(Debug, Clone)]
@@ -98,37 +100,155 @@ fn split_shares(shares: Vec<u64>) -> (Vec<u64>, Vec<u64>) {
 }
 
 /// Agree on a cuckoo/simple-hash seed whose bin loads respect the public
-/// bound. Receiver side; returns the table.
+/// bound, *optimistically* overlapping the two KKRT batches with the
+/// verdict: each attempt stages the seed **and** both OPPRF correction
+/// batches before blocking on the sender's verdict, so an accepted first
+/// attempt (the overwhelmingly common case) costs zero extra ping-pongs.
+/// A rejected attempt discards the two in-flight evaluations — both
+/// parties burn the same 2·bins banked KKRT instances, so bank budgets
+/// stay mirrored; if the bank runs dry the batches transparently fall back
+/// to fresh (still receiver-send-only) extensions. The retry count was
+/// already public under the old send/verdict loop.
+///
+/// Receiver side; returns the table, its per-bin queries, and the two
+/// pending OPPRF evaluations (membership first, payload second).
 pub(crate) fn negotiate_cuckoo(
     ch: &mut Channel,
     elements: &[u64],
     params: &PsiParams,
-) -> CuckooTable {
+    kkrt: &mut KkrtReceiver,
+) -> (CuckooTable, Vec<PsiItem>, OpprfEval, OpprfEval) {
     let mut seed = 0u64;
     loop {
         let table = CuckooTable::build(elements, params.bins, seed);
+        // taint-ok: adaptive retry — each seed attempt needs the peer's
+        // verdict; the fast path already stages everything before blocking.
         ch.send_u64(table.seed);
+        let queries: Vec<PsiItem> = table
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(b, slot)| match slot {
+                Some(e) => PsiItem::Real(*e),
+                None => PsiItem::Dummy(b as u64),
+            })
+            .collect();
+        let e1 = opprf_evaluate_begin(ch, kkrt, &queries, params.degree);
+        let e2 = opprf_evaluate_begin(ch, kkrt, &queries, params.degree);
         if ch.recv_u64() == 1 {
-            return table;
+            return (table, queries, e1, e2);
         }
         seed = table.seed.wrapping_add(1);
     }
 }
 
-/// Sender side of the seed negotiation; returns the simple-hash table.
+/// Sender side of the optimistic negotiation; consumes the receiver's
+/// in-flight correction batches (in FIFO order, after the verdict is
+/// staged) whether or not the seed is accepted, keeping the KKRT streams
+/// of both parties aligned. Returns the simple-hash table and the two
+/// evaluation keys (membership first, payload second).
 pub(crate) fn negotiate_simple(
     ch: &mut Channel,
     elements: &[u64],
     params: &PsiParams,
-) -> SimpleTable {
+    kkrt: &mut KkrtSender,
+) -> (SimpleTable, KkrtSenderKey, KkrtSenderKey) {
     loop {
         let seed = ch.recv_u64();
         let table = SimpleTable::build(elements, params.bins, seed);
         let ok = table.max_load() <= params.degree;
+        // taint-ok: adaptive retry — the verdict answers the seed just
+        // received; see negotiate_cuckoo for the round accounting.
         ch.send_u64(ok as u64);
+        let k1 = kkrt.key_batch(ch, params.bins);
+        let k2 = kkrt.key_batch(ch, params.bins);
         if ok {
-            return table;
+            return (table, k1, k2);
         }
+    }
+}
+
+/// Receiver-side in-flight PSI state between [`psi_receiver_begin`] and
+/// [`psi_receiver_finish`]: everything up to (and including) staging the
+/// matching circuit's OT corrections has happened; the cuckoo table is
+/// already known, so a caller can derive downstream routings from it and
+/// stage their corrections into the same outbound super-frame.
+pub struct PsiReceiverPending {
+    cuckoo: CuckooTable,
+    circuit: Circuit,
+    spec: SharedOutputSpec,
+    my_bits: Vec<bool>,
+    gc: EvalPending,
+}
+
+impl PsiReceiverPending {
+    /// The receiver's cuckoo table — available before the PSI completes,
+    /// so downstream per-bin routings can be staged early.
+    pub fn cuckoo(&self) -> &CuckooTable {
+        &self.cuckoo
+    }
+}
+
+/// First half of the circuit-PSI receiver: negotiate the cuckoo seed,
+/// finish the two OPPRF evaluations, and stage (send-only) the matching
+/// circuit's OT corrections. Returns with the outbound super-frame still
+/// open: everything this side must *send* for the PSI has been staged, so
+/// the caller can stage further dependency-free messages (e.g. the OSN
+/// corrections of a cuckoo-derived OEP) before [`psi_receiver_finish`]
+/// blocks on the garbler's labels.
+#[allow(clippy::too_many_arguments)]
+pub fn psi_receiver_begin(
+    ch: &mut Channel,
+    elements: &[u64],
+    sender_size: usize,
+    ring: RingCtx,
+    kkrt: &mut KkrtReceiver,
+    ot: &mut OtReceiver,
+    gc_bank: &mut VecDeque<EvalMaterial>,
+) -> PsiReceiverPending {
+    let params = psi_params(elements.len(), sender_size);
+    let (cuckoo, _queries, e1, e2) = negotiate_cuckoo(ch, elements, &params, kkrt);
+    let o = opprf_evaluate_finish(ch, e1);
+    let p = opprf_evaluate_finish(ch, e2);
+    // The matching circuit: this party evaluates.
+    let (circuit, spec) = matching_circuit(params.bins, ring.bits() as usize);
+    let mut my_bits = Vec::with_capacity(params.bins * 128);
+    for b in 0..params.bins {
+        my_bits.extend(u64_to_bits(o[b], 64));
+        my_bits.extend(u64_to_bits(p[b], 64));
+    }
+    let material = take_eval(gc_bank, &circuit);
+    let gc = evaluate_shared_begin(ch, &circuit, material, &my_bits, ot);
+    PsiReceiverPending {
+        cuckoo,
+        circuit,
+        spec,
+        my_bits,
+        gc,
+    }
+}
+
+/// Second half of the circuit-PSI receiver: receive and evaluate the
+/// matching circuit. Receive-only.
+pub fn psi_receiver_finish(
+    ch: &mut Channel,
+    pending: PsiReceiverPending,
+    ot: &mut OtReceiver,
+    hasher: TweakHasher,
+) -> PsiOutput {
+    let PsiReceiverPending {
+        cuckoo,
+        circuit,
+        spec,
+        my_bits,
+        gc,
+    } = pending;
+    let shares = evaluate_shared_finish(ch, &circuit, gc, &spec, &my_bits, ot, hasher);
+    let (ind_shares, payload_shares) = split_shares(shares);
+    PsiOutput {
+        cuckoo: Some(cuckoo),
+        ind_shares,
+        payload_shares,
     }
 }
 
@@ -136,7 +256,8 @@ pub(crate) fn negotiate_simple(
 /// `sender_size` is the public size of the sender's set. `gc_bank` holds
 /// pre-received garbled tables in plan order (pass an empty deque for a
 /// single-phase run): when its front matches the matching circuit the
-/// evaluation consumes it, else the tables travel inline.
+/// evaluation consumes it, else the tables travel inline. Implemented as
+/// [`psi_receiver_begin`] + [`psi_receiver_finish`].
 #[allow(clippy::too_many_arguments)]
 pub fn psi_receiver(
     ch: &mut Channel,
@@ -148,36 +269,8 @@ pub fn psi_receiver(
     hasher: TweakHasher,
     gc_bank: &mut VecDeque<EvalMaterial>,
 ) -> PsiOutput {
-    let params = psi_params(elements.len(), sender_size);
-    let cuckoo = negotiate_cuckoo(ch, elements, &params);
-    let queries: Vec<PsiItem> = cuckoo
-        .bins
-        .iter()
-        .enumerate()
-        .map(|(b, slot)| match slot {
-            Some(e) => PsiItem::Real(*e),
-            None => PsiItem::Dummy(b as u64),
-        })
-        .collect();
-    let o = opprf_evaluate(ch, kkrt, &queries, params.degree);
-    let p = opprf_evaluate(ch, kkrt, &queries, params.degree);
-    // The matching circuit: this party evaluates.
-    let (circuit, spec) = matching_circuit(params.bins, ring.bits() as usize);
-    let mut my_bits = Vec::with_capacity(params.bins * 128);
-    for b in 0..params.bins {
-        my_bits.extend(u64_to_bits(o[b], 64));
-        my_bits.extend(u64_to_bits(p[b], 64));
-    }
-    let shares = match take_eval(gc_bank, &circuit) {
-        Some(m) => evaluate_shared_online(ch, &circuit, m, &spec, &my_bits, ot, hasher),
-        None => evaluate_shared(ch, &circuit, &spec, &my_bits, ot, hasher),
-    };
-    let (ind_shares, payload_shares) = split_shares(shares);
-    PsiOutput {
-        cuckoo: Some(cuckoo),
-        ind_shares,
-        payload_shares,
-    }
+    let pending = psi_receiver_begin(ch, elements, sender_size, ring, kkrt, ot, gc_bank);
+    psi_receiver_finish(ch, pending, ot, hasher)
 }
 
 /// Sender side of circuit PSI. `items` are distinct `(element, payload)`
@@ -204,7 +297,7 @@ pub fn psi_sender<R: Rng + ?Sized>(
         "sender elements must be distinct"
     );
     let elements: Vec<u64> = items.iter().map(|&(e, _)| e).collect();
-    let simple = negotiate_simple(ch, &elements, &params);
+    let (simple, k1, k2) = negotiate_simple(ch, &elements, &params, kkrt);
     // Membership OPPRF: every element of bin b targets the same random s_b.
     let s: Vec<u64> = (0..params.bins).map(|_| rng.gen()).collect();
     let member_prog: Vec<Vec<(u64, u64)>> = simple
@@ -213,7 +306,7 @@ pub fn psi_sender<R: Rng + ?Sized>(
         .enumerate()
         .map(|(b, ys)| ys.iter().map(|&y| (y, s[b])).collect())
         .collect();
-    opprf_program(ch, kkrt, &member_prog, params.degree, rng);
+    opprf_program_with_key(ch, k1, &member_prog, params.degree, rng);
     // Payload OPPRF: element y targets payload(y) ⊕ w_b.
     let w: Vec<u64> = (0..params.bins).map(|_| rng.gen()).collect();
     let payload_prog: Vec<Vec<(u64, u64)>> = simple
@@ -222,7 +315,7 @@ pub fn psi_sender<R: Rng + ?Sized>(
         .enumerate()
         .map(|(b, ys)| ys.iter().map(|&y| (y, payload_of[&y] ^ w[b])).collect())
         .collect();
-    opprf_program(ch, kkrt, &payload_prog, params.degree, rng);
+    opprf_program_with_key(ch, k2, &payload_prog, params.degree, rng);
     // The matching circuit: this party garbles.
     let (circuit, spec) = matching_circuit(params.bins, ring.bits() as usize);
     let mut my_bits = Vec::with_capacity(params.bins * 128);

@@ -27,7 +27,15 @@ pub mod opprf;
 pub mod shared_payload;
 
 pub use circuit_psi::{
-    matching_circuit, psi_params, psi_receiver, psi_sender, PsiOutput, PsiParams,
+    matching_circuit, psi_params, psi_receiver, psi_receiver_begin, psi_receiver_finish,
+    psi_sender, PsiOutput, PsiParams, PsiReceiverPending,
 };
 pub use hashing::{bin_count, max_bin_size, CuckooTable, SimpleTable};
-pub use shared_payload::{k_circuit, shared_payload_psi_receiver, shared_payload_psi_sender};
+pub use opprf::{
+    opprf_evaluate, opprf_evaluate_begin, opprf_evaluate_finish, opprf_program,
+    opprf_program_with_key, OpprfEval, PsiItem,
+};
+pub use shared_payload::{
+    k_circuit, shared_payload_psi_receiver, shared_payload_psi_receiver_begin,
+    shared_payload_psi_receiver_finish, shared_payload_psi_sender, SharedPayloadPending,
+};

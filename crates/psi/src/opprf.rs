@@ -79,6 +79,22 @@ pub fn opprf_program<R: Rng + ?Sized>(
 ) {
     let bins = programs.len();
     let key = kkrt.key_batch(ch, bins);
+    opprf_program_with_key(ch, key, programs, degree, rng);
+}
+
+/// Like [`opprf_program`], but against a [`KkrtSenderKey`] the caller
+/// already obtained via [`KkrtSender::key_batch`]. This lets protocol
+/// layers pull *all* their KKRT correction reads forward (the receiver
+/// stages every batch's corrections in one super-frame) and program the
+/// hints afterwards.
+pub fn opprf_program_with_key<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    key: secyan_ot::KkrtSenderKey,
+    programs: &[Vec<(u64, u64)>],
+    degree: usize,
+    rng: &mut R,
+) {
+    let bins = programs.len();
     let go_par = par::threads() > 1 && bins >= 2 * BINS_PER_PART;
     // Choose a salt with collision-free x-coordinates in every bin. Bins
     // are checked independently; a salt is accepted iff every bin comes
@@ -154,17 +170,45 @@ pub fn opprf_program<R: Rng + ?Sized>(
     ch.send_u64_slice(&hint_words);
 }
 
-/// Receiver side: evaluate F(b, queries[b]) for every bin.
-pub fn opprf_evaluate(
+/// In-flight receiver-side OPPRF state: the KKRT batch already ran (its
+/// corrections are staged outbound), only the sender's salt + hints are
+/// pending. Produced by [`opprf_evaluate_begin`], consumed by
+/// [`opprf_evaluate_finish`].
+pub struct OpprfEval {
+    oprf_out: Vec<u64>,
+    queries: Vec<PsiItem>,
+    degree: usize,
+}
+
+/// First half of [`opprf_evaluate`]: run the KKRT batch. This is
+/// *send-only* on the receiver side (banked: code corrections; fresh: the
+/// masked column bundle), so several evaluations can be begun back-to-back
+/// — their corrections coalesce into one super-frame — before any of them
+/// blocks on the sender's hints.
+pub fn opprf_evaluate_begin(
     ch: &mut Channel,
     kkrt: &mut KkrtReceiver,
     queries: &[PsiItem],
     degree: usize,
-) -> Vec<u64> {
-    let bins = queries.len();
+) -> OpprfEval {
     let encodings: Vec<[u8; 9]> = queries.iter().map(|q| q.encode()).collect();
     let refs: Vec<&[u8]> = encodings.iter().map(|e| e.as_slice()).collect();
-    let oprf_out = kkrt.eval_batch(ch, &refs);
+    OpprfEval {
+        oprf_out: kkrt.eval_batch(ch, &refs),
+        queries: queries.to_vec(),
+        degree,
+    }
+}
+
+/// Second half of [`opprf_evaluate_begin`]: receive the salt + hint
+/// polynomials and combine them with the OPRF outputs.
+pub fn opprf_evaluate_finish(ch: &mut Channel, pending: OpprfEval) -> Vec<u64> {
+    let OpprfEval {
+        oprf_out,
+        queries,
+        degree,
+    } = pending;
+    let bins = queries.len();
     let salt = ch.recv_u64();
     let hint_words = ch.recv_u64_vec(bins * degree);
     let go_par = par::threads() > 1 && bins >= 2 * BINS_PER_PART;
@@ -174,7 +218,7 @@ pub fn opprf_evaluate(
     // per-bin coefficient Vec and per-multiply dispatch of the old loop
     // are gone. The wire layout is already flat `[b*degree..(b+1)*degree]`.
     let xs: Vec<Gf64> = par::with_pool_if(go_par, |pool| {
-        pool.map(queries, BINS_PER_PART, |_, &q| x_coord(salt, q))
+        pool.map(&queries, BINS_PER_PART, |_, &q| x_coord(salt, q))
     });
     let coeffs: Vec<Gf64> = hint_words.iter().map(|&w| Gf64(w)).collect();
     let mut out = vec![0u64; bins];
@@ -192,6 +236,17 @@ pub fn opprf_evaluate(
         });
     });
     out
+}
+
+/// Receiver side: evaluate F(b, queries[b]) for every bin.
+pub fn opprf_evaluate(
+    ch: &mut Channel,
+    kkrt: &mut KkrtReceiver,
+    queries: &[PsiItem],
+    degree: usize,
+) -> Vec<u64> {
+    let pending = opprf_evaluate_begin(ch, kkrt, queries, degree);
+    opprf_evaluate_finish(ch, pending)
 }
 
 #[cfg(test)]

@@ -25,13 +25,17 @@ use secyan_gc::{
     evaluate_circuit, evaluate_online, garble_circuit, garble_online, take_eval, take_garble,
     EvalMaterial, GarbleMaterial, OutputMode,
 };
-use secyan_oep::{shared_oep_other, shared_oep_perm_holder};
+use secyan_oep::{
+    shared_oep_other, shared_oep_perm_holder, shared_oep_perm_holder_begin,
+    shared_oep_perm_holder_finish, OepPending,
+};
 use secyan_ot::{KkrtReceiver, KkrtSender, OtReceiver, OtSender};
 use secyan_transport::Channel;
 use std::collections::{HashMap, VecDeque};
 
 use crate::circuit_psi::{negotiate_cuckoo, negotiate_simple, psi_params, PsiOutput};
-use crate::opprf::{opprf_evaluate, opprf_program, PsiItem};
+use crate::hashing::CuckooTable;
+use crate::opprf::{opprf_evaluate_finish, opprf_program_with_key};
 
 /// The k-index circuit: per bin, shares of the indicator plus the routing
 /// index k_b in the clear (toward the evaluator = PSI receiver). Public so
@@ -67,12 +71,32 @@ pub fn k_circuit(bins: usize, ell: usize) -> Circuit {
     b.finish()
 }
 
-/// Receiver side (the cuckoo/X holder; also holds shares of the sender's
-/// payload vector). `my_payload_shares.len()` is the sender's public set
-/// size. Returns per-bin shares of indicator and payload. `gc_bank` holds
-/// pre-received tables in plan order (empty deque for single-phase runs).
+/// Receiver-side in-flight state between [`shared_payload_psi_receiver_begin`]
+/// and [`shared_payload_psi_receiver_finish`]: everything up to staging the
+/// ξ₂-OEP's OT corrections has happened, and the cuckoo table is known.
+pub struct SharedPayloadPending {
+    cuckoo: CuckooTable,
+    ind_shares: Vec<u64>,
+    zprime_shares: Vec<u64>,
+    oep: OepPending,
+}
+
+impl SharedPayloadPending {
+    /// The receiver's cuckoo table — available before the PSI completes,
+    /// so downstream per-bin routings can be staged early.
+    pub fn cuckoo(&self) -> &CuckooTable {
+        &self.cuckoo
+    }
+}
+
+/// First half of the shared-payload PSI receiver: steps 1–4 in full (the
+/// first shared OEP, binning, OPPRFs, the k circuit) and the send-only
+/// part of step 5 — the ξ₂-OEP's OT corrections are staged but the masked
+/// values are not yet received. The caller can stage further
+/// dependency-free messages into the same outbound super-frame before
+/// [`shared_payload_psi_receiver_finish`] blocks.
 #[allow(clippy::too_many_arguments)]
-pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
+pub fn shared_payload_psi_receiver_begin<R: Rng + ?Sized>(
     ch: &mut Channel,
     elements: &[u64],
     my_payload_shares: &[u64],
@@ -83,7 +107,7 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     hasher: TweakHasher,
     rng: &mut R,
     gc_bank: &mut VecDeque<EvalMaterial>,
-) -> PsiOutput {
+) -> SharedPayloadPending {
     let n = my_payload_shares.len();
     let params = psi_params(elements.len(), n);
     let bins = params.bins;
@@ -91,19 +115,11 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     let mut ext = my_payload_shares.to_vec();
     ext.resize(n + bins, 0);
     let zprime_shares = shared_oep_other(ch, &ext, n + bins, ring, ot_send, rng);
-    // Step 3: binning + OPPRFs.
-    let cuckoo = negotiate_cuckoo(ch, elements, &params);
-    let queries: Vec<PsiItem> = cuckoo
-        .bins
-        .iter()
-        .enumerate()
-        .map(|(b, slot)| match slot {
-            Some(e) => PsiItem::Real(*e),
-            None => PsiItem::Dummy(b as u64),
-        })
-        .collect();
-    let o = opprf_evaluate(ch, kkrt, &queries, params.degree);
-    let p = opprf_evaluate(ch, kkrt, &queries, params.degree);
+    // Step 3: binning + OPPRFs (corrections staged with the seed, see
+    // `negotiate_cuckoo`).
+    let (cuckoo, _queries, e1, e2) = negotiate_cuckoo(ch, elements, &params, kkrt);
+    let o = opprf_evaluate_finish(ch, e1);
+    let p = opprf_evaluate_finish(ch, e2);
     // Step 4: evaluate the k circuit.
     let circuit = k_circuit(bins, ring.bits() as usize);
     let mut my_bits = Vec::with_capacity(bins * 128);
@@ -142,13 +158,70 @@ pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
     for &k in &ks {
         assert!(k < n + bins, "k index out of range: corrupted transcript");
     }
-    // Step 5: second shared OEP with ξ₂ = k.
-    let payload_shares = shared_oep_perm_holder(ch, &ks, &zprime_shares, ring, ot_recv);
+    // Step 5 (send half): stage the ξ₂-OEP corrections with ξ₂ = k.
+    let oep = shared_oep_perm_holder_begin(ch, &ks, n + bins, ot_recv);
+    SharedPayloadPending {
+        cuckoo,
+        ind_shares,
+        zprime_shares,
+        oep,
+    }
+}
+
+/// Second half of the shared-payload PSI receiver: finish the ξ₂-OEP walk.
+/// Receive-only.
+pub fn shared_payload_psi_receiver_finish(
+    ch: &mut Channel,
+    pending: SharedPayloadPending,
+    ring: RingCtx,
+    ot_recv: &mut OtReceiver,
+) -> PsiOutput {
+    let SharedPayloadPending {
+        cuckoo,
+        ind_shares,
+        zprime_shares,
+        oep,
+    } = pending;
+    let payload_shares = shared_oep_perm_holder_finish(ch, oep, &zprime_shares, ring, ot_recv);
     PsiOutput {
         cuckoo: Some(cuckoo),
         ind_shares,
         payload_shares,
     }
+}
+
+/// Receiver side (the cuckoo/X holder; also holds shares of the sender's
+/// payload vector). `my_payload_shares.len()` is the sender's public set
+/// size. Returns per-bin shares of indicator and payload. `gc_bank` holds
+/// pre-received tables in plan order (empty deque for single-phase runs).
+/// Implemented as [`shared_payload_psi_receiver_begin`] +
+/// [`shared_payload_psi_receiver_finish`].
+#[allow(clippy::too_many_arguments)]
+pub fn shared_payload_psi_receiver<R: Rng + ?Sized>(
+    ch: &mut Channel,
+    elements: &[u64],
+    my_payload_shares: &[u64],
+    ring: RingCtx,
+    kkrt: &mut KkrtReceiver,
+    ot_recv: &mut OtReceiver,
+    ot_send: &mut OtSender,
+    hasher: TweakHasher,
+    rng: &mut R,
+    gc_bank: &mut VecDeque<EvalMaterial>,
+) -> PsiOutput {
+    let pending = shared_payload_psi_receiver_begin(
+        ch,
+        elements,
+        my_payload_shares,
+        ring,
+        kkrt,
+        ot_recv,
+        ot_send,
+        hasher,
+        rng,
+        gc_bank,
+    );
+    shared_payload_psi_receiver_finish(ch, pending, ring, ot_recv)
 }
 
 /// Sender side (the Y holder; also holds shares of their own payload
@@ -185,7 +258,7 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
     ext.resize(n + bins, 0);
     let zprime_shares = shared_oep_perm_holder(ch, &xi1, &ext, ring, ot_recv);
     // Step 3: binning + OPPRFs.
-    let simple = negotiate_simple(ch, elements, &params);
+    let (simple, k1, k2) = negotiate_simple(ch, elements, &params, kkrt);
     let s: Vec<u64> = (0..bins).map(|_| rng.gen()).collect();
     let member_prog: Vec<Vec<(u64, u64)>> = simple
         .bins
@@ -193,7 +266,7 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
         .enumerate()
         .map(|(b, ys)| ys.iter().map(|&y| (y, s[b])).collect())
         .collect();
-    opprf_program(ch, kkrt, &member_prog, params.degree, rng);
+    opprf_program_with_key(ch, k1, &member_prog, params.degree, rng);
     let w: Vec<u64> = (0..bins).map(|_| rng.gen()).collect();
     let index_prog: Vec<Vec<(u64, u64)>> = simple
         .bins
@@ -205,7 +278,7 @@ pub fn shared_payload_psi_sender<R: Rng + ?Sized>(
                 .collect()
         })
         .collect();
-    opprf_program(ch, kkrt, &index_prog, params.degree, rng);
+    opprf_program_with_key(ch, k2, &index_prog, params.degree, rng);
     // Step 4: garble the k circuit; collect the indicator-mask shares.
     let circuit = k_circuit(bins, ring.bits() as usize);
     let mut ind_shares = Vec::with_capacity(bins);

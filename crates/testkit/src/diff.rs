@@ -25,7 +25,7 @@ use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_relation::{naive::naive_join_aggregate, yannakakis, CountSemiring, Relation};
 use secyan_transport::{
-    run_protocol, run_protocol_recorded, try_run_protocol_with_faults, CommStats, FaultPlan,
+    run_protocol, run_protocol_captured, try_run_protocol_with_faults, CommStats, FaultPlan,
     ProtocolError, Role,
 };
 
@@ -140,14 +140,51 @@ pub fn run_secure(inst: &Instance) -> SecureRun {
     let rb = inst.party_relations(Role::Bob);
     let ring = inst.ring_ctx();
     let (sa, sb) = session_seeds(inst);
-    let ((res, handle), (), stats) = run_protocol_recorded(
+    let (res, (), stats, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut sess = Session::new(ch, ring, TweakHasher::default(), sa);
-            let res = secure_yannakakis(&mut sess, &qa, &ra, Role::Alice);
-            (res, handle)
+            secure_yannakakis(&mut sess, &qa, &ra, Role::Alice)
         },
         move |ch| {
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sb);
+            secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
+        },
+    );
+    SecureRun {
+        result: canonical_nonzero(
+            ring,
+            sorted_columns(&res.schema, res.tuples)
+                .into_iter()
+                .zip(res.values)
+                .collect(),
+        ),
+        out_size: res.out_size,
+        stats,
+        transcript: handle.messages(),
+    }
+}
+
+/// [`run_secure`] with message coalescing disabled: every staged message
+/// ships as its own wire frame (the pre-super-round behavior). Same
+/// session seeds as [`run_secure`], so the result, the logical transcript,
+/// and every stage-time counter must be byte-identical; only the
+/// frame/super-round counters may differ. Round-regression tests run both
+/// and diff them.
+pub fn run_secure_uncoalesced(inst: &Instance) -> SecureRun {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    let (res, (), stats, handle) = run_protocol_captured(
+        move |ch| {
+            ch.set_eager(true);
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sa);
+            secure_yannakakis(&mut sess, &qa, &ra, Role::Alice)
+        },
+        move |ch| {
+            ch.set_eager(true);
             let mut sess = Session::new(ch, ring, TweakHasher::default(), sb);
             secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
         },
@@ -292,9 +329,8 @@ pub fn run_secure_phase_split(inst: &Instance, shed: Option<(usize, usize)>) -> 
     let (s2, sizes) = (sizes.clone(), sizes);
     let ring = inst.ring_ctx();
     let (sa, sb) = session_seeds(inst);
-    let ((res, handle), (), stats) = run_protocol_recorded(
+    let (res, (), stats, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut m = run_offline(
                 ch,
                 &qa,
@@ -307,8 +343,7 @@ pub fn run_secure_phase_split(inst: &Instance, shed: Option<(usize, usize)>) -> 
             if let Some((c, cap)) = shed {
                 m.shed(c, cap);
             }
-            let res = run_online(ch, &qa, &ra, Role::Alice, ring, TweakHasher::default(), m);
-            (res, handle)
+            run_online(ch, &qa, &ra, Role::Alice, ring, TweakHasher::default(), m)
         },
         move |ch| {
             let mut m = run_offline(ch, &qb, &s2, Role::Alice, ring, TweakHasher::default(), sb);

@@ -24,7 +24,7 @@ pub mod gen;
 
 pub use diff::{
     check_instance, oracle, plaintext_yannakakis, run_baseline, run_secure, run_secure_phase_split,
-    run_secure_phase_split_with_faults, run_secure_with_faults, scalar_of, Differential, Rows,
-    SecureRun,
+    run_secure_phase_split_with_faults, run_secure_uncoalesced, run_secure_with_faults, scalar_of,
+    Differential, Rows, SecureRun,
 };
 pub use gen::{AggKind, Instance};

@@ -1,21 +1,56 @@
 //! The metered duplex channel connecting Alice and Bob.
 //!
-//! Every message travels as one *frame*: an 8-byte header (payload length
-//! and per-direction sequence number, both little-endian `u32`) followed by
-//! the payload. The header is validated on every receive, so a truncated,
-//! split, reordered or dropped write is *detected* and surfaced as a typed
-//! [`TransportError`] instead of silently desynchronizing the parties. The
-//! header is pure wire overhead: the byte meters and the recorded
-//! transcript count payload bytes only, so communication-cost numbers and
-//! obliviousness transcripts are unchanged by framing.
+//! # Staged sends and super-rounds
+//!
+//! Sends are *staged*, not written: [`Channel::send`] appends the message
+//! to an outgoing super-frame buffer and returns immediately. The buffer
+//! travels as one wire frame when the endpoint [`Channel::flush`]es —
+//! explicitly, on a phase switch, on drop, or (the common case)
+//! automatically the moment the endpoint would otherwise *block* on the
+//! wire waiting for the peer. That last rule makes coalescing maximal and
+//! deadlock-free by construction: whenever a party is blocked, everything
+//! it has staged is already on the wire, so the classic ping-pong
+//! dependency structure of a protocol is preserved while every run of
+//! same-direction messages between two genuine dependencies collapses
+//! into a single frame.
+//!
+//! On the wire a frame is: an 8-byte header (payload length and
+//! per-direction sequence number, both little-endian `u32`) followed by
+//! the staged messages, each prefixed by its own 4-byte little-endian
+//! length so logical message boundaries survive coalescing. The header
+//! and sub-headers are pure wire overhead: the byte meters and the
+//! recorded transcript count logical payload bytes only, at *stage* time,
+//! so communication-cost numbers and obliviousness transcripts are
+//! independent of how messages happen to share frames. Wire-level
+//! direction switches are metered separately as
+//! [`CommStats::super_rounds`].
+//!
+//! The header is validated on every receive, so a truncated, split,
+//! reordered, oversized or dropped write is *detected* and surfaced as a
+//! typed [`TransportError`] instead of silently desynchronizing the
+//! parties.
 
 use crate::error::TransportError;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
 /// Frame header size: payload length (`u32` LE) then sequence (`u32` LE).
 pub(crate) const HEADER: usize = 8;
+
+/// Per-message sub-header inside a frame: the message length (`u32` LE).
+pub(crate) const SUB_HEADER: usize = 4;
+
+/// Upper bound on a wire frame's payload. The sender auto-flushes before a
+/// staged super-frame would exceed it, and the receiver rejects any frame
+/// *declaring* more as [`TransportError::FrameTooLarge`] — so message
+/// coalescing cannot be abused to smuggle an allocation bomb past the
+/// declared-size hardening (`secyan-core`'s `MAX_DECLARED_SIZE` ties to
+/// this same bound).
+pub const MAX_FRAME_SIZE: usize = 1 << 28;
+
+/// Most spare frame buffers an endpoint keeps for reuse.
+const SPARE_BUFFERS: usize = 8;
 
 /// The sequence word carries the phase tag in its top two bits; the low 30
 /// bits are the per-direction sequence counter.
@@ -60,17 +95,19 @@ impl Phase {
 }
 
 /// A simulated network: finite bandwidth plus per-round latency, applied
-/// inside [`Channel::send`] as real sleeps on the sending thread.
+/// inside [`Channel::flush`] as real sleeps on the sending thread.
 ///
-/// The model is deliberately simple and conservative: every sent frame
+/// The model is deliberately simple and conservative: every flushed frame
 /// blocks its sender for `payload_bytes * 8 / bandwidth_bits_per_sec`
 /// (serialization delay; full-duplex, so simultaneous transfers in the two
 /// directions do not contend), and the first frame after a direction
 /// switch additionally blocks for `one_way_latency_us` (the propagation
 /// delay the ping-pong pattern cannot pipeline away; subsequent frames in
-/// the same direction stream behind it). Benchmarks use this to compare
-/// cold and warm executions under one declared WAN model instead of the
-/// loopback's infinite bandwidth.
+/// the same direction stream behind it). Because latency is paid per
+/// *super-round* — per wire frame after a direction switch — coalescing
+/// staged messages directly shortens the modeled critical path.
+/// Benchmarks use this to compare cold and warm executions under one
+/// declared WAN model instead of the loopback's infinite bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetModel {
     /// Link bandwidth in bits per second (applied per direction).
@@ -139,6 +176,22 @@ struct Meter {
     last_dir_offline: AtomicU64,
     /// `last_dir`, restricted to online-phase traffic.
     last_dir_online: AtomicU64,
+    /// Wire frames shipped by Alice (fault plans index these).
+    frames_alice_to_bob: AtomicU64,
+    /// Wire frames shipped by Bob.
+    frames_bob_to_alice: AtomicU64,
+    /// Wire-level direction switches (counted at flush time, per frame).
+    super_rounds: AtomicU64,
+    /// `last_dir` for wire frames.
+    last_dir_wire: AtomicU64,
+    /// Wire-level direction switches among offline-phase frames.
+    offline_super_rounds: AtomicU64,
+    /// Wire-level direction switches among online-phase frames.
+    online_super_rounds: AtomicU64,
+    /// `last_dir_wire`, restricted to offline-phase frames.
+    last_dir_wire_offline: AtomicU64,
+    /// `last_dir_wire`, restricted to online-phase frames.
+    last_dir_wire_online: AtomicU64,
 }
 
 /// A snapshot of the communication counters after (or during) a protocol run.
@@ -154,9 +207,11 @@ pub struct CommStats {
     pub messages_bob_to_alice: u64,
     /// Total number of messages in both directions.
     pub messages: u64,
-    /// Number of communication rounds, counted as direction switches on the
-    /// wire (a "round" in the MPC sense: a maximal run of messages flowing
-    /// one way).
+    /// Number of *logical* communication rounds, counted as direction
+    /// switches in the staged message order (a "round" in the MPC sense: a
+    /// maximal run of messages flowing one way). This is the
+    /// data-independent protocol structure; see [`CommStats::super_rounds`]
+    /// for what actually hit the wire.
     pub rounds: u64,
     /// Payload bytes (both directions) sent during [`Phase::Offline`].
     pub offline_bytes: u64,
@@ -166,6 +221,20 @@ pub struct CommStats {
     pub offline_rounds: u64,
     /// Rounds among online-phase messages only.
     pub online_rounds: u64,
+    /// Wire frames actually shipped by Alice. Fault plans
+    /// ([`crate::fault::FaultSpec::message_index`]) index these, not
+    /// logical messages.
+    pub frames_alice_to_bob: u64,
+    /// Wire frames actually shipped by Bob.
+    pub frames_bob_to_alice: u64,
+    /// Wire-level rounds: direction switches among *flushed frames*. Each
+    /// super-round is one latency payment under [`NetModel`]; message
+    /// coalescing reduces this meter, never `rounds`.
+    pub super_rounds: u64,
+    /// Super-rounds among offline-phase frames only.
+    pub offline_super_rounds: u64,
+    /// Super-rounds among online-phase frames only.
+    pub online_super_rounds: u64,
 }
 
 impl CommStats {
@@ -187,45 +256,86 @@ impl CommStats {
             online_bytes: self.online_bytes - earlier.online_bytes,
             offline_rounds: self.offline_rounds - earlier.offline_rounds,
             online_rounds: self.online_rounds - earlier.online_rounds,
+            frames_alice_to_bob: self.frames_alice_to_bob - earlier.frames_alice_to_bob,
+            frames_bob_to_alice: self.frames_bob_to_alice - earlier.frames_bob_to_alice,
+            super_rounds: self.super_rounds - earlier.super_rounds,
+            offline_super_rounds: self.offline_super_rounds - earlier.offline_super_rounds,
+            online_super_rounds: self.online_super_rounds - earlier.online_super_rounds,
         }
     }
 }
 
-/// Shared transcript buffer: `(sender, sender's phase, payload bytes)` per
-/// message.
-type Transcript = Arc<Mutex<Vec<(Role, Phase, Vec<u8>)>>>;
+/// One recorded message: sender, sender's phase, length, and — only when
+/// payload capture was enabled before the message was staged — the bytes.
+struct TranscriptEntry {
+    role: Role,
+    phase: Phase,
+    len: usize,
+    payload: Option<Vec<u8>>,
+}
+
+/// Shared transcript buffer. Lengths are always recorded; payload bytes are
+/// captured only after a [`TranscriptHandle`] is attached, keeping the
+/// default recording path allocation-free per message.
+pub(crate) struct TranscriptBuf {
+    entries: Mutex<Vec<TranscriptEntry>>,
+    capture_payloads: AtomicBool,
+}
+
+pub(crate) type Transcript = Arc<TranscriptBuf>;
 
 /// A handle onto a recording channel pair's transcript that outlives the
 /// endpoints. Obtain one with [`Channel::transcript_handle`] before moving
 /// the endpoints into party threads; read it after the protocol joins.
+/// Attaching the handle switches the transcript into payload-capture mode
+/// ([`TranscriptHandle::messages`] needs the bytes); length-only consumers
+/// ([`Channel::transcript_lengths`]) never pay for payload clones.
 ///
 /// Determinism tests compare [`TranscriptHandle::messages`] across runs
 /// that differ only in thread count: a deterministic protocol produces
 /// byte-identical transcripts.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TranscriptHandle {
     inner: Transcript,
 }
 
+impl std::fmt::Debug for TranscriptHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TranscriptHandle").finish()
+    }
+}
+
 impl TranscriptHandle {
-    /// Full transcript so far: `(sender, payload)` per message, in wire
-    /// order.
+    /// Full transcript so far: `(sender, payload)` per message, in staged
+    /// wire order.
+    ///
+    /// Panics if any message was recorded before this handle was attached
+    /// (payload capture is enabled by [`Channel::transcript_handle`], so
+    /// attach the handle before the protocol runs).
     pub fn messages(&self) -> Vec<(Role, Vec<u8>)> {
         self.inner
+            .entries
             .lock()
             .expect("transcript lock poisoned")
             .iter()
-            .map(|(role, _, payload)| (*role, payload.clone()))
+            .map(|e| {
+                let payload = e.payload.as_ref().expect(
+                    "payload was not captured: call transcript_handle() before the protocol runs",
+                );
+                (e.role, payload.clone())
+            })
             .collect()
     }
 
-    /// Per-message lengths, in wire order (the obliviousness view).
+    /// Per-message lengths, in wire order (the obliviousness view). Served
+    /// from the recorded lengths — no payload clones.
     pub fn lengths(&self) -> Vec<(Role, usize)> {
         self.inner
+            .entries
             .lock()
             .expect("transcript lock poisoned")
             .iter()
-            .map(|(role, _, payload)| (*role, payload.len()))
+            .map(|e| (e.role, e.len))
             .collect()
     }
 
@@ -235,10 +345,11 @@ impl TranscriptHandle {
     /// transcript shape — the per-phase obliviousness view.
     pub fn phased_lengths(&self) -> Vec<(Role, Phase, usize)> {
         self.inner
+            .entries
             .lock()
             .expect("transcript lock poisoned")
             .iter()
-            .map(|(role, phase, payload)| (*role, *phase, payload.len()))
+            .map(|e| (e.role, e.phase, e.len))
             .collect()
     }
 }
@@ -256,10 +367,22 @@ pub struct Channel {
     rx: Receiver<Vec<u8>>,
     meter: Arc<Meter>,
     transcript: Option<Transcript>,
-    /// Buffer holding the remainder of a partially consumed incoming frame
-    /// (header included; `pending_pos` starts past it).
-    pending: Vec<u8>,
-    pending_pos: usize,
+    /// Staged outgoing super-frame: [`HEADER`] reserved bytes, then each
+    /// staged message as `[u32 LE length | payload]`.
+    out_buf: Vec<u8>,
+    /// Number of messages staged in `out_buf` (0 = nothing to flush).
+    out_msgs: u64,
+    /// Current incoming frame, header included.
+    in_buf: Vec<u8>,
+    /// Read cursor into `in_buf` (always ≥ [`HEADER`] once a frame is
+    /// loaded).
+    in_pos: usize,
+    /// Bytes remaining in the current partially consumed logical message.
+    msg_left: usize,
+    /// Recycled frame buffers: consumed incoming frames come back here and
+    /// are reused for outgoing super-frames, so the steady state allocates
+    /// no per-message or per-frame buffers.
+    spare: Vec<Vec<u8>>,
     /// Sequence number stamped on the next outgoing frame.
     send_seq: u32,
     /// Sequence number expected on the next incoming frame.
@@ -267,8 +390,14 @@ pub struct Channel {
     /// Execution phase stamped on outgoing frames and demanded of incoming
     /// ones. Both endpoints switch phases at the same protocol points.
     phase: Phase,
-    /// Optional simulated network applied to outgoing frames.
+    /// Optional simulated network applied to flushed frames.
     net: Option<NetModel>,
+    /// Frame payload cap; [`MAX_FRAME_SIZE`] unless lowered for tests.
+    frame_cap: usize,
+    /// Uncoalesced mode: flush after every staged message, so each logical
+    /// message ships as its own wire frame. Differential tests use this to
+    /// prove coalescing changes only wire-level framing, never content.
+    eager: bool,
 }
 
 impl std::fmt::Debug for Channel {
@@ -285,9 +414,13 @@ pub fn channel_pair() -> (Channel, Channel) {
 
 /// Create a connected pair that records the transcript of `(sender, length)`
 /// pairs, for obliviousness tests. Every send takes a shared lock; use
-/// [`channel_pair`] everywhere else.
+/// [`channel_pair`] everywhere else. Payload bytes are additionally captured
+/// once a [`TranscriptHandle`] is attached.
 pub fn channel_pair_with_transcript() -> (Channel, Channel) {
-    make_pair(Some(Arc::new(Mutex::new(Vec::new()))))
+    make_pair(Some(Arc::new(TranscriptBuf {
+        entries: Mutex::new(Vec::new()),
+        capture_payloads: AtomicBool::new(false),
+    })))
 }
 
 fn make_pair(transcript: Option<Transcript>) -> (Channel, Channel) {
@@ -360,13 +493,29 @@ impl Channel {
             rx,
             meter,
             transcript,
-            pending: Vec::new(),
-            pending_pos: 0,
+            out_buf: vec![0u8; HEADER],
+            out_msgs: 0,
+            in_buf: Vec::new(),
+            in_pos: 0,
+            msg_left: 0,
+            spare: Vec::new(),
             send_seq: 0,
             recv_seq: 0,
             phase: Phase::Single,
             net: None,
+            frame_cap: MAX_FRAME_SIZE,
+            eager: false,
         }
+    }
+
+    /// Disable (or re-enable) message coalescing on this endpoint: in
+    /// eager mode every staged message is flushed immediately as its own
+    /// wire frame — the pre-super-round wire behavior. Logical meters and
+    /// the transcript are unaffected (they are stage-time); only the
+    /// frame/super-round counters change. Differential tests run a
+    /// protocol both ways and assert identical results and transcripts.
+    pub fn set_eager(&mut self, eager: bool) {
+        self.eager = eager;
     }
 
     /// Install (or clear) a simulated network on this endpoint. Both
@@ -374,6 +523,13 @@ impl Channel {
     /// [`crate::run_protocol_with_net`].
     pub fn set_net_model(&mut self, net: Option<NetModel>) {
         self.net = net;
+    }
+
+    /// Lower the frame payload cap below [`MAX_FRAME_SIZE`] (tests use this
+    /// to exercise super-frame splitting without gigantic payloads). Both
+    /// endpoints of a pair should agree. Clamped to `[64, MAX_FRAME_SIZE]`.
+    pub fn set_frame_cap(&mut self, cap: usize) {
+        self.frame_cap = cap.clamp(64, MAX_FRAME_SIZE);
     }
 
     /// The party this endpoint belongs to.
@@ -386,79 +542,178 @@ impl Channel {
         self.phase
     }
 
-    /// Switch this endpoint into `phase`. The peer must make the matching
-    /// switch at the same protocol point: a frame tagged with a different
-    /// phase than the receiver's current one is rejected as
-    /// [`TransportError::PhaseMismatch`].
+    /// Switch this endpoint into `phase`, flushing any staged messages
+    /// under the old phase tag first (a frame carries exactly one phase).
+    /// The peer must make the matching switch at the same protocol point: a
+    /// frame tagged with a different phase than the receiver's current one
+    /// is rejected as [`TransportError::PhaseMismatch`].
     pub fn set_phase(&mut self, phase: Phase) {
-        self.phase = phase;
+        if phase != self.phase {
+            self.flush();
+            self.phase = phase;
+        }
     }
 
-    /// Send one message to the peer.
+    /// Stage one message for the peer. Alias of [`Channel::send`] taking a
+    /// slice; the message rides the next flushed super-frame.
+    pub fn stage(&mut self, data: &[u8]) {
+        self.send_with(data.len(), |buf| buf.copy_from_slice(data));
+    }
+
+    /// Stage one message to the peer. The message is metered and recorded
+    /// now (stage order is the logical transcript order) but hits the wire
+    /// only when the endpoint flushes — explicitly via [`Channel::flush`],
+    /// or automatically as soon as this endpoint would block waiting for
+    /// the peer, on a phase switch, and on drop.
     ///
     /// Raises a typed [`TransportError::PeerClosed`] unwind (caught by
-    /// [`crate::try_run_protocol`]) if the peer is gone.
+    /// [`crate::try_run_protocol`]) if the peer is gone and a forced flush
+    /// fails.
     pub fn send(&mut self, data: Vec<u8>) {
+        self.stage(&data);
+    }
+
+    /// Stage a message of known length `len`, letting `fill` write the
+    /// payload directly into the staging buffer — the zero-copy path for
+    /// typed writers that would otherwise build a temporary `Vec`.
+    pub fn send_with(&mut self, len: usize, fill: impl FnOnce(&mut [u8])) {
         assert!(
-            data.len() <= u32::MAX as usize,
-            "message exceeds the u32 frame length"
+            SUB_HEADER + len <= self.frame_cap,
+            "message of {len} bytes exceeds the frame cap {}",
+            self.frame_cap
         );
-        let len = data.len() as u64;
+        // Keep the super-frame under the cap: ship what is staged first.
+        if self.out_buf.len() + SUB_HEADER + len > HEADER + self.frame_cap {
+            self.flush();
+        }
+        let start = self.out_buf.len() + SUB_HEADER;
+        self.out_buf.extend_from_slice(&(len as u32).to_le_bytes());
+        self.out_buf.resize(start + len, 0);
+        fill(&mut self.out_buf[start..]);
+        self.out_msgs += 1;
+        // Logical meters and transcript are per-message and stage-time:
+        // coalescing must not change any reported byte count or the
+        // obliviousness view.
+        let blen = len as u64;
         match self.role {
-            Role::Alice => self
-                .meter
-                .bytes_alice_to_bob
-                .fetch_add(len, Ordering::Relaxed),
-            Role::Bob => self
-                .meter
-                .bytes_bob_to_alice
-                .fetch_add(len, Ordering::Relaxed),
-        };
-        match self.role {
-            Role::Alice => self
-                .meter
-                .messages_alice_to_bob
-                .fetch_add(1, Ordering::Relaxed),
-            Role::Bob => self
-                .meter
-                .messages_bob_to_alice
-                .fetch_add(1, Ordering::Relaxed),
-        };
-        let dir = match self.role {
-            Role::Alice => 1,
-            Role::Bob => 2,
-        };
-        let switched = self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir;
-        if switched {
+            Role::Alice => {
+                self.meter
+                    .bytes_alice_to_bob
+                    .fetch_add(blen, Ordering::Relaxed);
+                self.meter
+                    .messages_alice_to_bob
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Role::Bob => {
+                self.meter
+                    .bytes_bob_to_alice
+                    .fetch_add(blen, Ordering::Relaxed);
+                self.meter
+                    .messages_bob_to_alice
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dir = self.dir();
+        if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
             self.meter.rounds.fetch_add(1, Ordering::Relaxed);
         }
         match self.phase {
             Phase::Single => {}
             Phase::Offline => {
-                self.meter.offline_bytes.fetch_add(len, Ordering::Relaxed);
+                self.meter.offline_bytes.fetch_add(blen, Ordering::Relaxed);
                 if self.meter.last_dir_offline.swap(dir, Ordering::Relaxed) != dir {
                     self.meter.offline_rounds.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Phase::Online => {
-                self.meter.online_bytes.fetch_add(len, Ordering::Relaxed);
+                self.meter.online_bytes.fetch_add(blen, Ordering::Relaxed);
                 if self.meter.last_dir_online.swap(dir, Ordering::Relaxed) != dir {
                     self.meter.online_rounds.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
         if let Some(transcript) = &self.transcript {
-            transcript.lock().expect("transcript lock poisoned").push((
-                self.role,
-                self.phase,
-                data.clone(),
-            ));
+            let payload = transcript
+                .capture_payloads
+                .load(Ordering::Relaxed)
+                .then(|| self.out_buf[start..].to_vec());
+            transcript
+                .entries
+                .lock()
+                .expect("transcript lock poisoned")
+                .push(TranscriptEntry {
+                    role: self.role,
+                    phase: self.phase,
+                    len,
+                    payload,
+                });
         }
+        if self.eager {
+            self.flush();
+        }
+    }
+
+    fn dir(&self) -> u64 {
+        match self.role {
+            Role::Alice => 1,
+            Role::Bob => 2,
+        }
+    }
+
+    /// Ship the staged super-frame, if any. One wire frame per call; a
+    /// no-op when nothing is staged. Called automatically whenever this
+    /// endpoint is about to block on the wire (so a blocked party has, by
+    /// construction, everything it owes the peer already in flight), on
+    /// phase switches, and on drop.
+    pub fn flush(&mut self) {
+        self.try_flush().unwrap_or_else(|e| e.raise())
+    }
+
+    /// Fallible form of [`Channel::flush`].
+    pub fn try_flush(&mut self) -> Result<(), TransportError> {
+        if self.out_msgs == 0 {
+            return Ok(());
+        }
+        // Wire-level (super-round) accounting happens per frame.
+        let dir = self.dir();
+        match self.role {
+            Role::Alice => &self.meter.frames_alice_to_bob,
+            Role::Bob => &self.meter.frames_bob_to_alice,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let switched = self.meter.last_dir_wire.swap(dir, Ordering::Relaxed) != dir;
+        if switched {
+            self.meter.super_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.phase {
+            Phase::Single => {}
+            Phase::Offline => {
+                if self
+                    .meter
+                    .last_dir_wire_offline
+                    .swap(dir, Ordering::Relaxed)
+                    != dir
+                {
+                    self.meter
+                        .offline_super_rounds
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Phase::Online => {
+                if self.meter.last_dir_wire_online.swap(dir, Ordering::Relaxed) != dir {
+                    self.meter
+                        .online_super_rounds
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let payload_len = self.out_buf.len() - HEADER;
         // Simulated network: block the sending thread for the modeled
-        // serialization delay (plus propagation on a direction switch)
-        // before the frame becomes visible to the peer.
+        // serialization delay, plus propagation on a direction switch,
+        // before the frame becomes visible to the peer. Latency is paid
+        // once per super-round, which is exactly what coalescing buys.
         if let Some(net) = self.net {
-            let bits = (data.len() as u64).saturating_mul(8);
+            let bits = (payload_len as u64).saturating_mul(8);
             let mut delay_us = bits
                 .saturating_mul(1_000_000)
                 .div_euclid(net.bandwidth_bits_per_sec.max(1));
@@ -469,21 +724,39 @@ impl Channel {
                 std::thread::sleep(std::time::Duration::from_micros(delay_us));
             }
         }
-        let mut frame = Vec::with_capacity(HEADER + data.len());
-        frame.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        self.out_buf[0..4].copy_from_slice(&(payload_len as u32).to_le_bytes());
         let seq_word = (self.send_seq & SEQ_MASK) | (self.phase.tag() << 30);
-        frame.extend_from_slice(&seq_word.to_le_bytes());
+        self.out_buf[4..8].copy_from_slice(&seq_word.to_le_bytes());
         self.send_seq = self.send_seq.wrapping_add(1) & SEQ_MASK;
-        frame.extend_from_slice(&data);
+        let mut next = self.take_spare();
+        next.resize(HEADER, 0);
+        let frame = std::mem::replace(&mut self.out_buf, next);
+        self.out_msgs = 0;
         if self.tx.send(frame).is_err() {
-            TransportError::PeerClosed { during: "send" }.raise();
+            return Err(TransportError::PeerClosed { during: "send" });
         }
+        Ok(())
     }
 
-    /// Pull the next frame off the wire and validate its header. On success
-    /// the returned vector is the whole frame (header still in front) and
-    /// `recv_seq` has advanced.
-    fn fetch_frame(&mut self) -> Result<Vec<u8>, TransportError> {
+    /// Grab a recycled buffer (or a fresh one) for the next super-frame.
+    fn take_spare(&mut self) -> Vec<u8> {
+        let mut buf = self.spare.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Pull the next frame off the wire and validate its header, loading it
+    /// as the current incoming buffer. Flushes staged messages first: an
+    /// endpoint never blocks on the peer while holding data the peer may be
+    /// waiting for.
+    fn fetch_frame(&mut self) -> Result<(), TransportError> {
+        self.try_flush()?;
+        // Recycle the consumed frame for future outgoing super-frames.
+        if !self.in_buf.is_empty() && self.spare.len() < SPARE_BUFFERS {
+            let mut old = std::mem::take(&mut self.in_buf);
+            old.clear();
+            self.spare.push(old);
+        }
         let frame = self
             .rx
             .recv()
@@ -517,6 +790,14 @@ impl Channel {
             });
         }
         self.recv_seq = self.recv_seq.wrapping_add(1) & SEQ_MASK;
+        // Declared-size bound *before* the truncation check: an oversized
+        // declaration is its own typed fault, whatever bytes follow.
+        if declared > MAX_FRAME_SIZE {
+            return Err(TransportError::FrameTooLarge {
+                declared: declared as u64,
+                limit: MAX_FRAME_SIZE as u64,
+            });
+        }
         let got = frame.len() - HEADER;
         if got != declared {
             return Err(TransportError::Truncated {
@@ -524,10 +805,43 @@ impl Channel {
                 got,
             });
         }
-        Ok(frame)
+        self.in_buf = frame;
+        self.in_pos = HEADER;
+        Ok(())
     }
 
-    /// Receive one whole message from the peer, blocking until it arrives.
+    /// Advance to the next logical message in the incoming stream, fetching
+    /// frames as needed. On success `msg_left` holds the message's length
+    /// and `in_pos` sits on its first byte.
+    fn next_sub(&mut self) -> Result<(), TransportError> {
+        debug_assert_eq!(self.msg_left, 0);
+        while self.in_pos >= self.in_buf.len() {
+            self.fetch_frame()?;
+        }
+        if self.in_buf.len() - self.in_pos < SUB_HEADER {
+            return Err(TransportError::Corrupt {
+                detail: "message sub-header crosses the frame boundary",
+            });
+        }
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&self.in_buf[self.in_pos..self.in_pos + SUB_HEADER]);
+        let len = u32::from_le_bytes(word) as usize;
+        self.in_pos += SUB_HEADER;
+        let avail = self.in_buf.len() - self.in_pos;
+        if len > avail {
+            // The sender never splits one logical message across frames, so
+            // a sub-length overrunning its frame is a wire fault.
+            return Err(TransportError::Truncated {
+                expected: len,
+                got: avail,
+            });
+        }
+        self.msg_left = len;
+        Ok(())
+    }
+
+    /// Receive one whole message from the peer, blocking until it arrives
+    /// (and flushing staged messages first if it must block).
     ///
     /// Raises a typed [`TransportError`] unwind (caught by
     /// [`crate::try_run_protocol`]) on peer close or a malformed frame.
@@ -540,13 +854,15 @@ impl Channel {
     /// Fallible form of [`Channel::recv`].
     pub fn try_recv(&mut self) -> Result<Vec<u8>, TransportError> {
         assert!(
-            self.pending_pos == self.pending.len(),
-            "recv() called with {} unconsumed buffered bytes",
-            self.pending.len() - self.pending_pos
+            self.msg_left == 0,
+            "recv() called with {} unconsumed bytes of the current message",
+            self.msg_left
         );
-        let mut frame = self.fetch_frame()?;
-        frame.drain(..HEADER);
-        Ok(frame)
+        self.next_sub()?;
+        let out = self.in_buf[self.in_pos..self.in_pos + self.msg_left].to_vec();
+        self.in_pos += self.msg_left;
+        self.msg_left = 0;
+        Ok(out)
     }
 
     /// Receive exactly `buf.len()` bytes, spanning message boundaries if
@@ -562,21 +878,21 @@ impl Channel {
     pub fn try_recv_into(&mut self, buf: &mut [u8]) -> Result<(), TransportError> {
         let mut filled = 0;
         while filled < buf.len() {
-            if self.pending_pos == self.pending.len() {
-                self.pending = self.fetch_frame()?;
-                self.pending_pos = HEADER;
+            if self.msg_left == 0 {
+                self.next_sub()?;
             }
-            let avail = self.pending.len() - self.pending_pos;
-            let take = avail.min(buf.len() - filled);
+            let take = self.msg_left.min(buf.len() - filled);
             buf[filled..filled + take]
-                .copy_from_slice(&self.pending[self.pending_pos..self.pending_pos + take]);
-            self.pending_pos += take;
+                .copy_from_slice(&self.in_buf[self.in_pos..self.in_pos + take]);
+            self.in_pos += take;
+            self.msg_left -= take;
             filled += take;
         }
         Ok(())
     }
 
-    /// Snapshot of the shared communication counters.
+    /// Snapshot of the shared communication counters. Flush first if the
+    /// super-round meters must include messages staged by this endpoint.
     pub fn stats(&self) -> CommStats {
         let m_a2b = self.meter.messages_alice_to_bob.load(Ordering::Relaxed);
         let m_b2a = self.meter.messages_bob_to_alice.load(Ordering::Relaxed);
@@ -591,6 +907,11 @@ impl Channel {
             online_bytes: self.meter.online_bytes.load(Ordering::Relaxed),
             offline_rounds: self.meter.offline_rounds.load(Ordering::Relaxed),
             online_rounds: self.meter.online_rounds.load(Ordering::Relaxed),
+            frames_alice_to_bob: self.meter.frames_alice_to_bob.load(Ordering::Relaxed),
+            frames_bob_to_alice: self.meter.frames_bob_to_alice.load(Ordering::Relaxed),
+            super_rounds: self.meter.super_rounds.load(Ordering::Relaxed),
+            offline_super_rounds: self.meter.offline_super_rounds.load(Ordering::Relaxed),
+            online_super_rounds: self.meter.online_super_rounds.load(Ordering::Relaxed),
         }
     }
 
@@ -607,20 +928,44 @@ impl Channel {
     ///
     /// Panics unless the pair came from [`channel_pair_with_transcript`].
     pub fn transcript_lengths(&self) -> Vec<(Role, usize)> {
-        self.transcript_handle().lengths()
+        let transcript = self
+            .transcript
+            .as_ref()
+            .expect("transcript recording is opt-in: use channel_pair_with_transcript()");
+        transcript
+            .entries
+            .lock()
+            .expect("transcript lock poisoned")
+            .iter()
+            .map(|e| (e.role, e.len))
+            .collect()
     }
 
     /// A clonable handle onto the shared transcript, usable after the
-    /// endpoint itself is consumed by a party thread.
+    /// endpoint itself is consumed by a party thread. Attaching the handle
+    /// enables payload capture for all subsequently staged messages (so
+    /// [`TranscriptHandle::messages`] can return bytes); attach it before
+    /// the protocol runs.
     ///
     /// Panics unless the pair came from [`channel_pair_with_transcript`].
     pub fn transcript_handle(&self) -> TranscriptHandle {
-        TranscriptHandle {
-            inner: Arc::clone(
-                self.transcript
-                    .as_ref()
-                    .expect("transcript recording is opt-in: use channel_pair_with_transcript()"),
-            ),
+        let inner = Arc::clone(
+            self.transcript
+                .as_ref()
+                .expect("transcript recording is opt-in: use channel_pair_with_transcript()"),
+        );
+        inner.capture_payloads.store(true, Ordering::Relaxed);
+        TranscriptHandle { inner }
+    }
+}
+
+impl Drop for Channel {
+    /// Best-effort flush so a cleanly returning party never strands staged
+    /// messages its peer is still reading toward. Errors (peer already
+    /// gone) are ignored — drop must not panic.
+    fn drop(&mut self) {
+        if self.out_msgs > 0 {
+            let _ = self.try_flush();
         }
     }
 }
@@ -637,10 +982,11 @@ mod tests {
             let m = b.recv();
             assert_eq!(m, vec![1, 2, 3]);
             b.send(vec![9; 10]);
+            b.flush();
             b.stats()
         });
         a.send(vec![1, 2, 3]);
-        let m = a.recv();
+        let m = a.recv(); // auto-flushes the staged message before blocking
         assert_eq!(m, vec![9; 10]);
         let stats = h.join().unwrap();
         assert_eq!(stats.bytes_alice_to_bob, 3);
@@ -649,6 +995,7 @@ mod tests {
         assert_eq!(stats.messages_bob_to_alice, 1);
         assert_eq!(stats.messages, 2);
         assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.super_rounds, 2);
     }
 
     #[test]
@@ -664,8 +1011,61 @@ mod tests {
         a.send(vec![0]); // same direction: still round 1
         a.recv();
         a.send(vec![0]);
+        a.flush();
         h.join().unwrap();
         assert_eq!(a.stats().rounds, 3);
+        // Same three direction switches on the wire; the two same-direction
+        // messages shared one frame.
+        assert_eq!(a.stats().super_rounds, 3);
+    }
+
+    #[test]
+    fn staged_messages_coalesce_into_one_frame() {
+        let (mut a, mut b, wires) = relayed_pair(None);
+        a.send(vec![1, 2]);
+        a.send(vec![3]);
+        a.send(vec![4, 5, 6]);
+        a.flush();
+        // Exactly one frame on the wire...
+        let frame = wires.a2b_in.recv().unwrap();
+        assert!(wires.a2b_in.try_recv().is_err(), "expected a single frame");
+        wires.a2b_out.send(frame).unwrap();
+        // ...but three logical messages with intact boundaries.
+        assert_eq!(b.recv(), vec![1, 2]);
+        assert_eq!(b.recv(), vec![3]);
+        assert_eq!(b.recv(), vec![4, 5, 6]);
+        let stats = a.stats();
+        assert_eq!(stats.messages_alice_to_bob, 3);
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.super_rounds, 1);
+    }
+
+    #[test]
+    fn flush_on_empty_stage_is_a_no_op() {
+        let (mut a, _b) = channel_pair();
+        a.flush();
+        a.flush();
+        assert_eq!(a.stats().super_rounds, 0);
+    }
+
+    #[test]
+    fn frame_cap_splits_super_frames() {
+        let (mut a, mut b, wires) = relayed_pair(None);
+        a.set_frame_cap(64);
+        for i in 0..10u8 {
+            a.send(vec![i; 16]);
+        }
+        a.flush();
+        let mut frames = 0;
+        while let Ok(frame) = wires.a2b_in.try_recv() {
+            assert!(frame.len() - HEADER <= 64, "cap violated: {}", frame.len());
+            wires.a2b_out.send(frame).unwrap();
+            frames += 1;
+        }
+        assert!(frames > 1, "cap must force splitting");
+        for i in 0..10u8 {
+            assert_eq!(b.recv(), vec![i; 16]);
+        }
     }
 
     #[test]
@@ -674,6 +1074,7 @@ mod tests {
         let h = thread::spawn(move || {
             b.send(vec![1, 2]);
             b.send(vec![3, 4, 5]);
+            // Drop flushes the staged frame.
         });
         let mut buf = [0u8; 4];
         a.recv_into(&mut buf);
@@ -690,6 +1091,7 @@ mod tests {
         let h = thread::spawn(move || {
             b.recv();
             b.send(vec![7; 7]);
+            b.flush();
         });
         a.send(vec![1; 4]);
         a.recv();
@@ -707,6 +1109,7 @@ mod tests {
         let h = thread::spawn(move || {
             b.recv();
             b.send(vec![7; 3]);
+            b.flush();
         });
         a.send(vec![1, 2]);
         a.recv();
@@ -719,12 +1122,27 @@ mod tests {
     }
 
     #[test]
+    fn payloads_not_captured_without_handle() {
+        let (mut a, mut b) = channel_pair_with_transcript();
+        a.send(vec![1, 2, 3]);
+        a.flush();
+        assert_eq!(b.recv(), vec![1, 2, 3]);
+        // Lengths are recorded...
+        assert_eq!(a.transcript_lengths(), vec![(Role::Alice, 3)]);
+        // ...but the payload was never cloned; a late handle cannot see it.
+        let handle = a.transcript_handle();
+        let got = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.messages()));
+        assert!(got.is_err(), "messages() must reject uncaptured payloads");
+    }
+
+    #[test]
     fn default_pair_skips_transcript() {
         let (mut a, mut b) = channel_pair();
         let h = thread::spawn(move || {
             b.recv();
         });
         a.send(vec![1; 4]);
+        a.flush();
         h.join().unwrap();
         assert!(!a.records_transcript());
     }
@@ -736,13 +1154,15 @@ mod tests {
         let _ = a.transcript_lengths();
     }
 
-    /// Drive one direction by hand through relay wires: Alice sends, the
-    /// test tampers with the frame, Bob's `try_recv` reports the fault.
+    /// Drive one direction by hand through relay wires: Alice sends and
+    /// flushes, the test tampers with the frame, Bob's `try_recv` reports
+    /// the fault.
     fn tampered_recv(
         tamper: impl FnOnce(Vec<u8>, &Sender<Vec<u8>>),
     ) -> Result<Vec<u8>, TransportError> {
         let (mut a, mut b, wires) = relayed_pair(None);
         a.send(vec![1, 2, 3, 4]);
+        a.flush();
         let frame = wires.a2b_in.recv().unwrap();
         tamper(frame, &wires.a2b_out);
         drop(wires);
@@ -759,11 +1179,28 @@ mod tests {
     #[test]
     fn truncated_frame_is_detected() {
         let got = tampered_recv(|frame, out| out.send(frame[..frame.len() - 2].to_vec()).unwrap());
+        // Payload region = 4-byte sub-header + 4 message bytes.
         assert_eq!(
             got.unwrap_err(),
             TransportError::Truncated {
-                expected: 4,
-                got: 2
+                expected: 8,
+                got: 6
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_sub_message_is_detected() {
+        // Outer header consistent, but the sub-length overruns the frame.
+        let got = tampered_recv(|mut frame, out| {
+            frame[HEADER..HEADER + 4].copy_from_slice(&100u32.to_le_bytes());
+            out.send(frame).unwrap();
+        });
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::Truncated {
+                expected: 100,
+                got: 4
             }
         );
     }
@@ -795,6 +1232,22 @@ mod tests {
     }
 
     #[test]
+    fn oversized_declaration_is_frame_too_large() {
+        let got = tampered_recv(|mut frame, out| {
+            let declared = (MAX_FRAME_SIZE as u32) + 1;
+            frame[0..4].copy_from_slice(&declared.to_le_bytes());
+            out.send(frame).unwrap();
+        });
+        assert_eq!(
+            got.unwrap_err(),
+            TransportError::FrameTooLarge {
+                declared: MAX_FRAME_SIZE as u64 + 1,
+                limit: MAX_FRAME_SIZE as u64,
+            }
+        );
+    }
+
+    #[test]
     fn dropped_peer_is_peer_closed() {
         let got = tampered_recv(|frame, _out| drop(frame));
         assert_eq!(
@@ -811,6 +1264,7 @@ mod tests {
                 assert_eq!(b.recv(), vec![i]);
             }
             b.send(vec![9]);
+            b.flush();
         });
         for i in 0..5u8 {
             a.send(vec![i]);
@@ -824,6 +1278,7 @@ mod tests {
         let (mut a, mut b) = channel_pair();
         a.set_phase(Phase::Offline);
         a.send(vec![1, 2]);
+        a.flush();
         // Receiver still in Single phase: typed error, no hang.
         assert_eq!(
             b.try_recv().unwrap_err(),
@@ -840,12 +1295,15 @@ mod tests {
         a.set_phase(Phase::Offline);
         b.set_phase(Phase::Offline);
         a.send(vec![0; 10]);
+        a.flush();
         assert_eq!(b.recv(), vec![0; 10]);
         b.send(vec![0; 3]);
+        b.flush();
         assert_eq!(a.recv(), vec![0; 3]);
         a.set_phase(Phase::Online);
         b.set_phase(Phase::Online);
         a.send(vec![0; 5]);
+        a.flush();
         assert_eq!(b.recv(), vec![0; 5]);
         let stats = a.stats();
         assert_eq!(stats.offline_bytes, 13);
@@ -854,6 +1312,21 @@ mod tests {
         assert_eq!(stats.online_rounds, 1);
         assert_eq!(stats.total_bytes(), 18);
         assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.super_rounds, 3);
+        assert_eq!(stats.offline_super_rounds, 2);
+        assert_eq!(stats.online_super_rounds, 1);
+    }
+
+    #[test]
+    fn phase_switch_flushes_staged_messages() {
+        let (mut a, mut b) = channel_pair();
+        a.send(vec![1]);
+        a.set_phase(Phase::Offline); // must flush the Single-phase frame
+        b.recv();
+        b.set_phase(Phase::Offline);
+        a.send(vec![2]);
+        a.flush();
+        assert_eq!(b.recv(), vec![2]);
     }
 
     #[test]
@@ -871,10 +1344,11 @@ mod tests {
     }
 
     #[test]
-    fn net_model_delays_sends() {
+    fn net_model_delays_flushes() {
         // 80 kbit at 1 Mbit/s = 80 ms serialization, plus 5 ms latency on
         // the first (direction-switching) frame. Lower bound only: sleeps
-        // may overshoot, never undershoot.
+        // may overshoot, never undershoot. The sleep happens at flush time;
+        // staging is free.
         let (mut a, mut b) = channel_pair();
         let net = NetModel {
             bandwidth_bits_per_sec: 1_000_000,
@@ -888,28 +1362,37 @@ mod tests {
         let t = std::time::Instant::now();
         a.send(vec![0u8; 10_000]);
         assert!(
+            t.elapsed() < std::time::Duration::from_millis(50),
+            "staging must not block"
+        );
+        a.flush();
+        assert!(
             t.elapsed() >= std::time::Duration::from_millis(85),
-            "shaped send returned after only {:?}",
+            "shaped flush returned after only {:?}",
             t.elapsed()
         );
         // Clearing the model restores unshaped sends.
         a.set_net_model(None);
         let t = std::time::Instant::now();
         a.send(vec![0u8; 10_000]);
+        a.flush();
         assert!(t.elapsed() < std::time::Duration::from_millis(50));
         h.join().unwrap();
     }
 
     #[test]
-    fn meters_exclude_frame_headers() {
+    fn meters_exclude_frame_and_sub_headers() {
         let (mut a, mut b) = channel_pair();
         let h = thread::spawn(move || {
+            b.recv();
             b.recv();
             b.stats()
         });
         a.send(vec![0; 5]);
+        a.send(vec![0; 2]);
+        a.flush();
         let stats = h.join().unwrap();
-        assert_eq!(stats.bytes_alice_to_bob, 5);
-        assert_eq!(stats.total_bytes(), 5);
+        assert_eq!(stats.bytes_alice_to_bob, 7);
+        assert_eq!(stats.total_bytes(), 7);
     }
 }

@@ -38,6 +38,10 @@ pub enum TransportError {
         expected: crate::channel::Phase,
         got: crate::channel::Phase,
     },
+    /// A frame declared a payload beyond [`crate::MAX_FRAME_SIZE`]. The
+    /// bound is checked before any allocation, so a coalesced super-frame
+    /// (or a tampered header) cannot act as an allocation bomb.
+    FrameTooLarge { declared: u64, limit: u64 },
 }
 
 impl std::fmt::Display for TransportError {
@@ -60,6 +64,12 @@ impl std::fmt::Display for TransportError {
                 write!(
                     f,
                     "phase mismatch: endpoint in {expected:?} phase received a {got:?}-tagged frame"
+                )
+            }
+            TransportError::FrameTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "frame too large: declared {declared} payload bytes, limit {limit}"
                 )
             }
         }

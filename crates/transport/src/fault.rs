@@ -37,15 +37,20 @@ pub enum FaultKind {
     Reorder,
     /// Drop the frame and close the direction — the peer vanishing.
     Disconnect,
+    /// Rewrite the frame header to declare a payload beyond
+    /// [`crate::MAX_FRAME_SIZE`] — an oversized (coalesced) super-frame or
+    /// a tampered length field.
+    Oversize,
 }
 
 impl FaultKind {
     /// Every fault class, for exhaustive per-class tests.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::Truncate,
         FaultKind::SplitWrite,
         FaultKind::Reorder,
         FaultKind::Disconnect,
+        FaultKind::Oversize,
     ];
 }
 
@@ -112,7 +117,7 @@ impl FaultPlan {
             Role::Bob
         };
         let message_index = next() % horizon.max(1);
-        let kind = FaultKind::ALL[(next() % 4) as usize];
+        let kind = FaultKind::ALL[(next() % FaultKind::ALL.len() as u64) as usize];
         FaultPlan::single(direction, message_index, kind)
     }
 
@@ -246,6 +251,19 @@ impl Relay {
                     }
                 }
                 Some(FaultKind::Disconnect) => return,
+                Some(FaultKind::Oversize) => {
+                    let mut frame = frame;
+                    if frame.len() >= HEADER {
+                        let declared = (crate::channel::MAX_FRAME_SIZE as u32).wrapping_add(1);
+                        frame[0..4].copy_from_slice(&declared.to_le_bytes());
+                    }
+                    if self.tx.send(frame).is_err() {
+                        return;
+                    }
+                    if self.flush_held().is_err() {
+                        return;
+                    }
+                }
             }
         }
         // Input closed; deliver anything still held, then close the output.
@@ -303,12 +321,14 @@ mod tests {
         let (mut a, mut b) =
             fault_channel_pair(&FaultPlan::single(Role::Alice, 0, FaultKind::Truncate));
         a.send(vec![1, 2, 3, 4]);
-        drop(a);
+        drop(a); // drop flushes the staged frame
+                 // Payload on the wire = 4-byte sub-header + 4 message bytes; the
+                 // relay keeps the frame header and half of that payload.
         assert_eq!(
             b.try_recv().unwrap_err(),
             TransportError::Truncated {
-                expected: 4,
-                got: 2
+                expected: 8,
+                got: 4
             }
         );
     }
@@ -331,7 +351,9 @@ mod tests {
         let (mut a, mut b) =
             fault_channel_pair(&FaultPlan::single(Role::Alice, 0, FaultKind::Reorder));
         a.send(vec![1]);
+        a.flush();
         a.send(vec![2]);
+        a.flush();
         // Frame 1 (seq 1) overtakes frame 0 (seq 0).
         assert_eq!(
             b.try_recv().unwrap_err(),
@@ -347,6 +369,7 @@ mod tests {
         let (mut a, mut b) =
             fault_channel_pair(&FaultPlan::single(Role::Alice, 0, FaultKind::Reorder));
         a.send(vec![42]);
+        a.flush();
         // No successor: after REORDER_FLUSH the frame arrives in order.
         assert_eq!(b.try_recv().unwrap(), vec![42]);
     }
@@ -356,9 +379,26 @@ mod tests {
         let (mut a, mut b) =
             fault_channel_pair(&FaultPlan::single(Role::Alice, 0, FaultKind::Disconnect));
         a.send(vec![1, 2, 3]);
+        a.flush();
         assert_eq!(
             b.try_recv().unwrap_err(),
             TransportError::PeerClosed { during: "recv" }
+        );
+    }
+
+    #[test]
+    fn oversize_fault_yields_frame_too_large() {
+        use crate::channel::MAX_FRAME_SIZE;
+        let (mut a, mut b) =
+            fault_channel_pair(&FaultPlan::single(Role::Alice, 0, FaultKind::Oversize));
+        a.send(vec![1, 2, 3]);
+        drop(a);
+        assert_eq!(
+            b.try_recv().unwrap_err(),
+            TransportError::FrameTooLarge {
+                declared: MAX_FRAME_SIZE as u64 + 1,
+                limit: MAX_FRAME_SIZE as u64,
+            }
         );
     }
 
@@ -369,7 +409,9 @@ mod tests {
         let h = std::thread::spawn(move || {
             let m = b.recv();
             b.send(vec![7]); // Bob frame 0: clean
+            b.flush();
             b.send(vec![8]); // Bob frame 1: dropped, direction closed
+            b.flush();
             m
         });
         a.send(vec![1]);

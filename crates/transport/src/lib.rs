@@ -18,6 +18,15 @@
 //! [`Channel::transcript_lengths`].
 
 //!
+//! Round compression: sends are *staged* and coalesced — every run of
+//! same-direction messages between genuine ping-pong dependencies travels
+//! as one wire frame (a *super-round*), flushed automatically the moment
+//! an endpoint would block on its peer. Logical rounds/bytes are metered
+//! at stage time (so protocol-structure numbers and obliviousness
+//! transcripts are unchanged by coalescing) while
+//! [`CommStats::super_rounds`] counts what actually pays latency on the
+//! wire. See [`Channel::stage`] / [`Channel::flush`].
+//!
 //! Fault tolerance: messages are framed and sequence-numbered on the wire,
 //! so truncation, split writes, reordering and peer disconnects surface as
 //! typed [`TransportError`]s instead of hangs or garbage reads. The
@@ -33,12 +42,12 @@ mod wire;
 
 pub use channel::{
     channel_pair, channel_pair_with_transcript, Channel, CommStats, NetModel, Phase, Role,
-    TranscriptHandle,
+    TranscriptHandle, MAX_FRAME_SIZE,
 };
 pub use error::{ProtocolError, TransportError};
 pub use fault::{fault_channel_pair, FaultKind, FaultPlan, FaultSpec};
 pub use runner::{
-    run_protocol, run_protocol_recorded, run_protocol_with_net, try_run_protocol,
-    try_run_protocol_with_faults,
+    run_protocol, run_protocol_captured, run_protocol_recorded, run_protocol_with_net,
+    try_run_protocol, try_run_protocol_with_faults,
 };
 pub use wire::{ReadExt, WriteExt};

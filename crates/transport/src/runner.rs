@@ -14,7 +14,9 @@
 //!   [`crate::TransportError::PeerClosed`] — so a single fault terminates
 //!   both parties without deadlock.
 
-use crate::channel::{channel_pair, channel_pair_with_transcript, Channel, CommStats, NetModel};
+use crate::channel::{
+    channel_pair, channel_pair_with_transcript, Channel, CommStats, NetModel, TranscriptHandle,
+};
 use crate::error::{try_downcast_panic, ProtocolError, TransportError};
 use crate::fault::{fault_channel_pair, FaultPlan};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -60,7 +62,9 @@ where
 
 /// Like [`run_protocol`], but on a transcript-recording channel pair
 /// (see [`channel_pair_with_transcript`]) so obliviousness tests can read
-/// `ch.transcript_lengths()` inside the party closures.
+/// `ch.transcript_lengths()` inside the party closures. Only message
+/// *lengths* are recorded; use [`run_protocol_captured`] when the test
+/// needs payload bytes.
 pub fn run_protocol_recorded<FA, FB, RA, RB>(alice: FA, bob: FB) -> (RA, RB, CommStats)
 where
     FA: FnOnce(&mut Channel) -> RA + Send,
@@ -69,6 +73,26 @@ where
     RB: Send,
 {
     run_on(channel_pair_with_transcript(), alice, bob)
+}
+
+/// Like [`run_protocol_recorded`], but payload capture is enabled *before*
+/// either party starts and the attached [`TranscriptHandle`] is returned
+/// alongside the outputs — so `handle.messages()` sees every byte with no
+/// startup race. Determinism tests compare these transcripts across runs.
+pub fn run_protocol_captured<FA, FB, RA, RB>(
+    alice: FA,
+    bob: FB,
+) -> (RA, RB, CommStats, TranscriptHandle)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pair = channel_pair_with_transcript();
+    let handle = pair.0.transcript_handle();
+    let (ra, rb, stats) = run_on(pair, alice, bob);
+    (ra, rb, stats, handle)
 }
 
 /// Execute a two-party protocol, catching typed failures.
@@ -125,6 +149,10 @@ where
     thread::scope(|s| {
         let hb = s.spawn(move || {
             let out = catch_unwind(AssertUnwindSafe(|| bob(&mut cb)));
+            // Ship anything Bob staged but never flushed (no-op after an
+            // unwind that already flushed, harmless if the peer is gone) so
+            // the stats snapshot includes every super-round.
+            let _ = cb.try_flush();
             let stats = cb.stats();
             // Dropping Bob's endpoint closes both wires from his side, so
             // an Alice blocked in recv/send unwinds with PeerClosed instead
@@ -133,6 +161,7 @@ where
             (out, stats)
         });
         let ra = catch_unwind(AssertUnwindSafe(|| alice(&mut ca)));
+        let _ = ca.try_flush();
         // Symmetrically unblock Bob before joining him.
         drop(ca);
         let (rb, stats) = hb.join().expect("bob runner thread itself panicked");
@@ -182,9 +211,13 @@ where
     let (ra, rb, stats) = thread::scope(|s| {
         let hb = s.spawn(move || {
             let out = bob(&mut cb);
+            // Flush before the snapshot so trailing staged messages are
+            // metered as wire frames (ignore a peer that already left).
+            let _ = cb.try_flush();
             (out, cb.stats())
         });
         let ra = alice(&mut ca);
+        let _ = ca.try_flush();
         let (rb, stats) = match hb.join() {
             Ok(x) => x,
             Err(e) => std::panic::resume_unwind(e),

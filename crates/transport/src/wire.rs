@@ -31,30 +31,32 @@ pub trait ReadExt {
 }
 
 impl WriteExt for Channel {
+    // All writers serialize straight into the channel's staging buffer via
+    // `send_with`: no intermediate `Vec` per message.
     fn send_u64(&mut self, v: u64) {
-        self.send(v.to_le_bytes().to_vec());
+        self.send_with(8, |buf| buf.copy_from_slice(&v.to_le_bytes()));
     }
 
     fn send_u64_slice(&mut self, vs: &[u64]) {
         if vs.is_empty() {
             return;
         }
-        let mut buf = Vec::with_capacity(vs.len() * 8);
-        for v in vs {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        self.send(buf);
+        self.send_with(vs.len() * 8, |buf| {
+            for (c, v) in buf.chunks_exact_mut(8).zip(vs) {
+                c.copy_from_slice(&v.to_le_bytes());
+            }
+        });
     }
 
     fn send_u128_slice(&mut self, vs: &[u128]) {
         if vs.is_empty() {
             return;
         }
-        let mut buf = Vec::with_capacity(vs.len() * 16);
-        for v in vs {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        self.send(buf);
+        self.send_with(vs.len() * 16, |buf| {
+            for (c, v) in buf.chunks_exact_mut(16).zip(vs) {
+                c.copy_from_slice(&v.to_le_bytes());
+            }
+        });
     }
 
     fn send_bool_slice(&mut self, vs: &[bool]) {
@@ -62,21 +64,22 @@ impl WriteExt for Channel {
             return;
         }
         // Bit-packed: 8 booleans per byte, consistent with how an optimized
-        // implementation would ship selection bits.
-        let mut buf = vec![0u8; vs.len().div_ceil(8)];
-        for (i, &b) in vs.iter().enumerate() {
-            if b {
-                buf[i / 8] |= 1 << (i % 8);
+        // implementation would ship selection bits. `send_with` hands out a
+        // zeroed buffer, so only the set bits need writing.
+        self.send_with(vs.len().div_ceil(8), |buf| {
+            for (i, &b) in vs.iter().enumerate() {
+                if b {
+                    buf[i / 8] |= 1 << (i % 8);
+                }
             }
-        }
-        self.send(buf);
+        });
     }
 
     fn send_bytes(&mut self, vs: &[u8]) {
         if vs.is_empty() {
             return;
         }
-        self.send(vs.to_vec());
+        self.stage(vs);
     }
 }
 
@@ -145,6 +148,7 @@ mod tests {
         bools[9] = true;
         a.send_bool_slice(&bools);
         a.send_bytes(&[9, 8, 7, 6]);
+        a.flush();
         h.join().unwrap();
     }
 
@@ -153,6 +157,7 @@ mod tests {
         let (mut a, mut b) = channel_pair();
         let h = thread::spawn(move || b.recv_bool_vec(17));
         a.send_bool_slice(&[true; 17]);
+        a.flush();
         assert_eq!(h.join().unwrap(), vec![true; 17]);
         // 17 bools travel in 3 bytes.
         assert_eq!(a.stats().bytes_alice_to_bob, 3);

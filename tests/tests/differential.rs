@@ -148,11 +148,12 @@ fn phase_split_faults_surface_typed_errors_in_both_phases() {
     let inst = Instance::generate(1);
     let clean = run_secure_phase_split(&inst, None);
     for dir in [Role::Alice, Role::Bob] {
-        // This direction's own message horizon — a fault indexed past it
-        // would never fire.
+        // This direction's own *wire-frame* horizon — faults index frames,
+        // and coalescing makes frames far scarcer than logical messages, so
+        // an index past the frame count would never fire.
         let horizon = match dir {
-            Role::Alice => clean.stats.messages_alice_to_bob,
-            Role::Bob => clean.stats.messages_bob_to_alice,
+            Role::Alice => clean.stats.frames_alice_to_bob,
+            Role::Bob => clean.stats.frames_bob_to_alice,
         };
         for (phase, index) in [
             ("offline", 0),

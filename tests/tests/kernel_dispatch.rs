@@ -15,7 +15,7 @@ use secyan_crypto::cpu;
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_relation::{JoinTree, NaturalRing, Relation};
-use secyan_transport::{run_protocol_recorded, Role};
+use secyan_transport::{run_protocol_captured, Role};
 use std::sync::Mutex;
 
 /// Both `par::set_threads` and `cpu::set_force_scalar` are
@@ -76,18 +76,16 @@ fn run_query() -> (Vec<Vec<u64>>, Vec<u64>, Transcript) {
         strings(&["class"]),
     );
     let q2 = query.clone();
-    let ((result, handle), _, _) = run_protocol_recorded(
+    let (result, _, _, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut sess =
                 secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 1);
-            let res = secyan_core::secure_yannakakis(
+            secyan_core::secure_yannakakis(
                 &mut sess,
                 &query,
                 &[Some(r1), None, Some(r3)],
                 Role::Alice,
-            );
-            (res, handle)
+            )
         },
         move |ch| {
             let mut sess =
@@ -136,12 +134,11 @@ fn run_iknp() -> (
 ) {
     const M: usize = 8192;
     let hasher = TweakHasher::default();
-    let ((pairs, handle), got, _) = run_protocol_recorded(
+    let (pairs, got, _, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut rng = rand::rngs::StdRng::seed_from_u64(121);
             let mut ot = OtSender::setup(ch, &mut rng, hasher);
-            (ot.random(ch, M), handle)
+            ot.random(ch, M)
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(122);

@@ -12,7 +12,7 @@ use secyan_core::par;
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_relation::{JoinTree, NaturalRing, Relation};
-use secyan_transport::{run_protocol_recorded, Role, TranscriptHandle};
+use secyan_transport::{run_protocol_captured, Role};
 use std::sync::Mutex;
 
 /// `set_threads` is process-global; serialize the tests that flip it so a
@@ -66,18 +66,16 @@ fn run_query() -> (Vec<Vec<u64>>, Vec<u64>, usize, Transcript) {
         strings(&["class"]),
     );
     let q2 = query.clone();
-    let ((result, handle), _, _) = run_protocol_recorded(
+    let (result, _, _, handle) = run_protocol_captured(
         move |ch| {
-            let handle: TranscriptHandle = ch.transcript_handle();
             let mut sess =
                 secyan_core::Session::new(ch, RingCtx::new(32), TweakHasher::default(), 1);
-            let res = secyan_core::secure_yannakakis(
+            secyan_core::secure_yannakakis(
                 &mut sess,
                 &query,
                 &[Some(r1), None, Some(r3)],
                 Role::Alice,
-            );
-            (res, handle)
+            )
         },
         move |ch| {
             let mut sess =
@@ -124,12 +122,11 @@ fn run_iknp() -> (
 ) {
     const M: usize = 8192;
     let hasher = TweakHasher::default();
-    let ((pairs, handle), got, _) = run_protocol_recorded(
+    let (pairs, got, _, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut rng = rand::rngs::StdRng::seed_from_u64(21);
             let mut ot = OtSender::setup(ch, &mut rng, hasher);
-            (ot.random(ch, M), handle)
+            ot.random(ch, M)
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(22);
@@ -168,13 +165,11 @@ fn run_opprf() -> (Vec<u64>, Transcript) {
     let queries: Vec<secyan_psi::opprf::PsiItem> = (0..BINS as u64)
         .map(|b| secyan_psi::opprf::PsiItem::Real(b * 10))
         .collect();
-    let (handle, out, _) = run_protocol_recorded(
+    let ((), out, _, handle) = run_protocol_captured(
         move |ch| {
-            let handle = ch.transcript_handle();
             let mut rng = rand::rngs::StdRng::seed_from_u64(31);
             let mut kkrt = secyan_ot::KkrtSender::setup(ch, &mut rng, hasher);
             secyan_psi::opprf::opprf_program(ch, &mut kkrt, &programs, DEGREE, &mut rng);
-            handle
         },
         move |ch| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(32);

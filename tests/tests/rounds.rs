@@ -1,0 +1,209 @@
+//! Golden round-count regression tests for the super-round transport.
+//!
+//! Two layers of protection:
+//!
+//! * **Golden counts** — for fixed instance shapes, the online/offline
+//!   super-round counters are pinned exactly. Round counts are a function
+//!   of the public query shape only (the protocol is oblivious), so these
+//!   goldens are stable across seeds and machines; any drift means the
+//!   protocol's communication structure changed and the BENCH numbers and
+//!   DESIGN.md §14 need re-recording.
+//! * **Coalescing differential** — the same instance runs with message
+//!   coalescing on (default) and off (`run_secure_uncoalesced`, one wire
+//!   frame per staged message). Coalescing must change *wire framing
+//!   only*: results, logical transcripts, and every stage-time meter are
+//!   byte-identical; only the frame counters shrink.
+
+use secyan_relation::{JoinTree, NaturalRing, Relation};
+use secyan_testkit::{
+    run_secure, run_secure_phase_split, run_secure_uncoalesced, AggKind, Instance, SecureRun,
+};
+use secyan_transport::Role;
+
+/// The ISSUE's acceptance bound for the benchmark chain3 online phase
+/// (3x down from the 48-round pre-coalescing baseline).
+const CHAIN3_ONLINE_SUPER_ROUND_BOUND: u64 = 16;
+
+/// The measured dependency floor of the current operator pipeline: every
+/// adjacent frame pair in the chain3 online trace is separated by a real
+/// data dependency (OPPRF hints -> GC inputs -> OT corrections -> masked
+/// pads -> permutation shares; see DESIGN.md §14 for the frame-by-frame
+/// decode). Going lower requires restructuring an operator, not better
+/// batching — so the golden pins the floor exactly.
+const CHAIN3_ONLINE_SUPER_ROUNDS: u64 = 16;
+const CHAIN3_OFFLINE_SUPER_ROUNDS: u64 = 11;
+
+/// The benchmark chain3 instance (mirrors `secyan-bench`'s shape: three
+/// relations of 24/48/24 rows, alternating ownership, scalar SUM).
+fn chain3_bench_instance() -> Instance {
+    let ring = secyan_crypto::RingCtx::new(64);
+    let nat = NaturalRing(ring);
+    let strings = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+    let (n1, n2, n3) = (24u64, 48u64, 24u64);
+    let relations = vec![
+        Relation::from_rows(
+            nat,
+            strings(&["a"]),
+            (0..n1).map(|i| (vec![i], i % 7 + 1)).collect(),
+        ),
+        Relation::from_rows(
+            nat,
+            strings(&["a", "b"]),
+            (0..n2).map(|i| (vec![i % n1, i % 31], i % 5 + 1)).collect(),
+        ),
+        Relation::from_rows(
+            nat,
+            strings(&["b"]),
+            (0..n3).map(|i| (vec![i % 31], i % 3 + 1)).collect(),
+        ),
+    ];
+    Instance {
+        seed: 42,
+        ell: 64,
+        agg: AggKind::Sum,
+        schemas: vec![strings(&["a"]), strings(&["a", "b"]), strings(&["b"])],
+        owners: vec![Role::Alice, Role::Bob, Role::Alice],
+        tree: JoinTree::chain(3),
+        output: Vec::new(),
+        relations,
+    }
+}
+
+#[test]
+fn chain3_online_super_rounds_golden() {
+    let run = run_secure_phase_split(&chain3_bench_instance(), None);
+    assert!(
+        run.stats.online_super_rounds <= CHAIN3_ONLINE_SUPER_ROUND_BOUND,
+        "chain3 online phase regressed past the acceptance bound: \
+         {} super-rounds (bound {CHAIN3_ONLINE_SUPER_ROUND_BOUND})",
+        run.stats.online_super_rounds,
+    );
+    assert_eq!(
+        run.stats.online_super_rounds, CHAIN3_ONLINE_SUPER_ROUNDS,
+        "chain3 online super-round count drifted — re-derive the frame \
+         dependency chain in DESIGN.md §14 and re-record BENCH_online.json",
+    );
+    assert_eq!(
+        run.stats.offline_super_rounds, CHAIN3_OFFLINE_SUPER_ROUNDS,
+        "chain3 offline super-round count drifted",
+    );
+}
+
+/// Golden total super-round counts per generator family. Round structure
+/// is public-shape-determined, so these only move when the protocol's
+/// communication pattern changes.
+#[test]
+fn family_super_round_goldens() {
+    let families = [
+        ("chain(0)", Instance::generate_chain(0)),
+        ("chain(1)", Instance::generate_chain(1)),
+        ("random(0)", Instance::generate(0)),
+        ("random(3)", Instance::generate(3)),
+    ];
+    let actual: Vec<u64> = families
+        .iter()
+        .map(|(_, inst)| run_secure(inst).stats.super_rounds)
+        .collect();
+    let golden: Vec<u64> = vec![9, 19, 25, 25];
+    assert_eq!(
+        actual,
+        golden,
+        "per-family super-round goldens drifted (order: {:?})",
+        families.map(|(name, _)| name),
+    );
+}
+
+fn direction_lengths(run: &SecureRun, dir: Role) -> Vec<usize> {
+    run.transcript
+        .iter()
+        .filter(|(r, _)| *r == dir)
+        .map(|(_, m)| m.len())
+        .collect()
+}
+
+fn direction_stream(run: &SecureRun, dir: Role) -> Vec<u8> {
+    run.transcript
+        .iter()
+        .filter(|(r, _)| *r == dir)
+        .flat_map(|(_, m)| m.iter().copied())
+        .collect()
+}
+
+/// Coalescing is a pure wire-framing optimization: with it disabled the
+/// same seeds must produce byte-identical results and logical transcripts,
+/// one frame per logical message, the same round structure — and strictly
+/// more frames.
+#[test]
+fn coalescing_only_changes_wire_framing() {
+    let instances = [
+        Instance::generate_chain(0),
+        Instance::generate(0),
+        Instance::generate(5),
+    ];
+    for inst in &instances {
+        let c = run_secure(inst);
+        let u = run_secure_uncoalesced(inst);
+
+        // Same answer, same public output size.
+        assert_eq!(c.result, u.result, "{}", inst.describe());
+        assert_eq!(c.out_size, u.out_size, "{}", inst.describe());
+
+        // The logical per-direction transcript (stage-time capture) is
+        // identical message for message: coalescing never reorders or
+        // rewrites payloads within a direction. (The merged two-direction
+        // interleaving legitimately differs — whole coalesced runs arrive
+        // at once — so it is not compared.)
+        for dir in [Role::Alice, Role::Bob] {
+            assert_eq!(
+                direction_lengths(&c, dir),
+                direction_lengths(&u, dir),
+                "{dir:?} message boundaries changed on {}",
+                inst.describe()
+            );
+            assert_eq!(
+                direction_stream(&c, dir),
+                direction_stream(&u, dir),
+                "{dir:?} payload bytes changed on {}",
+                inst.describe()
+            );
+        }
+
+        // Stage-time per-direction meters are identical. (The *global*
+        // `rounds`/`super_rounds` interleaving meters are not compared:
+        // eager mode ships frames mid-computation, so both parties can be
+        // staging concurrently and the cross-direction interleaving those
+        // meters observe is scheduling-dependent. Per-direction counters
+        // and streams are race-free in both modes.)
+        assert_eq!(c.stats.bytes_alice_to_bob, u.stats.bytes_alice_to_bob);
+        assert_eq!(c.stats.bytes_bob_to_alice, u.stats.bytes_bob_to_alice);
+        assert_eq!(c.stats.messages_alice_to_bob, u.stats.messages_alice_to_bob);
+        assert_eq!(c.stats.messages_bob_to_alice, u.stats.messages_bob_to_alice);
+        assert_eq!(c.stats.online_bytes, u.stats.online_bytes);
+        assert_eq!(c.stats.offline_bytes, u.stats.offline_bytes);
+
+        // Coalescing can only merge same-direction frames, so the wire
+        // round meter never exceeds the logical one.
+        assert!(
+            c.stats.super_rounds <= c.stats.rounds,
+            "coalesced wire rounds exceed logical rounds ({} > {}) on {}",
+            c.stats.super_rounds,
+            c.stats.rounds,
+            inst.describe()
+        );
+
+        // Uncoalesced mode ships exactly one frame per logical message;
+        // coalescing must strictly reduce the frame count.
+        assert_eq!(u.stats.frames_alice_to_bob, u.stats.messages_alice_to_bob);
+        assert_eq!(u.stats.frames_bob_to_alice, u.stats.messages_bob_to_alice);
+        assert!(
+            c.stats.frames_alice_to_bob < u.stats.frames_alice_to_bob,
+            "no Alice->Bob coalescing happened on {}",
+            inst.describe()
+        );
+        assert!(
+            c.stats.frames_bob_to_alice < u.stats.frames_bob_to_alice,
+            "no Bob->Alice coalescing happened on {}",
+            inst.describe()
+        );
+    }
+}

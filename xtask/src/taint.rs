@@ -81,6 +81,18 @@ impl Default for TaintConfig {
 /// Send-like calls whose payload shape is wire-visible.
 const SEND_SINKS: &[&str] = &["send", "send_blocks", "send_bytes"];
 
+/// Method names that block on (or force) a wire frame: any `recv*` fetch,
+/// plus an explicit `flush`. Inside a loop these defeat send staging.
+fn is_blocking_name(name: &str) -> bool {
+    name.starts_with("recv") || name == "flush"
+}
+
+/// Method names that stage outbound data (`send`, `send_u64`,
+/// `send_u64_slice`, `send_bits`, …).
+fn is_send_name(name: &str) -> bool {
+    name.starts_with("send")
+}
+
 /// Buffer-mutation methods: `recv.meth(args)` makes `args` flow into
 /// `recv` (forward taint) and `recv`'s wire exposure flow into `args`
 /// (backward flows-to-send).
@@ -392,6 +404,9 @@ fn analyze_fn(
         }
     }
 
+    // --- Round-discipline: per-iteration wire round trips -----------------
+    loop_roundtrips(toks, mask, body.clone(), keyed);
+
     // --- Pool-closure determinism -----------------------------------------
     for j in body.clone() {
         if j >= toks.len() || mask[j] || j < 2 {
@@ -422,6 +437,63 @@ fn analyze_fn(
                 keyed.insert((t.line, "D-PAR"));
             }
         }
+    }
+}
+
+/// T-COMM round-discipline scan: a send-like method call inside a loop
+/// whose body also blocks on the wire (any `.recv*(..)`) or forces a frame
+/// (`.flush()`) pays one wire round trip *per iteration* — the per-edge
+/// ping-pong the staged `send`/`flush` transport API exists to eliminate,
+/// and the exact shape that regresses super-round counts. Batch the sends
+/// (stage the whole loop's worth, then receive), or split the operator
+/// into a stage-all `*_begin` / receive-only `*_finish` pair. Loops that
+/// only send are fine: staged messages coalesce into one super-frame.
+fn loop_roundtrips(
+    toks: &[Tok],
+    mask: &[bool],
+    body: Range<usize>,
+    keyed: &mut BTreeSet<(usize, &'static str)>,
+) {
+    let end = body.end.min(toks.len());
+    let mut i = body.start;
+    while i < end {
+        if mask[i] || !matches!(toks[i].text.as_str(), "for" | "while" | "loop") {
+            i += 1;
+            continue;
+        }
+        let brace = find_at_depth0(toks, i + 1, end, &["{"]);
+        if brace >= end {
+            i += 1;
+            continue;
+        }
+        let close = matching_close(toks, brace);
+        let mut send_lines = Vec::new();
+        let mut blocks = false;
+        for j in brace + 1..close.min(toks.len()) {
+            // Method-call position only: `recv.x(..)`. Free functions and
+            // definitions (`fn send_frame`) are not wire calls.
+            if mask[j]
+                || !toks[j].is_word()
+                || j == 0
+                || toks[j - 1].text != "."
+                || toks.get(j + 1).map(|t| t.text.as_str()) != Some("(")
+            {
+                continue;
+            }
+            let name = toks[j].text.as_str();
+            if is_send_name(name) {
+                send_lines.push(toks[j].line);
+            } else if is_blocking_name(name) {
+                blocks = true;
+            }
+        }
+        if blocks {
+            for l in send_lines {
+                keyed.insert((l, "T-COMM"));
+            }
+        }
+        // Descend past the header so nested loops are scanned on their own.
+        i = brace + 1;
     }
 }
 
@@ -1032,6 +1104,52 @@ mod tests {
         let f = taint(
             "crates/gc/src/x.rs",
             "fn f(delta: u64, xs: &[u64], zs: &[u64]) -> u64 {\n let results = xs.iter().map(|x| x ^ delta).sum::<u64>();\n let picked = xs.iter().map(|x| zs[(*x as usize) % zs.len()]).sum::<u64>();\n results ^ picked\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn send_recv_loop_flagged() {
+        let f = taint(
+            "crates/oep/src/x.rs",
+            "fn f(ch: &mut Channel, xs: &[u64]) {\n for x in xs {\n ch.send_u64(*x);\n let _ = ch.recv_u64();\n }\n}",
+        );
+        assert_eq!(rules_of(&f), ["T-COMM"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn send_flush_loop_flagged() {
+        let f = taint(
+            "crates/oep/src/x.rs",
+            "fn f(ch: &mut Channel, xs: &[u64]) {\n while xs.len() > 0 {\n ch.send_u64(1);\n ch.flush();\n }\n}",
+        );
+        assert_eq!(rules_of(&f), ["T-COMM"]);
+    }
+
+    #[test]
+    fn send_only_loop_is_staged_and_clean() {
+        let f = taint(
+            "crates/oep/src/x.rs",
+            "fn f(ch: &mut Channel, xs: &[u64]) {\n for x in xs {\n ch.send_u64(*x);\n }\n let _ = ch.recv_u64();\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recv_only_loop_clean() {
+        let f = taint(
+            "crates/oep/src/x.rs",
+            "fn f(ch: &mut Channel, n: usize) -> u64 {\n let mut acc = 0;\n for _x in 0..n {\n acc ^= ch.recv_u64();\n }\n acc\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn roundtrip_loop_taint_ok_suppresses() {
+        let f = taint(
+            "crates/oep/src/x.rs",
+            "fn f(ch: &mut Channel, xs: &[u64]) {\n for x in xs {\n // taint-ok: genuinely adaptive — each query depends on the last reply.\n ch.send_u64(*x);\n let _ = ch.recv_u64();\n }\n}",
         );
         assert!(f.is_empty(), "{f:?}");
     }
