@@ -20,14 +20,19 @@
 
 use crate::gen::{AggKind, Instance};
 use secyan_baseline::{naive_gc_evaluator, naive_gc_garbler, NaiveRows};
-use secyan_core::{run_offline, run_online, secure_yannakakis, Session};
+use secyan_core::{run_offline, run_online, secure_yannakakis, QueryResult, Session};
 use secyan_crypto::{RingCtx, TweakHasher};
 use secyan_ot::{OtReceiver, OtSender};
 use secyan_relation::{naive::naive_join_aggregate, yannakakis, CountSemiring, Relation};
 use secyan_transport::{
-    run_protocol, run_protocol_captured, try_run_protocol_with_faults, CommStats, FaultPlan,
-    ProtocolError, Role,
+    run_protocol, run_protocol_captured, run_protocol_captured_on,
+    tcp_channel_pair_with_transcript, tcp_pair_from_streams, try_run_protocol_on,
+    try_run_protocol_with_faults, CommStats, FaultPlan, ProtocolError, Role, TcpFault,
+    TcpFaultProxy,
 };
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +55,21 @@ fn sorted_columns(schema: &[String], tuples: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
         .into_iter()
         .map(|t| order.iter().map(|&i| t[i]).collect())
         .collect()
+}
+
+/// Canonicalize a secure run's revealed [`QueryResult`]: columns permuted
+/// into sorted attribute-name order, rows sorted, equal tuples merged in
+/// the ring, zero-valued rows dropped — the form every engine's output is
+/// compared in. `secyan-client` uses this too, so a networked run prints
+/// rows directly comparable with the oracle's.
+pub fn canonical_result(ring: RingCtx, res: &QueryResult) -> Rows {
+    canonical_nonzero(
+        ring,
+        sorted_columns(&res.schema, res.tuples.clone())
+            .into_iter()
+            .zip(res.values.iter().copied())
+            .collect(),
+    )
 }
 
 fn canonical_nonzero(ring: RingCtx, mut rows: Rows) -> Rows {
@@ -151,13 +171,7 @@ pub fn run_secure(inst: &Instance) -> SecureRun {
         },
     );
     SecureRun {
-        result: canonical_nonzero(
-            ring,
-            sorted_columns(&res.schema, res.tuples)
-                .into_iter()
-                .zip(res.values)
-                .collect(),
-        ),
+        result: canonical_result(ring, &res),
         out_size: res.out_size,
         stats,
         transcript: handle.messages(),
@@ -190,13 +204,7 @@ pub fn run_secure_uncoalesced(inst: &Instance) -> SecureRun {
         },
     );
     SecureRun {
-        result: canonical_nonzero(
-            ring,
-            sorted_columns(&res.schema, res.tuples)
-                .into_iter()
-                .zip(res.values)
-                .collect(),
-        ),
+        result: canonical_result(ring, &res),
         out_size: res.out_size,
         stats,
         transcript: handle.messages(),
@@ -354,13 +362,7 @@ pub fn run_secure_phase_split(inst: &Instance, shed: Option<(usize, usize)>) -> 
         },
     );
     SecureRun {
-        result: canonical_nonzero(
-            ring,
-            sorted_columns(&res.schema, res.tuples)
-                .into_iter()
-                .zip(res.values)
-                .collect(),
-        ),
+        result: canonical_result(ring, &res),
         out_size: res.out_size,
         stats,
         transcript: handle.messages(),
@@ -401,18 +403,7 @@ pub fn run_secure_phase_split_with_faults(
             run_online(ch, &qb, &rb, Role::Alice, ring, TweakHasher::default(), m);
         },
     )
-    .map(|(res, (), stats)| {
-        (
-            canonical_nonzero(
-                ring,
-                sorted_columns(&res.schema, res.tuples)
-                    .into_iter()
-                    .zip(res.values)
-                    .collect(),
-            ),
-            stats,
-        )
-    })
+    .map(|(res, (), stats)| (canonical_result(ring, &res), stats))
 }
 
 /// Run the secure protocol under a transport fault plan. `Ok` carries the
@@ -441,25 +432,149 @@ pub fn run_secure_with_faults(
             secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
         },
     )
-    .map(|(res, (), stats)| {
-        (
-            canonical_nonzero(
-                ring,
-                sorted_columns(&res.schema, res.tuples)
-                    .into_iter()
-                    .zip(res.values)
-                    .collect(),
-            ),
-            stats,
-        )
-    })
+    .map(|(res, (), stats)| (canonical_result(ring, &res), stats))
 }
 
-/// Derive the two parties' session RNG seeds from the instance seed —
-/// fixed so reruns of a seed are byte-identical, distinct per party.
-fn session_seeds(inst: &Instance) -> (u64, u64) {
+/// Derive the two parties' `(alice, bob)` session RNG seeds from the
+/// instance seed — fixed so reruns of a seed are byte-identical, distinct
+/// per party. Public because the networked runtime must derive the same
+/// seeds in two different processes (`secyan-client` Alice's,
+/// `secyan-server` Bob's) for a TCP run to be transcript-comparable with
+/// an in-process one.
+pub fn session_seeds(inst: &Instance) -> (u64, u64) {
     let base = inst.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     (base ^ 0xA11C_E000, base ^ 0xB0B0_0000)
+}
+
+/// [`run_secure`] over a real localhost TCP socket: same protocol
+/// closures, same session seeds, but both endpoints' frames traverse the
+/// kernel's TCP stack. The pair shares one meter and transcript exactly
+/// like the in-process run, so the differential TCP sweep can assert the
+/// result, transcript, and every stage-time counter are byte-identical to
+/// [`run_secure`] on the same instance.
+pub fn run_secure_tcp(inst: &Instance) -> SecureRun {
+    run_secure_tcp_inner(inst, false)
+}
+
+/// [`run_secure_tcp`] with coalescing disabled (see
+/// [`run_secure_uncoalesced`]): every staged message ships as its own TCP
+/// frame. The coalesced-vs-eager differential must hold over the socket
+/// exactly as it does in process.
+pub fn run_secure_tcp_eager(inst: &Instance) -> SecureRun {
+    run_secure_tcp_inner(inst, true)
+}
+
+fn run_secure_tcp_inner(inst: &Instance, eager: bool) -> SecureRun {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    let pair = tcp_channel_pair_with_transcript().expect("loopback TCP pair");
+    let (res, (), stats, handle) = run_protocol_captured_on(
+        pair,
+        move |ch| {
+            ch.set_eager(eager);
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sa);
+            secure_yannakakis(&mut sess, &qa, &ra, Role::Alice)
+        },
+        move |ch| {
+            ch.set_eager(eager);
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sb);
+            secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
+        },
+    );
+    SecureRun {
+        result: canonical_result(ring, &res),
+        out_size: res.out_size,
+        stats,
+        transcript: handle.messages(),
+    }
+}
+
+/// [`run_secure_phase_split`] over localhost TCP (no shedding): the
+/// offline/online super-round pins must be transport-independent, which
+/// the golden-round tests assert by diffing this run's phase-split meters
+/// against the in-process ones.
+pub fn run_secure_phase_split_tcp(inst: &Instance) -> SecureRun {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let sizes = inst.sizes();
+    let (s2, sizes) = (sizes.clone(), sizes);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    let pair = tcp_channel_pair_with_transcript().expect("loopback TCP pair");
+    let (res, (), stats, handle) = run_protocol_captured_on(
+        pair,
+        move |ch| {
+            let m = run_offline(
+                ch,
+                &qa,
+                &sizes,
+                Role::Alice,
+                ring,
+                TweakHasher::default(),
+                sa,
+            );
+            run_online(ch, &qa, &ra, Role::Alice, ring, TweakHasher::default(), m)
+        },
+        move |ch| {
+            let m = run_offline(ch, &qb, &s2, Role::Alice, ring, TweakHasher::default(), sb);
+            run_online(ch, &qb, &rb, Role::Alice, ring, TweakHasher::default(), m);
+        },
+    );
+    SecureRun {
+        result: canonical_result(ring, &res),
+        out_size: res.out_size,
+        stats,
+        transcript: handle.messages(),
+    }
+}
+
+/// Run the secure protocol over TCP with Alice's traffic routed through a
+/// [`TcpFaultProxy`] injecting `fault` (or a transparent proxy when
+/// `None`). Both endpoints carry `io_timeout` so a stalled wire surfaces
+/// as a typed `Timeout` instead of blocking the test. `Ok` carries the
+/// receiver's canonical result; `Err` the typed failure — never a hang or
+/// an untyped panic, on either endpoint.
+pub fn run_secure_tcp_proxied(
+    inst: &Instance,
+    fault: Option<TcpFault>,
+    io_timeout: Duration,
+) -> Result<(Rows, CommStats), ProtocolError> {
+    let query = inst.query();
+    let (qa, qb) = (query.clone(), query);
+    let ra = inst.party_relations(Role::Alice);
+    let rb = inst.party_relations(Role::Bob);
+    let ring = inst.ring_ctx();
+    let (sa, sb) = session_seeds(inst);
+    // Bob listens; Alice connects through the byte-level proxy, matching
+    // the proxy's direction convention (connecting side = Alice).
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("loopback listener");
+    let upstream = listener.local_addr().expect("listener addr");
+    let proxy = TcpFaultProxy::spawn(upstream, fault).expect("fault proxy");
+    let alice_stream = TcpStream::connect(proxy.addr()).expect("connect via proxy");
+    let (bob_stream, _) = listener.accept().expect("accept");
+    let (mut ca, mut cb) = tcp_pair_from_streams(alice_stream, bob_stream).expect("TCP pair");
+    ca.set_io_timeout(Some(io_timeout));
+    cb.set_io_timeout(Some(io_timeout));
+    let out = try_run_protocol_on(
+        (ca, cb),
+        move |ch| {
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sa);
+            secure_yannakakis(&mut sess, &qa, &ra, Role::Alice)
+        },
+        move |ch| {
+            let mut sess = Session::new(ch, ring, TweakHasher::default(), sb);
+            secure_yannakakis(&mut sess, &qb, &rb, Role::Alice);
+        },
+    )
+    .map(|(res, (), stats)| (canonical_result(ring, &res), stats));
+    drop(proxy);
+    out
 }
 
 #[cfg(test)]

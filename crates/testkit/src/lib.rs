@@ -23,8 +23,9 @@ pub mod diff;
 pub mod gen;
 
 pub use diff::{
-    check_instance, oracle, plaintext_yannakakis, run_baseline, run_secure, run_secure_phase_split,
-    run_secure_phase_split_with_faults, run_secure_uncoalesced, run_secure_with_faults, scalar_of,
-    Differential, Rows, SecureRun,
+    canonical_result, check_instance, oracle, plaintext_yannakakis, run_baseline, run_secure,
+    run_secure_phase_split, run_secure_phase_split_tcp, run_secure_phase_split_with_faults,
+    run_secure_tcp, run_secure_tcp_eager, run_secure_tcp_proxied, run_secure_uncoalesced,
+    run_secure_with_faults, scalar_of, session_seeds, Differential, Rows, SecureRun,
 };
 pub use gen::{AggKind, Instance};

@@ -31,9 +31,11 @@
 //! parties.
 
 use crate::error::TransportError;
+use crate::tcp::TcpPipe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Frame header size: payload length (`u32` LE) then sequence (`u32` LE).
 pub(crate) const HEADER: usize = 8;
@@ -150,6 +152,70 @@ impl Role {
     /// True for [`Role::Alice`].
     pub fn is_alice(self) -> bool {
         matches!(self, Role::Alice)
+    }
+}
+
+/// The byte pipe underneath an endpoint: where flushed frames go and
+/// where incoming frames come from.
+///
+/// Everything above this seam — staging, coalescing, metering, sequence
+/// and phase validation, the transcript — is transport-independent by
+/// construction: the [`Channel`] hands the pipe exactly one fully framed
+/// super-frame per [`Channel::flush`] and receives whole frames (or
+/// whatever prefix of one the wire could produce) back. Swapping the pipe
+/// therefore cannot change logical meters or transcripts, which is what
+/// lets the differential suite assert byte-identical transcripts across
+/// the in-process and TCP transports.
+pub(crate) enum Pipe {
+    /// In-process duplex: frames travel as owned buffers over `mpsc`.
+    Mpsc {
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+    },
+    /// A real TCP stream carrying the same length-prefixed frames.
+    Tcp(TcpPipe),
+}
+
+impl Pipe {
+    /// Ship one framed buffer. Returns the buffer back for recycling when
+    /// the pipe copies it onto a wire (TCP); `None` when the pipe consumes
+    /// it (mpsc hands ownership to the peer).
+    fn send_frame(&mut self, frame: Vec<u8>) -> Result<Option<Vec<u8>>, TransportError> {
+        match self {
+            Pipe::Mpsc { tx, .. } => {
+                if tx.send(frame).is_err() {
+                    return Err(TransportError::PeerClosed { during: "send" });
+                }
+                Ok(None)
+            }
+            Pipe::Tcp(tcp) => {
+                tcp.send_frame(&frame)?;
+                Ok(Some(frame))
+            }
+        }
+    }
+
+    /// Block for the next frame. `spare` offers recycled buffers for pipes
+    /// that must read into owned memory (TCP). The returned buffer holds
+    /// header + payload as received; validation is the caller's job —
+    /// short or truncated reads come back as short buffers so the
+    /// channel's header checks type the fault identically on every
+    /// transport.
+    fn recv_frame(&mut self, spare: &mut Vec<Vec<u8>>) -> Result<Vec<u8>, TransportError> {
+        match self {
+            Pipe::Mpsc { rx, .. } => rx
+                .recv()
+                .map_err(|_| TransportError::PeerClosed { during: "recv" }),
+            Pipe::Tcp(tcp) => tcp.recv_frame(spare),
+        }
+    }
+
+    /// Set (or clear) the I/O deadline on a socket-backed pipe. No-op for
+    /// the in-process pipe, which cannot time out.
+    fn set_io_timeout(&mut self, timeout: Option<Duration>) {
+        if let Pipe::Tcp(tcp) = self {
+            tcp.set_io_timeout(timeout);
+        }
     }
 }
 
@@ -363,8 +429,7 @@ impl TranscriptHandle {
 /// [`channel_pair`] skips the per-message lock entirely.
 pub struct Channel {
     role: Role,
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    pipe: Pipe,
     meter: Arc<Meter>,
     transcript: Option<Transcript>,
     /// Staged outgoing super-frame: [`HEADER`] reserved bytes, then each
@@ -398,6 +463,13 @@ pub struct Channel {
     /// message ships as its own wire frame. Differential tests use this to
     /// prove coalescing changes only wire-level framing, never content.
     eager: bool,
+    /// Meter *incoming* traffic too (at consume time, against the peer's
+    /// direction). Off for paired endpoints sharing one meter — there the
+    /// sender's stage-time metering already covers both directions and
+    /// consume-time metering would double-count. On for a standalone
+    /// remote endpoint (one process per party over TCP), whose local meter
+    /// would otherwise only ever see its own sends.
+    meter_rx: bool,
 }
 
 impl std::fmt::Debug for Channel {
@@ -417,10 +489,7 @@ pub fn channel_pair() -> (Channel, Channel) {
 /// [`channel_pair`] everywhere else. Payload bytes are additionally captured
 /// once a [`TranscriptHandle`] is attached.
 pub fn channel_pair_with_transcript() -> (Channel, Channel) {
-    make_pair(Some(Arc::new(TranscriptBuf {
-        entries: Mutex::new(Vec::new()),
-        capture_payloads: AtomicBool::new(false),
-    })))
+    make_pair(Some(new_transcript()))
 }
 
 fn make_pair(transcript: Option<Transcript>) -> (Channel, Channel) {
@@ -429,13 +498,66 @@ fn make_pair(transcript: Option<Transcript>) -> (Channel, Channel) {
     let meter = Arc::new(Meter::default());
     let alice = Channel::from_parts(
         Role::Alice,
-        a2b_tx,
-        b2a_rx,
+        Pipe::Mpsc {
+            tx: a2b_tx,
+            rx: b2a_rx,
+        },
         Arc::clone(&meter),
         transcript.clone(),
     );
-    let bob = Channel::from_parts(Role::Bob, b2a_tx, a2b_rx, meter, transcript);
+    let bob = Channel::from_parts(
+        Role::Bob,
+        Pipe::Mpsc {
+            tx: b2a_tx,
+            rx: a2b_rx,
+        },
+        meter,
+        transcript,
+    );
     (alice, bob)
+}
+
+/// Build a connected pair of endpoints over two already-connected TCP
+/// streams (`alice`'s socket and `bob`'s socket), sharing one meter and
+/// transcript exactly like [`channel_pair`] — the drop-in socket-backed
+/// pair the TCP differential and fault tests run the full battery on.
+/// Incoming traffic is not re-metered (`meter_rx` stays off): the shared
+/// meter already sees every message at stage time, so all counters are
+/// byte-for-byte comparable with the in-process pair.
+pub(crate) fn tcp_pair_from_pipes(
+    alice: TcpPipe,
+    bob: TcpPipe,
+    transcript: Option<Transcript>,
+) -> (Channel, Channel) {
+    let meter = Arc::new(Meter::default());
+    let a = Channel::from_parts(
+        Role::Alice,
+        Pipe::Tcp(alice),
+        Arc::clone(&meter),
+        transcript.clone(),
+    );
+    let b = Channel::from_parts(Role::Bob, Pipe::Tcp(bob), meter, transcript);
+    (a, b)
+}
+
+/// Build a standalone endpoint over a TCP stream for the party-per-process
+/// deployment (`secyan-server` / `secyan-client`). The endpoint carries
+/// its own meter and additionally meters *incoming* traffic at consume
+/// time, so its local [`CommStats`] cover both directions without a
+/// shared-memory peer.
+pub(crate) fn tcp_endpoint_from_pipe(role: Role, pipe: TcpPipe) -> Channel {
+    let mut ch = Channel::from_parts(role, Pipe::Tcp(pipe), Arc::new(Meter::default()), None);
+    ch.meter_rx = true;
+    ch
+}
+
+/// Fresh transcript buffer for a recording pair (see
+/// [`channel_pair_with_transcript`]).
+pub(crate) fn new_transcript() -> Transcript {
+    Arc::new(TranscriptBuf {
+        entries: Mutex::new(Vec::new()),
+        capture_payloads: AtomicBool::new(false),
+    })
 }
 
 /// The raw wires of a relayed pair: each direction's traffic flows
@@ -464,12 +586,16 @@ pub(crate) fn relayed_pair(transcript: Option<Transcript>) -> (Channel, Channel,
     let meter = Arc::new(Meter::default());
     let alice = Channel::from_parts(
         Role::Alice,
-        a_tx,
-        a_rx,
+        Pipe::Mpsc { tx: a_tx, rx: a_rx },
         Arc::clone(&meter),
         transcript.clone(),
     );
-    let bob = Channel::from_parts(Role::Bob, b_tx, b_rx, meter, transcript);
+    let bob = Channel::from_parts(
+        Role::Bob,
+        Pipe::Mpsc { tx: b_tx, rx: b_rx },
+        meter,
+        transcript,
+    );
     let wires = RelayWires {
         a2b_in,
         a2b_out,
@@ -482,15 +608,13 @@ pub(crate) fn relayed_pair(transcript: Option<Transcript>) -> (Channel, Channel,
 impl Channel {
     fn from_parts(
         role: Role,
-        tx: Sender<Vec<u8>>,
-        rx: Receiver<Vec<u8>>,
+        pipe: Pipe,
         meter: Arc<Meter>,
         transcript: Option<Transcript>,
     ) -> Channel {
         Channel {
             role,
-            tx,
-            rx,
+            pipe,
             meter,
             transcript,
             out_buf: vec![0u8; HEADER],
@@ -505,7 +629,17 @@ impl Channel {
             net: None,
             frame_cap: MAX_FRAME_SIZE,
             eager: false,
+            meter_rx: false,
         }
+    }
+
+    /// Set (or clear) the I/O deadline for socket-backed endpoints: any
+    /// single blocked read or write past the deadline surfaces as a typed
+    /// [`TransportError::Timeout`] instead of hanging the session thread.
+    /// No-op on in-process endpoints (the mpsc pipe cannot stall — a dead
+    /// peer closes it and surfaces as `PeerClosed` immediately).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) {
+        self.pipe.set_io_timeout(timeout);
     }
 
     /// Disable (or re-enable) message coalescing on this endpoint: in
@@ -594,44 +728,7 @@ impl Channel {
         // Logical meters and transcript are per-message and stage-time:
         // coalescing must not change any reported byte count or the
         // obliviousness view.
-        let blen = len as u64;
-        match self.role {
-            Role::Alice => {
-                self.meter
-                    .bytes_alice_to_bob
-                    .fetch_add(blen, Ordering::Relaxed);
-                self.meter
-                    .messages_alice_to_bob
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Role::Bob => {
-                self.meter
-                    .bytes_bob_to_alice
-                    .fetch_add(blen, Ordering::Relaxed);
-                self.meter
-                    .messages_bob_to_alice
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        let dir = self.dir();
-        if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
-            self.meter.rounds.fetch_add(1, Ordering::Relaxed);
-        }
-        match self.phase {
-            Phase::Single => {}
-            Phase::Offline => {
-                self.meter.offline_bytes.fetch_add(blen, Ordering::Relaxed);
-                if self.meter.last_dir_offline.swap(dir, Ordering::Relaxed) != dir {
-                    self.meter.offline_rounds.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Phase::Online => {
-                self.meter.online_bytes.fetch_add(blen, Ordering::Relaxed);
-                if self.meter.last_dir_online.swap(dir, Ordering::Relaxed) != dir {
-                    self.meter.online_rounds.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
+        self.meter_message(self.role, len);
         if let Some(transcript) = &self.transcript {
             let payload = transcript
                 .capture_payloads
@@ -653,30 +750,64 @@ impl Channel {
         }
     }
 
-    fn dir(&self) -> u64 {
-        match self.role {
+    /// Logical per-message accounting for one message sent by `sender`.
+    /// Called at stage time for this endpoint's own messages; a standalone
+    /// remote endpoint (`meter_rx`) additionally calls it at consume time
+    /// for the peer's messages, which is the only point a single process
+    /// observes them.
+    fn meter_message(&self, sender: Role, len: usize) {
+        let blen = len as u64;
+        match sender {
+            Role::Alice => {
+                self.meter
+                    .bytes_alice_to_bob
+                    .fetch_add(blen, Ordering::Relaxed);
+                self.meter
+                    .messages_alice_to_bob
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Role::Bob => {
+                self.meter
+                    .bytes_bob_to_alice
+                    .fetch_add(blen, Ordering::Relaxed);
+                self.meter
+                    .messages_bob_to_alice
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let dir = match sender {
             Role::Alice => 1,
             Role::Bob => 2,
+        };
+        if self.meter.last_dir.swap(dir, Ordering::Relaxed) != dir {
+            self.meter.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.phase {
+            Phase::Single => {}
+            Phase::Offline => {
+                self.meter.offline_bytes.fetch_add(blen, Ordering::Relaxed);
+                if self.meter.last_dir_offline.swap(dir, Ordering::Relaxed) != dir {
+                    self.meter.offline_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Phase::Online => {
+                self.meter.online_bytes.fetch_add(blen, Ordering::Relaxed);
+                if self.meter.last_dir_online.swap(dir, Ordering::Relaxed) != dir {
+                    self.meter.online_rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
-    /// Ship the staged super-frame, if any. One wire frame per call; a
-    /// no-op when nothing is staged. Called automatically whenever this
-    /// endpoint is about to block on the wire (so a blocked party has, by
-    /// construction, everything it owes the peer already in flight), on
-    /// phase switches, and on drop.
-    pub fn flush(&mut self) {
-        self.try_flush().unwrap_or_else(|e| e.raise())
-    }
-
-    /// Fallible form of [`Channel::flush`].
-    pub fn try_flush(&mut self) -> Result<(), TransportError> {
-        if self.out_msgs == 0 {
-            return Ok(());
-        }
-        // Wire-level (super-round) accounting happens per frame.
-        let dir = self.dir();
-        match self.role {
+    /// Wire-level per-frame accounting for one frame sent by `sender`.
+    /// Returns whether the frame switched the wire direction (a
+    /// super-round boundary — the latency payment under [`NetModel`]).
+    fn meter_frame(&self, sender: Role) -> bool {
+        let dir = match sender {
+            Role::Alice => 1,
+            Role::Bob => 2,
+        };
+        match sender {
             Role::Alice => &self.meter.frames_alice_to_bob,
             Role::Bob => &self.meter.frames_bob_to_alice,
         }
@@ -707,6 +838,25 @@ impl Channel {
                 }
             }
         }
+        switched
+    }
+
+    /// Ship the staged super-frame, if any. One wire frame per call; a
+    /// no-op when nothing is staged. Called automatically whenever this
+    /// endpoint is about to block on the wire (so a blocked party has, by
+    /// construction, everything it owes the peer already in flight), on
+    /// phase switches, and on drop.
+    pub fn flush(&mut self) {
+        self.try_flush().unwrap_or_else(|e| e.raise())
+    }
+
+    /// Fallible form of [`Channel::flush`].
+    pub fn try_flush(&mut self) -> Result<(), TransportError> {
+        if self.out_msgs == 0 {
+            return Ok(());
+        }
+        // Wire-level (super-round) accounting happens per frame.
+        let switched = self.meter_frame(self.role);
         let payload_len = self.out_buf.len() - HEADER;
         // Simulated network: block the sending thread for the modeled
         // serialization delay, plus propagation on a direction switch,
@@ -732,8 +882,10 @@ impl Channel {
         next.resize(HEADER, 0);
         let frame = std::mem::replace(&mut self.out_buf, next);
         self.out_msgs = 0;
-        if self.tx.send(frame).is_err() {
-            return Err(TransportError::PeerClosed { during: "send" });
+        if let Some(buf) = self.pipe.send_frame(frame)? {
+            if self.spare.len() < SPARE_BUFFERS {
+                self.spare.push(buf);
+            }
         }
         Ok(())
     }
@@ -757,10 +909,7 @@ impl Channel {
             old.clear();
             self.spare.push(old);
         }
-        let frame = self
-            .rx
-            .recv()
-            .map_err(|_| TransportError::PeerClosed { during: "recv" })?;
+        let frame = self.pipe.recv_frame(&mut self.spare)?;
         if frame.len() < HEADER {
             return Err(TransportError::Corrupt {
                 detail: "frame shorter than its 8-byte header",
@@ -805,6 +954,9 @@ impl Channel {
                 got,
             });
         }
+        if self.meter_rx {
+            self.meter_frame(self.role.peer());
+        }
         self.in_buf = frame;
         self.in_pos = HEADER;
         Ok(())
@@ -837,6 +989,9 @@ impl Channel {
             });
         }
         self.msg_left = len;
+        if self.meter_rx {
+            self.meter_message(self.role.peer(), len);
+        }
         Ok(())
     }
 

@@ -42,6 +42,12 @@ pub enum TransportError {
     /// bound is checked before any allocation, so a coalesced super-frame
     /// (or a tampered header) cannot act as an allocation bomb.
     FrameTooLarge { declared: u64, limit: u64 },
+    /// A socket read or write exceeded the endpoint's configured I/O
+    /// deadline (see `Channel::set_io_timeout`). A stalled peer therefore
+    /// surfaces as a typed error instead of blocking a session thread
+    /// forever; only socket-backed channels can raise this — the
+    /// in-process pipe has no deadline.
+    Timeout { during: &'static str },
 }
 
 impl std::fmt::Display for TransportError {
@@ -71,6 +77,9 @@ impl std::fmt::Display for TransportError {
                     f,
                     "frame too large: declared {declared} payload bytes, limit {limit}"
                 )
+            }
+            TransportError::Timeout { during } => {
+                write!(f, "i/o deadline exceeded during {during}")
             }
         }
     }

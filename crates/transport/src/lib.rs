@@ -37,7 +37,9 @@
 mod channel;
 mod error;
 pub mod fault;
+pub mod handshake;
 mod runner;
+mod tcp;
 mod wire;
 
 pub use channel::{
@@ -46,8 +48,14 @@ pub use channel::{
 };
 pub use error::{ProtocolError, TransportError};
 pub use fault::{fault_channel_pair, FaultKind, FaultPlan, FaultSpec};
+pub use handshake::{ClientHello, HandshakeError, PROTOCOL_VERSION};
 pub use runner::{
-    run_protocol, run_protocol_captured, run_protocol_recorded, run_protocol_with_net,
-    try_run_protocol, try_run_protocol_with_faults,
+    catch_protocol, run_protocol, run_protocol_captured, run_protocol_captured_on, run_protocol_on,
+    run_protocol_recorded, run_protocol_with_net, try_run_protocol, try_run_protocol_on,
+    try_run_protocol_with_faults,
+};
+pub use tcp::{
+    tcp_channel_pair, tcp_channel_pair_with_transcript, tcp_endpoint, tcp_pair_from_streams,
+    TcpFault, TcpFaultKind, TcpFaultProxy, DEFAULT_IO_TIMEOUT,
 };
 pub use wire::{ReadExt, WriteExt};

@@ -134,6 +134,72 @@ where
     try_run_on(fault_channel_pair(plan), alice, bob)
 }
 
+/// Like [`run_protocol`], but over a caller-supplied channel pair — e.g. a
+/// socket-backed loopback pair from [`crate::tcp_channel_pair`]. The TCP
+/// test battery uses this to run the exact protocol closures the
+/// in-process runners take, over a real wire.
+pub fn run_protocol_on<FA, FB, RA, RB>(
+    pair: (Channel, Channel),
+    alice: FA,
+    bob: FB,
+) -> (RA, RB, CommStats)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    run_on(pair, alice, bob)
+}
+
+/// Like [`run_protocol_captured`], but over a caller-supplied channel pair
+/// built with a transcript (e.g. [`crate::tcp_channel_pair_with_transcript`]).
+/// Panics if the pair records no transcript.
+pub fn run_protocol_captured_on<FA, FB, RA, RB>(
+    pair: (Channel, Channel),
+    alice: FA,
+    bob: FB,
+) -> (RA, RB, CommStats, TranscriptHandle)
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let handle = pair.0.transcript_handle();
+    let (ra, rb, stats) = run_on(pair, alice, bob);
+    (ra, rb, stats, handle)
+}
+
+/// Like [`try_run_protocol`], but over a caller-supplied channel pair —
+/// the entry point the TCP fault tests use to drive a session through a
+/// fault-injecting proxy and still get typed, hang-free failure reporting
+/// with the same root-cause selection as the in-process runner.
+pub fn try_run_protocol_on<FA, FB, RA, RB>(
+    pair: (Channel, Channel),
+    alice: FA,
+    bob: FB,
+) -> Result<(RA, RB, CommStats), ProtocolError>
+where
+    FA: FnOnce(&mut Channel) -> RA + Send,
+    FB: FnOnce(&mut Channel) -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    try_run_on(pair, alice, bob)
+}
+
+/// Run one party's protocol body, converting typed [`ProtocolError`]
+/// unwinds into `Err` while re-raising anything else. This is the
+/// single-endpoint analogue of [`try_run_protocol`] for party-per-process
+/// deployments (`secyan-server` session threads, `secyan-client`): each
+/// process holds only its own [`Channel`], so the session boundary lives
+/// here instead of around a thread pair.
+pub fn catch_protocol<R>(body: impl FnOnce() -> R) -> Result<R, ProtocolError> {
+    catch_unwind(AssertUnwindSafe(body))
+        .map_err(|p| try_downcast_panic(p).unwrap_or_else(|bug| std::panic::resume_unwind(bug)))
+}
+
 fn try_run_on<FA, FB, RA, RB>(
     pair: (Channel, Channel),
     alice: FA,

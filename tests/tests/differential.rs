@@ -15,7 +15,7 @@ use secyan_crypto::RingCtx;
 use secyan_relation::{JoinTree, NaturalRing, Relation};
 use secyan_testkit::{
     check_instance, oracle, run_secure, run_secure_phase_split, run_secure_phase_split_with_faults,
-    scalar_of, AggKind, Instance, SecureRun,
+    run_secure_tcp, scalar_of, AggKind, Instance, SecureRun,
 };
 use secyan_transport::{FaultKind, FaultPlan, Role};
 
@@ -61,6 +61,48 @@ fn differential_sweep_chain_family_exercises_baseline() {
         baseline_runs, 16,
         "every chain-family instance must exercise the circuit baseline"
     );
+}
+
+/// The secure engine over a real localhost TCP socket, on a seeded subset
+/// of both instance families. For every instance the revealed result must
+/// match the plaintext oracle, and — because all staging, coalescing, and
+/// metering live above the transport seam — the per-direction transcript
+/// must be *byte-identical* to the in-process channel's, with every
+/// stage-time communication counter equal.
+#[test]
+fn differential_sweep_tcp() {
+    let instances = (0..8)
+        .map(Instance::generate)
+        .chain((0..4).map(Instance::generate_chain));
+    for inst in instances {
+        let expected = oracle(&inst);
+        let mem = run_secure(&inst);
+        let tcp = run_secure_tcp(&inst);
+        assert_eq!(
+            tcp.result,
+            expected,
+            "TCP run diverged from the oracle on {}",
+            inst.describe()
+        );
+        assert_eq!(tcp.result, mem.result, "{}", inst.describe());
+        assert_eq!(tcp.out_size, mem.out_size, "{}", inst.describe());
+        for dir in [Role::Alice, Role::Bob] {
+            assert_eq!(
+                direction_stream(&tcp, dir),
+                direction_stream(&mem, dir),
+                "{dir:?}-side transcript over TCP is not byte-identical \
+                 to the in-process channel on {}",
+                inst.describe()
+            );
+        }
+        assert_eq!(
+            tcp.stats,
+            mem.stats,
+            "communication meters diverged between TCP and in-process \
+             transports on {}",
+            inst.describe()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -16,7 +16,8 @@
 
 use secyan_relation::{JoinTree, NaturalRing, Relation};
 use secyan_testkit::{
-    run_secure, run_secure_phase_split, run_secure_uncoalesced, AggKind, Instance, SecureRun,
+    run_secure, run_secure_phase_split, run_secure_phase_split_tcp, run_secure_tcp,
+    run_secure_tcp_eager, run_secure_uncoalesced, AggKind, Instance, SecureRun,
 };
 use secyan_transport::Role;
 
@@ -203,6 +204,105 @@ fn coalescing_only_changes_wire_framing() {
         assert!(
             c.stats.frames_bob_to_alice < u.stats.frames_bob_to_alice,
             "no Bob->Alice coalescing happened on {}",
+            inst.describe()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The same pins over a real localhost TCP socket. Round structure lives
+// entirely above the transport seam, so every golden must hold unchanged.
+// ---------------------------------------------------------------------------
+
+/// The chain3 online/offline super-round pins are transport-independent:
+/// the phase-split run over TCP reports exactly the in-process goldens,
+/// and every other meter matches the in-process phase-split run.
+#[test]
+fn chain3_super_round_pins_hold_over_tcp() {
+    let inst = chain3_bench_instance();
+    let tcp = run_secure_phase_split_tcp(&inst);
+    assert_eq!(
+        tcp.stats.online_super_rounds, CHAIN3_ONLINE_SUPER_ROUNDS,
+        "chain3 online super-round count changed when the frames crossed \
+         a real socket — the transport seam is leaking into round structure",
+    );
+    assert_eq!(
+        tcp.stats.offline_super_rounds, CHAIN3_OFFLINE_SUPER_ROUNDS,
+        "chain3 offline super-round count changed over TCP",
+    );
+    let mem = run_secure_phase_split(&inst, None);
+    assert_eq!(tcp.result, mem.result);
+    assert_eq!(
+        tcp.stats, mem.stats,
+        "phase-split meters diverged between TCP and in-process transports",
+    );
+}
+
+/// The per-family super-round goldens, re-measured over TCP.
+#[test]
+fn family_super_round_goldens_hold_over_tcp() {
+    let families = [
+        ("chain(0)", Instance::generate_chain(0)),
+        ("chain(1)", Instance::generate_chain(1)),
+        ("random(0)", Instance::generate(0)),
+        ("random(3)", Instance::generate(3)),
+    ];
+    let actual: Vec<u64> = families
+        .iter()
+        .map(|(_, inst)| run_secure_tcp(inst).stats.super_rounds)
+        .collect();
+    let golden: Vec<u64> = vec![9, 19, 25, 25];
+    assert_eq!(
+        actual,
+        golden,
+        "per-family super-round goldens drifted over TCP (order: {:?})",
+        families.map(|(name, _)| name),
+    );
+}
+
+/// The coalesced-vs-eager differential holds over the socket exactly as
+/// it does in process: byte-identical results and logical transcripts,
+/// identical stage-time meters, strictly fewer frames when coalescing.
+#[test]
+fn tcp_coalescing_only_changes_wire_framing() {
+    let instances = [Instance::generate_chain(0), Instance::generate(5)];
+    for inst in &instances {
+        let c = run_secure_tcp(inst);
+        let u = run_secure_tcp_eager(inst);
+
+        assert_eq!(c.result, u.result, "{}", inst.describe());
+        assert_eq!(c.out_size, u.out_size, "{}", inst.describe());
+        for dir in [Role::Alice, Role::Bob] {
+            assert_eq!(
+                direction_lengths(&c, dir),
+                direction_lengths(&u, dir),
+                "{dir:?} message boundaries changed on {}",
+                inst.describe()
+            );
+            assert_eq!(
+                direction_stream(&c, dir),
+                direction_stream(&u, dir),
+                "{dir:?} payload bytes changed on {}",
+                inst.describe()
+            );
+        }
+        assert_eq!(c.stats.bytes_alice_to_bob, u.stats.bytes_alice_to_bob);
+        assert_eq!(c.stats.bytes_bob_to_alice, u.stats.bytes_bob_to_alice);
+        assert_eq!(c.stats.messages_alice_to_bob, u.stats.messages_alice_to_bob);
+        assert_eq!(c.stats.messages_bob_to_alice, u.stats.messages_bob_to_alice);
+
+        // Eager mode: one TCP frame per logical message; coalescing must
+        // strictly reduce the frame count even on a real socket.
+        assert_eq!(u.stats.frames_alice_to_bob, u.stats.messages_alice_to_bob);
+        assert_eq!(u.stats.frames_bob_to_alice, u.stats.messages_bob_to_alice);
+        assert!(
+            c.stats.frames_alice_to_bob < u.stats.frames_alice_to_bob,
+            "no Alice->Bob coalescing happened over TCP on {}",
+            inst.describe()
+        );
+        assert!(
+            c.stats.frames_bob_to_alice < u.stats.frames_bob_to_alice,
+            "no Bob->Alice coalescing happened over TCP on {}",
             inst.describe()
         );
     }
